@@ -1,0 +1,225 @@
+// Package babelflow is a Go implementation of BabelFlow (Petruzza,
+// Treichler, Pascucci, Bremer — "BabelFlow: An Embedded Domain Specific
+// Language for Parallel Analysis and Visualization", IPDPS 2018): an
+// embedded DSL that describes parallel analysis and visualization
+// algorithms as task graphs, executed unmodified on any of several runtime
+// controllers.
+//
+// An algorithm is written once as three ingredients:
+//
+//  1. Callbacks — one function per task type, operating on Payloads;
+//  2. Serialization for the objects exchanged between tasks;
+//  3. A TaskGraph describing the dataflow (use a provided prototype such as
+//     NewReduction, NewBroadcast, NewBinarySwap, NewKWayMerge,
+//     NewNeighbor2D, or implement the interface procedurally).
+//
+// The graph then runs on the controller matching the host application's
+// software stack: NewMPI (static task map, asynchronous point-to-point
+// messages, thread pool), NewCharm (chare array with dynamic load
+// balancing), NewLegionSPMD / NewLegionIndexLaunch (region-based data
+// movement), or NewSerial for debugging — all guaranteeing the same tasks
+// execute with the same results.
+//
+// The mirror of Listing 1 of the paper:
+//
+//	graph, _ := babelflow.NewReduction(blocks, valence)
+//	taskMap := babelflow.NewModuloMap(ranks, graph.Size())
+//	c := babelflow.NewMPI(babelflow.MPIOptions{})
+//	c.Initialize(graph, taskMap)
+//	cids := graph.Callbacks()
+//	c.RegisterCallback(cids[0], volumeRender) // leaves
+//	c.RegisterCallback(cids[1], composite)    // internal nodes
+//	c.RegisterCallback(cids[2], writeImage)   // root
+//	results, err := c.Run(initialInputs)
+package babelflow
+
+import (
+	"io"
+
+	"github.com/babelflow/babelflow-go/internal/charm"
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/dot"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/legion"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+	"github.com/babelflow/babelflow-go/internal/trace"
+)
+
+// Core EDSL types, re-exported from the internal core package.
+type (
+	// TaskId is the globally unique identifier of a logical task.
+	TaskId = core.TaskId
+	// CallbackId identifies a task type.
+	CallbackId = core.CallbackId
+	// ShardId identifies an execution shard (rank / PE / shard).
+	ShardId = core.ShardId
+	// Task is the logical description of one unit of computation.
+	Task = core.Task
+	// Payload is the unit of data exchanged between tasks.
+	Payload = core.Payload
+	// Serializable is implemented by payload objects that can encode
+	// themselves for transfer across shard boundaries.
+	Serializable = core.Serializable
+	// Callback implements one task type.
+	Callback = core.Callback
+	// TaskGraph is the procedural dataflow description.
+	TaskGraph = core.TaskGraph
+	// TaskMap assigns tasks to shards.
+	TaskMap = core.TaskMap
+	// Controller executes a task graph on one runtime.
+	Controller = core.Controller
+	// Observer receives per-task execution notifications.
+	Observer = core.Observer
+)
+
+// ExternalInput marks dataflow inputs provided from outside the graph.
+const ExternalInput = core.ExternalInput
+
+// Buffer returns a payload wrapping a binary buffer.
+func Buffer(b []byte) Payload { return core.Buffer(b) }
+
+// Object returns a payload wrapping an in-memory object.
+func Object(obj any) Payload { return core.Object(obj) }
+
+// Validate checks the structural consistency of a task graph.
+func Validate(g TaskGraph) error { return core.Validate(g) }
+
+// Levels partitions a graph into rounds of non-interfering tasks.
+func Levels(g TaskGraph) ([][]TaskId, error) { return core.Levels(g) }
+
+// NewModuloMap returns the default round-robin task map of Listing 3.
+func NewModuloMap(shardCount, taskCount int) TaskMap {
+	return core.NewModuloMap(shardCount, taskCount)
+}
+
+// NewBlockMap returns a contiguous-blocks task map.
+func NewBlockMap(shardCount, taskCount int) TaskMap {
+	return core.NewBlockMap(shardCount, taskCount)
+}
+
+// NewGraphMap distributes a graph's (possibly non-contiguous) ids
+// round-robin over shards.
+func NewGraphMap(shardCount int, g TaskGraph) TaskMap {
+	return core.NewGraphMap(shardCount, g)
+}
+
+// Prototypical task graphs.
+
+// Reduction is the k-way reduction tree of Listing 2.
+type Reduction = graphs.Reduction
+
+// Broadcast is the k-way broadcast tree.
+type Broadcast = graphs.Broadcast
+
+// BinarySwap is the binary-swap compositing dataflow.
+type BinarySwap = graphs.BinarySwap
+
+// KWayMerge is the k-way merge (all-reduce) dataflow.
+type KWayMerge = graphs.KWayMerge
+
+// Neighbor2D is the two-phase halo-exchange dataflow.
+type Neighbor2D = graphs.Neighbor2D
+
+// GraphBuilder composes task graphs under id prefixes.
+type GraphBuilder = graphs.Builder
+
+// NewReduction returns a k-way reduction over leafs = valence^d leaves.
+func NewReduction(leafs, valence int) (*Reduction, error) {
+	return graphs.NewReduction(leafs, valence)
+}
+
+// NewBroadcast returns a k-way broadcast over leafs = valence^d leaves.
+func NewBroadcast(leafs, valence int) (*Broadcast, error) {
+	return graphs.NewBroadcast(leafs, valence)
+}
+
+// NewBinarySwap returns a binary-swap dataflow over a power-of-two number
+// of participants.
+func NewBinarySwap(participants int) (*BinarySwap, error) {
+	return graphs.NewBinarySwap(participants)
+}
+
+// NewKWayMerge returns a k-way merge (reduce + broadcast) dataflow.
+func NewKWayMerge(leafs, valence int) (*KWayMerge, error) {
+	return graphs.NewKWayMerge(leafs, valence)
+}
+
+// NewNeighbor2D returns a 2-D neighbor dataflow over a w x h cell grid.
+func NewNeighbor2D(w, h int) (*Neighbor2D, error) {
+	return graphs.NewNeighbor2D(w, h)
+}
+
+// NewGraphBuilder returns an empty graph-composition builder.
+func NewGraphBuilder() *GraphBuilder { return graphs.NewBuilder() }
+
+// Runtime controllers.
+
+// MPIOptions configures the MPI controller.
+type MPIOptions = mpi.Options
+
+// CharmOptions configures the Charm++ controller.
+type CharmOptions = charm.Options
+
+// LegionOptions configures the Legion controllers.
+type LegionOptions = legion.Options
+
+// NewSerial returns the single-threaded reference controller; useful for
+// debugging a dataflow, per the paper's over-decomposition property.
+func NewSerial() Controller { return core.NewSerial() }
+
+// NewMPI returns the MPI runtime controller (§IV-A).
+func NewMPI(opt MPIOptions) Controller { return mpi.New(opt) }
+
+// NewCharm returns the Charm++ runtime controller (§IV-B).
+func NewCharm(opt CharmOptions) Controller { return charm.New(opt) }
+
+// NewLegionSPMD returns the Legion SPMD controller (§IV-C).
+func NewLegionSPMD(opt LegionOptions) Controller { return legion.NewSPMD(opt) }
+
+// NewLegionIndexLaunch returns the Legion index-launch controller (§IV-C).
+func NewLegionIndexLaunch(opt LegionOptions) Controller { return legion.NewIndexLaunch(opt) }
+
+// WriteDot renders a task graph (or a filtered subset) in the Dot graph
+// language for debugging, as the paper provides.
+func WriteDot(w io.Writer, g TaskGraph, opt DotOptions) error { return dot.Write(w, g, opt) }
+
+// DotOptions controls Dot rendering.
+type DotOptions = dot.Options
+
+// In-situ coupling and tracing.
+
+// InSituGroup is the in-situ coupling mode of the MPI controller (§III):
+// each simulation rank instantiates only its assigned sub-graph and feeds
+// it rank-local data.
+type InSituGroup = mpi.Group
+
+// InSituShard is one rank's handle on an in-situ execution.
+type InSituShard = mpi.Shard
+
+// NewInSituGroup prepares an in-situ MPI execution over the task map's
+// shards; obtain per-rank handles with Shard and call Run concurrently.
+func NewInSituGroup(g TaskGraph, m TaskMap, opt MPIOptions) (*InSituGroup, error) {
+	return mpi.NewGroup(g, m, opt)
+}
+
+// TraceRecorder records per-task execution spans; wrap callbacks with
+// Wrap and pass the recorder as the controller's Observer.
+type TraceRecorder = trace.Recorder
+
+// TraceSpan is one recorded task execution.
+type TraceSpan = trace.Span
+
+// TraceSummary aggregates a trace.
+type TraceSummary = trace.Summary
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// SummarizeTrace computes wall time, per-shard busy time and the measured
+// critical path of a recorded execution.
+func SummarizeTrace(g TaskGraph, spans []TraceSpan) (TraceSummary, error) {
+	return trace.Summarize(g, spans)
+}
+
+// WriteTraceCSV emits spans as CSV for Gantt plotting.
+func WriteTraceCSV(w io.Writer, spans []TraceSpan) error { return trace.WriteCSV(w, spans) }

@@ -1,0 +1,59 @@
+// Command bfbench regenerates the paper's evaluation: for every scaling
+// figure (Figs. 2, 3, 6, 9, 10a-f) it executes the corresponding task
+// graphs under the simulated runtime models and prints the series the
+// paper plots, one row per (figure, series, x, seconds).
+//
+// Usage:
+//
+//	bfbench                 # all figures
+//	bfbench -figure fig6    # one figure
+//	bfbench -format csv     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/sim"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "", "regenerate one figure (default: all)")
+		format = flag.String("format", "table", "table | csv")
+	)
+	flag.Parse()
+
+	names := sim.Figures()
+	if *figure != "" {
+		names = []string{*figure}
+	}
+	if *format == "csv" {
+		fmt.Println("figure,series,x,seconds")
+	}
+	for _, name := range names {
+		start := time.Now()
+		rows, err := sim.Figure(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *format {
+		case "csv":
+			for _, r := range rows {
+				fmt.Printf("%s,%s,%d,%.6f\n", r.Figure, r.Series, r.X, r.Seconds)
+			}
+		case "table":
+			fmt.Printf("== %s (%d rows, generated in %v)\n", name, len(rows), time.Since(start).Round(time.Millisecond))
+			fmt.Printf("   %-30s %8s %12s\n", "series", "x", "seconds")
+			for _, r := range rows {
+				fmt.Printf("   %-30s %8d %12.3f\n", r.Series, r.X, r.Seconds)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "bfbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	babelflow "github.com/babelflow/babelflow-go"
+)
+
+func TestBuildGraphAllKinds(t *testing.T) {
+	cases := []struct {
+		kind  string
+		leafs int
+		want  int // expected task count
+	}{
+		{"reduction", 4, 7},
+		{"broadcast", 4, 7},
+		{"binaryswap", 4, 12},
+		{"kwaymerge", 4, 14},
+		{"neighbor", 0, 12}, // 3x2 grid from the width/height args
+		{"mergetree", 4, 21},
+	}
+	for _, c := range cases {
+		g, labels, err := buildGraph(c.kind, c.leafs, 2, 3, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if g.Size() != c.want {
+			t.Errorf("%s: size = %d, want %d", c.kind, g.Size(), c.want)
+		}
+		if err := babelflow.Validate(g); err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+		}
+		if len(labels) == 0 {
+			t.Errorf("%s: no labels", c.kind)
+		}
+		var b strings.Builder
+		if err := babelflow.WriteDot(&b, g, babelflow.DotOptions{Labels: labels}); err != nil {
+			t.Errorf("%s: dot: %v", c.kind, err)
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, _, err := buildGraph("nope", 4, 2, 3, 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, _, err := buildGraph("reduction", 3, 2, 0, 0); err == nil {
+		t.Error("invalid leaf count should fail")
+	}
+}

@@ -1,0 +1,119 @@
+// Command quickstart is the minimal BabelFlow program, mirroring Listing 1
+// of the paper: describe an algorithm as a task graph (here: global
+// statistics of block-decomposed data via a k-way reduction), register one
+// callback per task type, and run the identical dataflow on every runtime
+// controller.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	babelflow "github.com/babelflow/babelflow-go"
+)
+
+// stats is the payload exchanged by the reduction: count, sum, min, max.
+type stats struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func (s stats) encode() babelflow.Payload {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b[0:], s.count)
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(s.sum))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(s.min))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(s.max))
+	return babelflow.Buffer(b)
+}
+
+func decode(p babelflow.Payload) stats {
+	return stats{
+		count: binary.LittleEndian.Uint64(p.Data[0:]),
+		sum:   math.Float64frombits(binary.LittleEndian.Uint64(p.Data[8:])),
+		min:   math.Float64frombits(binary.LittleEndian.Uint64(p.Data[16:])),
+		max:   math.Float64frombits(binary.LittleEndian.Uint64(p.Data[24:])),
+	}
+}
+
+func merge(in []babelflow.Payload, id babelflow.TaskId) ([]babelflow.Payload, error) {
+	acc := decode(in[0])
+	for _, p := range in[1:] {
+		s := decode(p)
+		acc.count += s.count
+		acc.sum += s.sum
+		acc.min = math.Min(acc.min, s.min)
+		acc.max = math.Max(acc.max, s.max)
+	}
+	return []babelflow.Payload{acc.encode()}, nil
+}
+
+// localStats is the leaf task: reduce one raw data block to its statistics.
+func localStats(in []babelflow.Payload, id babelflow.TaskId) ([]babelflow.Payload, error) {
+	s := stats{min: math.Inf(1), max: math.Inf(-1)}
+	data := in[0].Data
+	for i := 0; i+8 <= len(data); i += 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+		s.count++
+		s.sum += v
+		s.min = math.Min(s.min, v)
+		s.max = math.Max(s.max, v)
+	}
+	return []babelflow.Payload{s.encode()}, nil
+}
+
+func main() {
+	const blocks = 16
+	const valuesPerBlock = 1024
+
+	// Synthetic block-decomposed data: block b holds values b + i/n.
+	initialFor := func(graph *babelflow.Reduction) map[babelflow.TaskId][]babelflow.Payload {
+		initial := make(map[babelflow.TaskId][]babelflow.Payload)
+		for b, id := range graph.LeafIds() {
+			buf := make([]byte, 8*valuesPerBlock)
+			for i := 0; i < valuesPerBlock; i++ {
+				v := float64(b) + float64(i)/valuesPerBlock
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			initial[id] = []babelflow.Payload{babelflow.Buffer(buf)}
+		}
+		return initial
+	}
+
+	// Reduction tree + task map, per Listing 1.
+	graph, err := babelflow.NewReduction(blocks, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	taskMap := babelflow.NewModuloMap(4, graph.Size())
+
+	controllers := []struct {
+		name string
+		c    babelflow.Controller
+	}{
+		{"serial", babelflow.NewSerial()},
+		{"mpi", babelflow.NewMPI(babelflow.MPIOptions{})},
+		{"charm++", babelflow.NewCharm(babelflow.CharmOptions{PEs: 4, LBPeriod: 4})},
+		{"legion-spmd", babelflow.NewLegionSPMD(babelflow.LegionOptions{})},
+		{"legion-il", babelflow.NewLegionIndexLaunch(babelflow.LegionOptions{})},
+	}
+	for _, entry := range controllers {
+		if err := entry.c.Initialize(graph, taskMap); err != nil {
+			log.Fatalf("%s: %v", entry.name, err)
+		}
+		cids := graph.Callbacks()
+		entry.c.RegisterCallback(cids[0], localStats) // leaves
+		entry.c.RegisterCallback(cids[1], merge)      // internal nodes
+		entry.c.RegisterCallback(cids[2], merge)      // root
+		out, err := entry.c.Run(initialFor(graph))
+		if err != nil {
+			log.Fatalf("%s: %v", entry.name, err)
+		}
+		s := decode(out[graph.Root()][0])
+		fmt.Printf("%-12s count=%d mean=%.4f min=%.3f max=%.6f\n",
+			entry.name, s.count, s.sum/float64(s.count), s.min, s.max)
+	}
+}

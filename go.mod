@@ -1,0 +1,3 @@
+module github.com/babelflow/babelflow-go
+
+go 1.22

@@ -1,0 +1,51 @@
+package conduit
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+// Field paths follow a Blueprint-like convention so any producer and
+// consumer agree on the layout:
+//
+//	<base>/dims/x, <base>/dims/y, <base>/dims/z  (int64)
+//	<base>/values                                (float32[])
+
+// SetField publishes a scalar field under the base path.
+func SetField(n *Node, base string, f *data.Field) error {
+	if err := n.SetInt64(base+"/dims/x", int64(f.NX)); err != nil {
+		return err
+	}
+	if err := n.SetInt64(base+"/dims/y", int64(f.NY)); err != nil {
+		return err
+	}
+	if err := n.SetInt64(base+"/dims/z", int64(f.NZ)); err != nil {
+		return err
+	}
+	return n.SetFloat32Array(base+"/values", f.Values)
+}
+
+// GetField reads a scalar field published under the base path.
+func GetField(n *Node, base string) (*data.Field, error) {
+	nx, err := n.Int64(base + "/dims/x")
+	if err != nil {
+		return nil, err
+	}
+	ny, err := n.Int64(base + "/dims/y")
+	if err != nil {
+		return nil, err
+	}
+	nz, err := n.Int64(base + "/dims/z")
+	if err != nil {
+		return nil, err
+	}
+	values, err := n.Float32Array(base + "/values")
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(values)) != nx*ny*nz {
+		return nil, fmt.Errorf("conduit: %q has %d values for %dx%dx%d dims", base, len(values), nx, ny, nz)
+	}
+	return &data.Field{NX: int(nx), NY: int(ny), NZ: int(nz), Values: values}, nil
+}

@@ -1,0 +1,449 @@
+// Package conduit provides a hierarchical, self-describing data model in
+// the spirit of LLNL's Conduit, which the paper names as the path to
+// "transparently access simulation data and further uncouple the
+// implementation of an algorithm from the specific application that uses
+// it" (§II). Simulations publish their state as a tree of named, typed
+// values; analysis callbacks read well-known paths without knowing the
+// producing application's native layout.
+//
+// Nodes serialize deterministically and implement core.Serializable, so
+// they travel through any runtime controller as payloads.
+package conduit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates leaf value types.
+type Kind uint8
+
+// Supported leaf kinds.
+const (
+	KindNone Kind = iota
+	KindInt64
+	KindFloat64
+	KindString
+	KindBytes
+	KindInt64Array
+	KindFloat32Array
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindInt64Array:
+		return "int64[]"
+	case KindFloat32Array:
+		return "float32[]"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Node is one element of the hierarchy: either an interior node with named
+// children or a typed leaf. The zero value is an empty interior node.
+type Node struct {
+	kind Kind
+
+	i64  int64
+	f64  float64
+	str  string
+	raw  []byte
+	i64s []int64
+	f32s []float32
+
+	children map[string]*Node
+}
+
+// NewNode returns an empty interior node.
+func NewNode() *Node { return &Node{} }
+
+// Kind returns the node's leaf kind (KindNone for interior/empty nodes).
+func (n *Node) Kind() Kind { return n.kind }
+
+// IsLeaf reports whether the node holds a value.
+func (n *Node) IsLeaf() bool { return n.kind != KindNone }
+
+// child walks (and optionally creates) the path below n. Paths use '/'
+// separators, e.g. "fields/temperature/values".
+func (n *Node) child(path string, create bool) (*Node, error) {
+	if path == "" {
+		return n, nil
+	}
+	cur := n
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			return nil, fmt.Errorf("conduit: empty path component in %q", path)
+		}
+		if cur.IsLeaf() {
+			return nil, fmt.Errorf("conduit: %q is a leaf; cannot descend to %q", part, path)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			if !create {
+				return nil, fmt.Errorf("conduit: path %q not found", path)
+			}
+			if cur.children == nil {
+				cur.children = make(map[string]*Node)
+			}
+			next = &Node{}
+			cur.children[part] = next
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Fetch returns the node at the path, creating interior nodes as needed.
+func (n *Node) Fetch(path string) (*Node, error) { return n.child(path, true) }
+
+// Get returns the node at the path, or an error if it does not exist.
+func (n *Node) Get(path string) (*Node, error) { return n.child(path, false) }
+
+// Has reports whether the path exists.
+func (n *Node) Has(path string) bool {
+	_, err := n.child(path, false)
+	return err == nil
+}
+
+// ChildNames returns the names of the node's direct children, sorted.
+func (n *Node) ChildNames() []string {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Paths returns every leaf path in the tree, sorted.
+func (n *Node) Paths() []string {
+	var out []string
+	var walk func(prefix string, nd *Node)
+	walk = func(prefix string, nd *Node) {
+		if nd.IsLeaf() {
+			out = append(out, prefix)
+			return
+		}
+		for _, name := range nd.ChildNames() {
+			p := name
+			if prefix != "" {
+				p = prefix + "/" + name
+			}
+			walk(p, nd.children[name])
+		}
+	}
+	walk("", n)
+	sort.Strings(out)
+	return out
+}
+
+func (n *Node) setLeaf(path string, fill func(*Node)) error {
+	nd, err := n.Fetch(path)
+	if err != nil {
+		return err
+	}
+	if len(nd.children) > 0 {
+		return fmt.Errorf("conduit: %q is an interior node; cannot assign a value", path)
+	}
+	*nd = Node{}
+	fill(nd)
+	return nil
+}
+
+// SetInt64 stores an integer at the path.
+func (n *Node) SetInt64(path string, v int64) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.i64 = KindInt64, v })
+}
+
+// SetFloat64 stores a float at the path.
+func (n *Node) SetFloat64(path string, v float64) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.f64 = KindFloat64, v })
+}
+
+// SetString stores a string at the path.
+func (n *Node) SetString(path string, v string) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.str = KindString, v })
+}
+
+// SetBytes stores a raw byte buffer at the path (zero-copy: the node
+// aliases the slice).
+func (n *Node) SetBytes(path string, v []byte) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.raw = KindBytes, v })
+}
+
+// SetInt64Array stores an integer array at the path (aliasing the slice).
+func (n *Node) SetInt64Array(path string, v []int64) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.i64s = KindInt64Array, v })
+}
+
+// SetFloat32Array stores a float32 array at the path (aliasing the slice,
+// the natural type for simulation fields).
+func (n *Node) SetFloat32Array(path string, v []float32) error {
+	return n.setLeaf(path, func(nd *Node) { nd.kind, nd.f32s = KindFloat32Array, v })
+}
+
+func (n *Node) leaf(path string, want Kind) (*Node, error) {
+	nd, err := n.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	if nd.kind != want {
+		return nil, fmt.Errorf("conduit: %q holds %s, want %s", path, nd.kind, want)
+	}
+	return nd, nil
+}
+
+// Int64 reads an integer leaf.
+func (n *Node) Int64(path string) (int64, error) {
+	nd, err := n.leaf(path, KindInt64)
+	if err != nil {
+		return 0, err
+	}
+	return nd.i64, nil
+}
+
+// Float64 reads a float leaf.
+func (n *Node) Float64(path string) (float64, error) {
+	nd, err := n.leaf(path, KindFloat64)
+	if err != nil {
+		return 0, err
+	}
+	return nd.f64, nil
+}
+
+// String reads a string leaf.
+func (n *Node) String(path string) (string, error) {
+	nd, err := n.leaf(path, KindString)
+	if err != nil {
+		return "", err
+	}
+	return nd.str, nil
+}
+
+// Bytes reads a raw-buffer leaf.
+func (n *Node) Bytes(path string) ([]byte, error) {
+	nd, err := n.leaf(path, KindBytes)
+	if err != nil {
+		return nil, err
+	}
+	return nd.raw, nil
+}
+
+// Int64Array reads an integer-array leaf.
+func (n *Node) Int64Array(path string) ([]int64, error) {
+	nd, err := n.leaf(path, KindInt64Array)
+	if err != nil {
+		return nil, err
+	}
+	return nd.i64s, nil
+}
+
+// Float32Array reads a float32-array leaf.
+func (n *Node) Float32Array(path string) ([]float32, error) {
+	nd, err := n.leaf(path, KindFloat32Array)
+	if err != nil {
+		return nil, err
+	}
+	return nd.f32s, nil
+}
+
+// Serialize encodes the tree deterministically: leaf count, then per leaf
+// (sorted by path) the path, kind tag and value.
+func (n *Node) Serialize() []byte {
+	paths := n.Paths()
+	var buf []byte
+	buf = appendU64(buf, uint64(len(paths)))
+	for _, p := range paths {
+		nd, _ := n.Get(p)
+		buf = appendU64(buf, uint64(len(p)))
+		buf = append(buf, p...)
+		buf = append(buf, byte(nd.kind))
+		switch nd.kind {
+		case KindInt64:
+			buf = appendU64(buf, uint64(nd.i64))
+		case KindFloat64:
+			buf = appendU64(buf, math.Float64bits(nd.f64))
+		case KindString:
+			buf = appendU64(buf, uint64(len(nd.str)))
+			buf = append(buf, nd.str...)
+		case KindBytes:
+			buf = appendU64(buf, uint64(len(nd.raw)))
+			buf = append(buf, nd.raw...)
+		case KindInt64Array:
+			buf = appendU64(buf, uint64(len(nd.i64s)))
+			for _, v := range nd.i64s {
+				buf = appendU64(buf, uint64(v))
+			}
+		case KindFloat32Array:
+			buf = appendU64(buf, uint64(len(nd.f32s)))
+			for _, v := range nd.f32s {
+				buf = appendU32(buf, math.Float32bits(v))
+			}
+		}
+	}
+	return buf
+}
+
+// Deserialize decodes a tree encoded by Serialize.
+func Deserialize(b []byte) (*Node, error) {
+	r := &reader{buf: b}
+	count, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	root := NewNode()
+	for i := uint64(0); i < count; i++ {
+		plen, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		pb, err := r.bytes(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		path := string(pb)
+		kb, err := r.bytes(1)
+		if err != nil {
+			return nil, err
+		}
+		kind := Kind(kb[0])
+		switch kind {
+		case KindInt64:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if err := root.SetInt64(path, int64(v)); err != nil {
+				return nil, err
+			}
+		case KindFloat64:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if err := root.SetFloat64(path, math.Float64frombits(v)); err != nil {
+				return nil, err
+			}
+		case KindString:
+			l, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			s, err := r.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			if err := root.SetString(path, string(s)); err != nil {
+				return nil, err
+			}
+		case KindBytes:
+			l, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			s, err := r.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			if err := root.SetBytes(path, append([]byte(nil), s...)); err != nil {
+				return nil, err
+			}
+		case KindInt64Array:
+			l, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			vs := make([]int64, l)
+			for j := range vs {
+				v, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				vs[j] = int64(v)
+			}
+			if err := root.SetInt64Array(path, vs); err != nil {
+				return nil, err
+			}
+		case KindFloat32Array:
+			l, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			vs := make([]float32, l)
+			for j := range vs {
+				v, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				vs[j] = math.Float32frombits(v)
+			}
+			if err := root.SetFloat32Array(path, vs); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("conduit: unknown kind %d at %q", kind, path)
+		}
+	}
+	if len(r.buf[r.off:]) != 0 {
+		return nil, fmt.Errorf("conduit: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return root, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("conduit: truncated buffer (need %d bytes at %d of %d)", n, r.off, len(r.buf))
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

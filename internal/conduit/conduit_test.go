@@ -1,0 +1,262 @@
+package conduit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+func TestSetGetScalars(t *testing.T) {
+	n := NewNode()
+	if err := n.SetInt64("state/cycle", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFloat64("state/time", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetString("state/code", "karfs"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := n.Int64("state/cycle"); err != nil || v != 42 {
+		t.Errorf("cycle = %d, %v", v, err)
+	}
+	if v, err := n.Float64("state/time"); err != nil || v != 1.5 {
+		t.Errorf("time = %f, %v", v, err)
+	}
+	if v, err := n.String("state/code"); err != nil || v != "karfs" {
+		t.Errorf("code = %q, %v", v, err)
+	}
+}
+
+func TestSetGetArraysAndBytes(t *testing.T) {
+	n := NewNode()
+	n.SetFloat32Array("fields/t/values", []float32{1, 2, 3})
+	n.SetInt64Array("topo/ids", []int64{-1, 7})
+	n.SetBytes("blob", []byte{9, 8})
+	if vs, err := n.Float32Array("fields/t/values"); err != nil || len(vs) != 3 || vs[2] != 3 {
+		t.Errorf("f32s = %v, %v", vs, err)
+	}
+	if vs, err := n.Int64Array("topo/ids"); err != nil || vs[0] != -1 {
+		t.Errorf("i64s = %v, %v", vs, err)
+	}
+	if vs, err := n.Bytes("blob"); err != nil || vs[1] != 8 {
+		t.Errorf("bytes = %v, %v", vs, err)
+	}
+}
+
+func TestTypeMismatchAndMissing(t *testing.T) {
+	n := NewNode()
+	n.SetInt64("a/b", 1)
+	if _, err := n.Float64("a/b"); err == nil || !strings.Contains(err.Error(), "int64") {
+		t.Errorf("type mismatch err = %v", err)
+	}
+	if _, err := n.Int64("a/missing"); err == nil {
+		t.Error("missing path should fail")
+	}
+	if n.Has("a/missing") {
+		t.Error("Has(missing) = true")
+	}
+	if !n.Has("a/b") {
+		t.Error("Has(a/b) = false")
+	}
+}
+
+func TestStructuralErrors(t *testing.T) {
+	n := NewNode()
+	n.SetInt64("a/b", 1)
+	// Descending through a leaf fails.
+	if err := n.SetInt64("a/b/c", 2); err == nil {
+		t.Error("descending through a leaf should fail")
+	}
+	// Assigning a value to an interior node fails.
+	if err := n.SetInt64("a", 3); err == nil {
+		t.Error("assigning to an interior node should fail")
+	}
+	// Empty component fails.
+	if err := n.SetInt64("a//b", 3); err == nil {
+		t.Error("empty path component should fail")
+	}
+}
+
+func TestPathsAndChildNames(t *testing.T) {
+	n := NewNode()
+	n.SetInt64("z/one", 1)
+	n.SetInt64("a/two", 2)
+	n.SetFloat64("a/three/deep", 3)
+	paths := n.Paths()
+	want := []string{"a/three/deep", "a/two", "z/one"}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("paths[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+	names := n.ChildNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Errorf("children = %v", names)
+	}
+}
+
+func TestSerializeRoundTripAndDeterminism(t *testing.T) {
+	n := NewNode()
+	n.SetInt64("state/cycle", 7)
+	n.SetFloat64("state/time", 0.25)
+	n.SetString("state/name", "hcci")
+	n.SetBytes("raw", []byte{1, 2, 3})
+	n.SetInt64Array("ids", []int64{5, -5})
+	n.SetFloat32Array("fields/rho/values", []float32{1.5, -2.5})
+
+	b1 := n.Serialize()
+	b2 := n.Serialize()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Serialize not deterministic")
+	}
+	got, err := Deserialize(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Serialize(), b1) {
+		t.Fatal("round trip changed the tree")
+	}
+	if v, _ := got.Int64("state/cycle"); v != 7 {
+		t.Errorf("cycle = %d", v)
+	}
+	if vs, _ := got.Float32Array("fields/rho/values"); vs[1] != -2.5 {
+		t.Errorf("values = %v", vs)
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := Deserialize([]byte{1, 2}); err == nil {
+		t.Error("short buffer should fail")
+	}
+	n := NewNode()
+	n.SetInt64("a", 1)
+	b := n.Serialize()
+	if _, err := Deserialize(b[:len(b)-2]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+	if _, err := Deserialize(append(b, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	// Corrupt the kind tag.
+	bad := append([]byte(nil), b...)
+	bad[8+8+1] = 200
+	if _, err := Deserialize(bad); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestFieldAdapterRoundTrip(t *testing.T) {
+	f := data.SyntheticHCCI(4, 3, 2, 3, 9)
+	n := NewNode()
+	if err := SetField(n, "fields/temperature", f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetField(n, "fields/temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != 4 || got.NY != 3 || got.NZ != 2 {
+		t.Fatalf("dims = %d %d %d", got.NX, got.NY, got.NZ)
+	}
+	for i := range f.Values {
+		if f.Values[i] != got.Values[i] {
+			t.Fatal("values differ")
+		}
+	}
+	// Dim/value mismatch detected.
+	n2 := NewNode()
+	SetField(n2, "f", f)
+	n2.SetInt64("f/dims/x", 99)
+	if _, err := GetField(n2, "f"); err == nil {
+		t.Error("dims/values mismatch should fail")
+	}
+}
+
+// TestNodeAsPayload sends a conduit tree through a two-rank dataflow: the
+// producing task publishes a field in a node, the consumer reads it through
+// the data model without knowing the producer's layout code.
+func TestNodeAsPayload(t *testing.T) {
+	g := core.NewExplicitGraph([]core.Task{
+		{Id: 0, Callback: 0, Incoming: []core.TaskId{core.ExternalInput}, Outgoing: [][]core.TaskId{{1}}},
+		{Id: 1, Callback: 1, Incoming: []core.TaskId{0}, Outgoing: [][]core.TaskId{{}}},
+	})
+	c := mpi.New(mpi.Options{})
+	if err := c.Initialize(g, core.NewModuloMap(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	field := data.SyntheticHCCI(4, 4, 4, 2, 3)
+	c.RegisterCallback(0, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		n := NewNode()
+		n.SetInt64("state/cycle", 11)
+		if err := SetField(n, "fields/temperature", field); err != nil {
+			return nil, err
+		}
+		return []core.Payload{core.Object(n)}, nil
+	})
+	c.RegisterCallback(1, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		n, err := Deserialize(in[0].Data) // crossed a rank: serialized
+		if err != nil {
+			return nil, err
+		}
+		cycle, err := n.Int64("state/cycle")
+		if err != nil {
+			return nil, err
+		}
+		f, err := GetField(n, "fields/temperature")
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := f.MinMax()
+		out := NewNode()
+		out.SetInt64("cycle", cycle)
+		out.SetFloat64("range", float64(hi-lo))
+		return []core.Payload{core.Buffer(out.Serialize())}, nil
+	})
+	res, err := c.Run(map[core.TaskId][]core.Payload{0: {core.Buffer(nil)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, _ := res[1][0].Wire()
+	out, err := Deserialize(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := out.Int64("cycle"); v != 11 {
+		t.Errorf("cycle = %d", v)
+	}
+	if r, _ := out.Float64("range"); r <= 0 {
+		t.Errorf("range = %f", r)
+	}
+}
+
+// Property: any set of scalar leaves survives a serialize round trip.
+func TestSerializeProperty(t *testing.T) {
+	check := func(a, b int64, f float64, s1 uint8) bool {
+		n := NewNode()
+		n.SetInt64("x/a", a)
+		n.SetInt64("x/b", b)
+		n.SetFloat64("y", f)
+		n.SetString("s", strings.Repeat("q", int(s1%32)))
+		got, err := Deserialize(n.Serialize())
+		if err != nil {
+			return false
+		}
+		va, _ := got.Int64("x/a")
+		vb, _ := got.Int64("x/b")
+		vf, _ := got.Float64("y")
+		vs, _ := got.String("s")
+		return va == a && vb == b && (vf == f || (f != f && vf != vf)) && len(vs) == int(s1%32)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

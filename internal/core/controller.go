@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Callback is the implementation of one task type. It receives one payload
+// per input slot (slot order matches Task.Incoming) and the id of the task
+// being executed, and returns one payload per output slot (slot order
+// matches Task.Outgoing).
+//
+// Callbacks must be idempotent and hold no persistent state: the framework
+// guarantees each logical task runs exactly once per dataflow execution, but
+// runtimes are free to execute tasks on any shard and in any order
+// consistent with the dataflow.
+type Callback func(inputs []Payload, id TaskId) ([]Payload, error)
+
+// CallbackRegistrar is the subset of Controller needed to bind callback
+// implementations. Besides full controllers, in-situ groups implement it.
+type CallbackRegistrar interface {
+	// RegisterCallback binds the implementation of a task type.
+	RegisterCallback(cb CallbackId, fn Callback) error
+}
+
+// Controller executes a task graph on a particular runtime. All runtime
+// controllers (MPI, Charm++, Legion SPMD, Legion index-launch, serial)
+// implement this interface so switching between them is a one-line change.
+type Controller interface {
+	// Initialize binds the controller to a graph and a task map. Controllers
+	// that place tasks themselves (Charm++) accept a nil map.
+	Initialize(g TaskGraph, m TaskMap) error
+	// RegisterCallback binds the implementation of a task type.
+	RegisterCallback(cb CallbackId, fn Callback) error
+	// Run feeds the initial external inputs to the leaf tasks, executes the
+	// dataflow to completion and returns the payloads produced on sink
+	// output slots, keyed by the producing task.
+	Run(initial map[TaskId][]Payload) (map[TaskId][]Payload, error)
+}
+
+// Sentinel errors shared by all controllers.
+var (
+	// ErrNotInitialized is returned when Run or RegisterCallback is called
+	// before Initialize.
+	ErrNotInitialized = errors.New("core: controller not initialized")
+	// ErrNotSerializable is returned when an in-memory payload must cross a
+	// shard boundary but its object does not implement Serializable.
+	ErrNotSerializable = errors.New("core: payload object does not implement Serializable")
+	// ErrUnregisteredCallback is returned when the graph references a task
+	// type with no registered implementation.
+	ErrUnregisteredCallback = errors.New("core: callback not registered")
+)
+
+// MapError reports an inconsistency between a task graph and a task map.
+type MapError struct {
+	Id    TaskId
+	Shard ShardId
+	Msg   string
+}
+
+// Error implements error.
+func (e *MapError) Error() string {
+	return fmt.Sprintf("core: task %d: %s (shard %d)", e.Id, e.Msg, e.Shard)
+}
+
+// Registry stores the callback implementations registered with a controller.
+// It is safe for concurrent lookup after registration completes.
+type Registry struct {
+	mu  sync.RWMutex
+	fns map[CallbackId]Callback
+}
+
+// NewRegistry returns an empty callback registry.
+func NewRegistry() *Registry {
+	return &Registry{fns: make(map[CallbackId]Callback)}
+}
+
+// Register binds fn to cb, replacing any previous binding.
+func (r *Registry) Register(cb CallbackId, fn Callback) error {
+	if fn == nil {
+		return fmt.Errorf("core: nil callback for id %d", cb)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[cb] = fn
+	return nil
+}
+
+// Lookup returns the implementation of cb.
+func (r *Registry) Lookup(cb CallbackId) (Callback, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.fns[cb]
+	return fn, ok
+}
+
+// Covers checks that every task type of the graph has an implementation.
+func (r *Registry) Covers(g TaskGraph) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, cb := range g.Callbacks() {
+		if _, ok := r.fns[cb]; !ok {
+			return fmt.Errorf("%w: callback %d", ErrUnregisteredCallback, cb)
+		}
+	}
+	return nil
+}
+
+// SafeInvoke runs a callback and converts a panic into an error, so a
+// failing task aborts the dataflow cleanly instead of tearing down the
+// whole process — the paper's regression-testing role for the backends
+// depends on failures being observable.
+func SafeInvoke(fn Callback, in []Payload, id TaskId) (out []Payload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("core: task %d panicked: %v", id, r)
+		}
+	}()
+	return fn(in, id)
+}
+
+// CheckInitial verifies that the initial inputs passed to Run exactly cover
+// the external input slots of the graph: every externally fed task receives
+// exactly as many payloads as it has ExternalInput slots, and no payloads
+// are addressed to tasks without external inputs.
+func CheckInitial(g TaskGraph, initial map[TaskId][]Payload) error {
+	for id, ps := range initial {
+		t, ok := g.Task(id)
+		if !ok {
+			return fmt.Errorf("core: initial input for unknown task %d", id)
+		}
+		want := 0
+		for _, in := range t.Incoming {
+			if in == ExternalInput {
+				want++
+			}
+		}
+		if want == 0 {
+			return fmt.Errorf("core: task %d has no external inputs but received %d initial payloads", id, len(ps))
+		}
+		if len(ps) != want {
+			return fmt.Errorf("core: task %d expects %d external inputs, got %d", id, want, len(ps))
+		}
+	}
+	for _, id := range g.TaskIds() {
+		t, _ := g.Task(id)
+		want := 0
+		for _, in := range t.Incoming {
+			if in == ExternalInput {
+				want++
+			}
+		}
+		if want > 0 {
+			if _, ok := initial[id]; !ok {
+				return fmt.Errorf("core: task %d expects %d external inputs but none were provided", id, want)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedIds returns the keys of a payload map in ascending order; used by
+// controllers and tests for deterministic iteration.
+func SortedIds(m map[TaskId][]Payload) []TaskId {
+	ids := make([]TaskId, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskGraph is the procedural description of a dataflow. Implementations are
+// required to compute the total number of tasks and to return the logical
+// Task for any task id; everything else (local sub-graphs, levels, roots) is
+// derived by the framework.
+//
+// In practice task graphs may contain millions of nodes, so implementations
+// should answer Task queries without materializing the whole graph. TaskIds
+// enumerates the (possibly non-contiguous) id space.
+type TaskGraph interface {
+	// Size returns the total number of tasks in the graph.
+	Size() int
+	// Task returns the logical task for the given id. ok is false when the
+	// id does not belong to the graph.
+	Task(id TaskId) (t Task, ok bool)
+	// TaskIds enumerates every task id in the graph, in ascending order.
+	TaskIds() []TaskId
+	// Callbacks lists the task types (callback ids) the graph uses, in a
+	// stable documented order so users can register implementations.
+	Callbacks() []CallbackId
+}
+
+// LocalGraph instantiates the set of logical tasks the given task map
+// assigns to one shard. This is the generic definition from the paper's base
+// class: controllers use it to restrict the global graph to small local
+// sub-graphs.
+func LocalGraph(g TaskGraph, m TaskMap, shard ShardId) ([]Task, error) {
+	ids := m.Ids(shard)
+	tasks := make([]Task, 0, len(ids))
+	for _, id := range ids {
+		t, ok := g.Task(id)
+		if !ok {
+			return nil, fmt.Errorf("core: task map assigns unknown task %d to shard %d", id, shard)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// Leaves returns the ids of all leaf tasks (every input external), sorted.
+func Leaves(g TaskGraph) []TaskId {
+	var out []TaskId
+	for _, id := range g.TaskIds() {
+		if t, ok := g.Task(id); ok && t.IsLeaf() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Roots returns the ids of all tasks with at least one sink output, sorted.
+func Roots(g TaskGraph) []TaskId {
+	var out []TaskId
+	for _, id := range g.TaskIds() {
+		if t, ok := g.Task(id); ok && t.IsRoot() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ContiguousIds returns the id sequence 0..n-1, the common case for simple
+// graphs whose id space is dense.
+func ContiguousIds(n int) []TaskId {
+	ids := make([]TaskId, n)
+	for i := range ids {
+		ids[i] = TaskId(i)
+	}
+	return ids
+}
+
+// Levels partitions the graph into rounds of non-interfering tasks: level 0
+// contains tasks with no internal producers, and each task sits one level
+// above its deepest producer. The Legion index-launch controller executes
+// the graph as one index launch per level; tasks within a level have no
+// dependencies among each other.
+func Levels(g TaskGraph) ([][]TaskId, error) {
+	level := make(map[TaskId]int, g.Size())
+	ids := g.TaskIds()
+
+	var depth func(id TaskId, stack map[TaskId]bool) (int, error)
+	depth = func(id TaskId, stack map[TaskId]bool) (int, error) {
+		if l, ok := level[id]; ok {
+			return l, nil
+		}
+		if stack[id] {
+			return 0, fmt.Errorf("core: task graph has a cycle through task %d", id)
+		}
+		stack[id] = true
+		defer delete(stack, id)
+		t, ok := g.Task(id)
+		if !ok {
+			return 0, fmt.Errorf("core: graph enumerates unknown task %d", id)
+		}
+		l := 0
+		for _, p := range t.Incoming {
+			if p == ExternalInput {
+				continue
+			}
+			pl, err := depth(p, stack)
+			if err != nil {
+				return 0, err
+			}
+			if pl+1 > l {
+				l = pl + 1
+			}
+		}
+		level[id] = l
+		return l, nil
+	}
+
+	maxLevel := 0
+	for _, id := range ids {
+		l, err := depth(id, map[TaskId]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	rounds := make([][]TaskId, maxLevel+1)
+	for _, id := range ids {
+		l := level[id]
+		rounds[l] = append(rounds[l], id)
+	}
+	for _, r := range rounds {
+		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+	}
+	return rounds, nil
+}
+
+// Validate checks the structural consistency of a task graph:
+//
+//   - Size matches the number of enumerated ids and ids are unique;
+//   - every edge is symmetric: if a lists b as a consumer, b lists a as a
+//     producer, and vice versa;
+//   - the graph is acyclic;
+//   - every task's callback id appears in Callbacks().
+//
+// All controllers accept only graphs that validate; the serial executor is
+// the reference for what a valid graph computes.
+func Validate(g TaskGraph) error {
+	ids := g.TaskIds()
+	if len(ids) != g.Size() {
+		return fmt.Errorf("core: graph Size()=%d but TaskIds() enumerates %d tasks", g.Size(), len(ids))
+	}
+	known := make(map[TaskId]Task, len(ids))
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			return fmt.Errorf("core: TaskIds() not strictly ascending at index %d (%d after %d)", i, id, ids[i-1])
+		}
+		if id == ExternalInput {
+			return fmt.Errorf("core: graph uses the reserved ExternalInput id")
+		}
+		t, ok := g.Task(id)
+		if !ok {
+			return fmt.Errorf("core: graph enumerates task %d but Task() does not return it", id)
+		}
+		if t.Id != id {
+			return fmt.Errorf("core: Task(%d) returned a task with id %d", id, t.Id)
+		}
+		known[id] = t
+	}
+	cbs := make(map[CallbackId]bool)
+	for _, cb := range g.Callbacks() {
+		cbs[cb] = true
+	}
+	for id, t := range known {
+		if !cbs[t.Callback] {
+			return fmt.Errorf("core: task %d uses callback %d not listed in Callbacks()", id, t.Callback)
+		}
+		for slot, p := range t.Incoming {
+			if p == ExternalInput {
+				continue
+			}
+			pt, ok := known[p]
+			if !ok {
+				return fmt.Errorf("core: task %d input slot %d names unknown producer %d", id, slot, p)
+			}
+			if !taskLists(pt.Outgoing, id) {
+				return fmt.Errorf("core: task %d expects input from %d, but %d does not list it as a consumer", id, p, p)
+			}
+		}
+		for slot, consumers := range t.Outgoing {
+			for _, c := range consumers {
+				ct, ok := known[c]
+				if !ok {
+					return fmt.Errorf("core: task %d output slot %d names unknown consumer %d", id, slot, c)
+				}
+				if !idIn(ct.Incoming, id) {
+					return fmt.Errorf("core: task %d sends to %d, but %d does not list it as a producer", id, c, c)
+				}
+			}
+		}
+	}
+	if _, err := Levels(g); err != nil {
+		return err
+	}
+	return nil
+}
+
+func taskLists(outgoing [][]TaskId, id TaskId) bool {
+	for _, slot := range outgoing {
+		for _, c := range slot {
+			if c == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func idIn(ids []TaskId, id TaskId) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ExplicitGraph is a TaskGraph materialized from an explicit task list. It
+// is convenient for tests, for user-assembled ad-hoc dataflows, and as the
+// target representation of graph transformations.
+type ExplicitGraph struct {
+	tasks     map[TaskId]Task
+	ids       []TaskId
+	callbacks []CallbackId
+}
+
+// NewExplicitGraph builds an explicit graph from tasks. The callback list is
+// derived from the tasks in ascending order.
+func NewExplicitGraph(tasks []Task) *ExplicitGraph {
+	g := &ExplicitGraph{tasks: make(map[TaskId]Task, len(tasks))}
+	cbset := make(map[CallbackId]bool)
+	for _, t := range tasks {
+		g.tasks[t.Id] = t.Clone()
+		g.ids = append(g.ids, t.Id)
+		cbset[t.Callback] = true
+	}
+	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	for cb := range cbset {
+		g.callbacks = append(g.callbacks, cb)
+	}
+	sort.Slice(g.callbacks, func(i, j int) bool { return g.callbacks[i] < g.callbacks[j] })
+	return g
+}
+
+// Materialize copies an arbitrary task graph into an ExplicitGraph.
+func Materialize(g TaskGraph) *ExplicitGraph {
+	tasks := make([]Task, 0, g.Size())
+	for _, id := range g.TaskIds() {
+		if t, ok := g.Task(id); ok {
+			tasks = append(tasks, t)
+		}
+	}
+	eg := NewExplicitGraph(tasks)
+	eg.callbacks = append([]CallbackId(nil), g.Callbacks()...)
+	return eg
+}
+
+// Size implements TaskGraph.
+func (g *ExplicitGraph) Size() int { return len(g.ids) }
+
+// Task implements TaskGraph.
+func (g *ExplicitGraph) Task(id TaskId) (Task, bool) {
+	t, ok := g.tasks[id]
+	if !ok {
+		return Task{}, false
+	}
+	return t.Clone(), true
+}
+
+// TaskIds implements TaskGraph.
+func (g *ExplicitGraph) TaskIds() []TaskId { return append([]TaskId(nil), g.ids...) }
+
+// Callbacks implements TaskGraph.
+func (g *ExplicitGraph) Callbacks() []CallbackId {
+	return append([]CallbackId(nil), g.callbacks...)
+}

@@ -1,0 +1,79 @@
+package core
+
+// Payload is the unit of data exchanged between tasks. Following the paper,
+// a Payload is either a binary buffer (Data) or a pointer to an in-memory
+// object (Object), or both when an object has already been serialized.
+//
+// Controllers pass Payloads by pointer (in-memory messages) when producer and
+// consumer live on the same shard and the output does not fan out; otherwise
+// the payload is serialized onto the wire, which requires either Data to be
+// populated or Object to implement Serializable.
+//
+// Each task assumes ownership of its input payloads and relinquishes
+// ownership of its outputs to the controller; callbacks must not retain or
+// mutate payloads after returning them.
+type Payload struct {
+	// Data is the binary representation of the payload, if available.
+	Data []byte
+	// Object is the in-memory representation of the payload, if available.
+	Object any
+}
+
+// Serializable is implemented by in-memory payload objects that can encode
+// themselves to a binary buffer for transfer across shard boundaries. The
+// matching deserialization routine lives in the consuming callback, which
+// knows the concrete type it expects on each input slot.
+type Serializable interface {
+	Serialize() []byte
+}
+
+// Buffer returns a payload wrapping a binary buffer.
+func Buffer(b []byte) Payload { return Payload{Data: b} }
+
+// Object returns a payload wrapping an in-memory object.
+func Object(obj any) Payload { return Payload{Object: obj} }
+
+// Empty reports whether the payload carries neither a buffer nor an object.
+func (p Payload) Empty() bool { return p.Data == nil && p.Object == nil }
+
+// Size returns the wire size of the payload in bytes: the length of Data if
+// present, otherwise the serialized length of the object, otherwise 0.
+func (p Payload) Size() int {
+	if p.Data != nil {
+		return len(p.Data)
+	}
+	if s, ok := p.Object.(Serializable); ok {
+		return len(s.Serialize())
+	}
+	return 0
+}
+
+// Wire returns the binary representation of the payload, serializing the
+// object if necessary. It returns an ErrNotSerializable error when the
+// payload holds only an object that does not implement Serializable.
+func (p Payload) Wire() ([]byte, error) {
+	if p.Data != nil {
+		return p.Data, nil
+	}
+	if p.Object == nil {
+		return nil, nil
+	}
+	if s, ok := p.Object.(Serializable); ok {
+		return s.Serialize(), nil
+	}
+	return nil, ErrNotSerializable
+}
+
+// CloneForWire returns a payload that is safe to hand to a different shard:
+// the in-memory object is dropped and replaced by its binary representation.
+func (p Payload) CloneForWire() (Payload, error) {
+	b, err := p.Wire()
+	if err != nil {
+		return Payload{}, err
+	}
+	// Copy so the receiver owns the buffer even when Data aliased the
+	// producer's memory.
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Payload{Data: cp}, nil
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSafeInvokeConvertsPanic(t *testing.T) {
+	fn := func(in []Payload, id TaskId) ([]Payload, error) {
+		panic("kaboom")
+	}
+	out, err := SafeInvoke(fn, nil, 7)
+	if out != nil {
+		t.Error("panicking callback should return nil outputs")
+	}
+	if err == nil || !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "task 7") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSafeInvokePassesThrough(t *testing.T) {
+	boom := errors.New("boom")
+	fn := func(in []Payload, id TaskId) ([]Payload, error) {
+		return []Payload{Buffer([]byte{1})}, boom
+	}
+	out, err := SafeInvoke(fn, nil, 1)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestSerialRecoversCallbackPanic(t *testing.T) {
+	g := lineGraph(3)
+	s := NewSerial()
+	s.Initialize(g, nil)
+	s.RegisterCallback(0, func(in []Payload, id TaskId) ([]Payload, error) {
+		if id == 1 {
+			panic("task 1 blew up")
+		}
+		return []Payload{Buffer([]byte{1})}, nil
+	})
+	_, err := s.Run(map[TaskId][]Payload{0: {Buffer([]byte{0})}})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("Run = %v, want panic converted to error", err)
+	}
+}

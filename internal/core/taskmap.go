@@ -1,0 +1,217 @@
+package core
+
+// TaskMap assigns tasks to shards. The MPI controller and the Legion SPMD
+// controller use it for static placement; the Charm++ controller ignores it
+// and lets the runtime place (and migrate) tasks.
+type TaskMap interface {
+	// Shard returns the shard the given task is assigned to.
+	Shard(id TaskId) ShardId
+	// Ids returns the list of task ids assigned to the given shard.
+	Ids(shard ShardId) []TaskId
+	// ShardCount returns the number of shards tasks are distributed over.
+	ShardCount() int
+}
+
+// ModuloMap maps a contiguous task id space [0, taskCount) onto shards in
+// round robin: task t runs on shard t mod shardCount. It is the default task
+// map from the paper (Listing 3).
+type ModuloMap struct {
+	shards int
+	tasks  int
+}
+
+// NewModuloMap returns a modulo map over shardCount shards and taskCount
+// contiguously numbered tasks. It panics when either count is not positive,
+// mirroring the constructor preconditions of the paper's base class.
+func NewModuloMap(shardCount, taskCount int) *ModuloMap {
+	if shardCount <= 0 {
+		panic("core: ModuloMap requires at least one shard")
+	}
+	if taskCount < 0 {
+		panic("core: ModuloMap requires a non-negative task count")
+	}
+	return &ModuloMap{shards: shardCount, tasks: taskCount}
+}
+
+// Shard implements TaskMap.
+func (m *ModuloMap) Shard(id TaskId) ShardId {
+	return ShardId(uint64(id) % uint64(m.shards))
+}
+
+// Ids implements TaskMap.
+func (m *ModuloMap) Ids(shard ShardId) []TaskId {
+	if shard < 0 || int(shard) >= m.shards {
+		return nil
+	}
+	var ids []TaskId
+	for t := int(shard); t < m.tasks; t += m.shards {
+		ids = append(ids, TaskId(t))
+	}
+	return ids
+}
+
+// ShardCount implements TaskMap.
+func (m *ModuloMap) ShardCount() int { return m.shards }
+
+// BlockMap maps a contiguous task id space onto shards in contiguous blocks:
+// the first ceil(n/s) tasks on shard 0, the next on shard 1, and so on.
+// Block placement keeps neighboring task ids on the same shard, which suits
+// graphs whose communication is id-local (e.g. neighbor dataflows).
+type BlockMap struct {
+	shards int
+	tasks  int
+	block  int
+}
+
+// NewBlockMap returns a block map over shardCount shards and taskCount
+// contiguously numbered tasks.
+func NewBlockMap(shardCount, taskCount int) *BlockMap {
+	if shardCount <= 0 {
+		panic("core: BlockMap requires at least one shard")
+	}
+	if taskCount < 0 {
+		panic("core: BlockMap requires a non-negative task count")
+	}
+	block := (taskCount + shardCount - 1) / shardCount
+	if block == 0 {
+		block = 1
+	}
+	return &BlockMap{shards: shardCount, tasks: taskCount, block: block}
+}
+
+// Shard implements TaskMap.
+func (m *BlockMap) Shard(id TaskId) ShardId {
+	s := int(uint64(id)) / m.block
+	if s >= m.shards {
+		s = m.shards - 1
+	}
+	return ShardId(s)
+}
+
+// Ids implements TaskMap.
+func (m *BlockMap) Ids(shard ShardId) []TaskId {
+	if shard < 0 || int(shard) >= m.shards {
+		return nil
+	}
+	lo := int(shard) * m.block
+	hi := lo + m.block
+	if int(shard) == m.shards-1 {
+		hi = m.tasks
+	}
+	if hi > m.tasks {
+		hi = m.tasks
+	}
+	var ids []TaskId
+	for t := lo; t < hi; t++ {
+		ids = append(ids, TaskId(t))
+	}
+	return ids
+}
+
+// ShardCount implements TaskMap.
+func (m *BlockMap) ShardCount() int { return m.shards }
+
+// ListMap maps an explicit, possibly non-contiguous id enumeration onto
+// shards in round robin over the enumeration order. Composite graphs whose
+// id spaces carry prefixes use it as their default placement.
+type ListMap struct {
+	shards int
+	byTask map[TaskId]ShardId
+	byShrd [][]TaskId
+}
+
+// NewListMap distributes the given ids (in the given order) round-robin over
+// shardCount shards.
+func NewListMap(shardCount int, ids []TaskId) *ListMap {
+	if shardCount <= 0 {
+		panic("core: ListMap requires at least one shard")
+	}
+	m := &ListMap{
+		shards: shardCount,
+		byTask: make(map[TaskId]ShardId, len(ids)),
+		byShrd: make([][]TaskId, shardCount),
+	}
+	for i, id := range ids {
+		s := ShardId(i % shardCount)
+		m.byTask[id] = s
+		m.byShrd[s] = append(m.byShrd[s], id)
+	}
+	return m
+}
+
+// NewGraphMap distributes all tasks of a graph round-robin over shardCount
+// shards, in TaskIds order.
+func NewGraphMap(shardCount int, g TaskGraph) *ListMap {
+	return NewListMap(shardCount, g.TaskIds())
+}
+
+// Shard implements TaskMap. Unknown tasks map to shard 0.
+func (m *ListMap) Shard(id TaskId) ShardId { return m.byTask[id] }
+
+// Ids implements TaskMap.
+func (m *ListMap) Ids(shard ShardId) []TaskId {
+	if shard < 0 || int(shard) >= m.shards {
+		return nil
+	}
+	return append([]TaskId(nil), m.byShrd[shard]...)
+}
+
+// ShardCount implements TaskMap.
+func (m *ListMap) ShardCount() int { return m.shards }
+
+// FuncMap adapts a placement function to the TaskMap interface. The id
+// enumeration must cover every task the function will be asked about.
+type FuncMap struct {
+	shards int
+	ids    []TaskId
+	fn     func(TaskId) ShardId
+}
+
+// NewFuncMap returns a task map that places each enumerated id with fn.
+func NewFuncMap(shardCount int, ids []TaskId, fn func(TaskId) ShardId) *FuncMap {
+	if shardCount <= 0 {
+		panic("core: FuncMap requires at least one shard")
+	}
+	return &FuncMap{shards: shardCount, ids: append([]TaskId(nil), ids...), fn: fn}
+}
+
+// Shard implements TaskMap.
+func (m *FuncMap) Shard(id TaskId) ShardId { return m.fn(id) }
+
+// Ids implements TaskMap.
+func (m *FuncMap) Ids(shard ShardId) []TaskId {
+	var out []TaskId
+	for _, id := range m.ids {
+		if m.fn(id) == shard {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ShardCount implements TaskMap.
+func (m *FuncMap) ShardCount() int { return m.shards }
+
+// ValidateMap checks that a task map covers exactly the tasks of a graph:
+// every task is assigned to a shard in range, Ids and Shard agree, and no
+// task is assigned twice.
+func ValidateMap(g TaskGraph, m TaskMap) error {
+	seen := make(map[TaskId]ShardId)
+	for s := ShardId(0); int(s) < m.ShardCount(); s++ {
+		for _, id := range m.Ids(s) {
+			if prev, dup := seen[id]; dup {
+				return &MapError{Id: id, Msg: "assigned to multiple shards", Shard: prev}
+			}
+			if got := m.Shard(id); got != s {
+				return &MapError{Id: id, Msg: "Ids/Shard disagree", Shard: got}
+			}
+			seen[id] = s
+		}
+	}
+	for _, id := range g.TaskIds() {
+		if _, ok := seen[id]; !ok {
+			return &MapError{Id: id, Msg: "not assigned to any shard"}
+		}
+	}
+	return nil
+}

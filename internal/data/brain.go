@@ -1,0 +1,91 @@
+package data
+
+import "math"
+
+// BrainTile is one synthetic microscopy volume of the registration use
+// case: a tile of a larger virtual specimen, cut out at a known ground
+// truth offset so registration results can be verified.
+type BrainTile struct {
+	// GX, GY are the tile's coordinates in the acquisition grid.
+	GX, GY int
+	// TrueX, TrueY are the ground-truth offsets (in voxels) of the tile's
+	// origin within the virtual specimen.
+	TrueX, TrueY int
+	// Volume is the acquired data.
+	Volume *Field
+}
+
+// BrainSpecimen generates a gx*gy grid of overlapping tiles from one
+// continuous synthetic specimen. Each tile is tile³ voxels; adjacent tiles
+// overlap by `overlap` fraction (the paper uses 15%), plus a small
+// deterministic stage-positioning jitter of up to `jitter` voxels that the
+// registration has to recover.
+func BrainSpecimen(gx, gy, tile int, overlap float64, jitter int, seed uint64) []BrainTile {
+	stride := int(float64(tile) * (1 - overlap))
+	if stride < 1 {
+		stride = 1
+	}
+	// The virtual specimen must cover every tile plus jitter margin.
+	w := (gx-1)*stride + tile + 2*jitter + 1
+	h := (gy-1)*stride + tile + 2*jitter + 1
+	depth := tile
+	spec := specimenField(w, h, depth, seed)
+
+	rng := NewRand(seed ^ 0xb0a710ad)
+	tiles := make([]BrainTile, 0, gx*gy)
+	for y := 0; y < gy; y++ {
+		for x := 0; x < gx; x++ {
+			jx, jy := 0, 0
+			if jitter > 0 && (x != 0 || y != 0) {
+				jx = rng.Intn(2*jitter+1) - jitter
+				jy = rng.Intn(2*jitter+1) - jitter
+			}
+			ox := x*stride + jitter + jx
+			oy := y*stride + jitter + jy
+			tiles = append(tiles, BrainTile{
+				GX: x, GY: y,
+				TrueX: ox, TrueY: oy,
+				Volume: spec.SubField(ox, oy, 0, tile, tile, depth),
+			})
+		}
+	}
+	return tiles
+}
+
+// specimenField builds a continuous texture with structure at several
+// scales, so correlation peaks are sharp: a sum of sinusoidal plaid
+// patterns plus point-like "cells".
+func specimenField(w, h, d int, seed uint64) *Field {
+	f := NewField(w, h, d)
+	rng := NewRand(seed)
+	// Random plaid phases/frequencies.
+	type wave struct{ fx, fy, fz, phase, amp float64 }
+	waves := make([]wave, 6)
+	for i := range waves {
+		waves[i] = wave{
+			fx:    0.05 + 0.4*rng.Float64(),
+			fy:    0.05 + 0.4*rng.Float64(),
+			fz:    0.05 + 0.2*rng.Float64(),
+			phase: 2 * math.Pi * rng.Float64(),
+			amp:   0.3 + rng.Float64(),
+		}
+	}
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var v float64
+				for _, wv := range waves {
+					v += wv.amp * math.Sin(wv.fx*float64(x)+wv.fy*float64(y)+wv.fz*float64(z)+wv.phase)
+				}
+				f.Set(x, y, z, float32(v))
+			}
+		}
+	}
+	// Sparse bright cells break the plaid's translational symmetry.
+	cells := (w * h) / 64
+	for i := 0; i < cells; i++ {
+		cx, cy, cz := rng.Intn(w), rng.Intn(h), rng.Intn(d)
+		f.Set(cx, cy, cz, f.At(cx, cy, cz)+5)
+	}
+	return f
+}

@@ -1,0 +1,251 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldIndexing(t *testing.T) {
+	f := NewField(4, 3, 2)
+	f.Set(1, 2, 1, 7.5)
+	if f.At(1, 2, 1) != 7.5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	i := f.Index(3, 1, 1)
+	x, y, z := f.Coords(i)
+	if x != 3 || y != 1 || z != 1 {
+		t.Errorf("Coords(Index(3,1,1)) = %d,%d,%d", x, y, z)
+	}
+	if len(f.Values) != 24 {
+		t.Errorf("len = %d", len(f.Values))
+	}
+}
+
+func TestFieldCoordsIndexProperty(t *testing.T) {
+	f := NewField(5, 7, 3)
+	check := func(i16 uint16) bool {
+		i := int(i16) % len(f.Values)
+		x, y, z := f.Coords(i)
+		return f.Index(x, y, z) == i
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticHCCIDeterministicAndPeriodic(t *testing.T) {
+	a := SyntheticHCCI(16, 16, 16, 8, 42)
+	b := SyntheticHCCI(16, 16, 16, 8, 42)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	c := SyntheticHCCI(16, 16, 16, 8, 43)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fields")
+	}
+	lo, hi := a.MinMax()
+	if !(hi > lo) || math.IsNaN(float64(hi)) {
+		t.Errorf("degenerate field: min=%f max=%f", lo, hi)
+	}
+}
+
+func TestSubFieldPeriodicWrap(t *testing.T) {
+	f := NewField(4, 4, 4)
+	for i := range f.Values {
+		f.Values[i] = float32(i)
+	}
+	s := f.SubField(3, 3, 3, 2, 2, 2)
+	if s.At(0, 0, 0) != f.At(3, 3, 3) {
+		t.Error("corner mismatch")
+	}
+	if s.At(1, 1, 1) != f.At(0, 0, 0) {
+		t.Error("wrap mismatch")
+	}
+	// Negative offsets wrap too.
+	s2 := f.SubField(-1, 0, 0, 2, 1, 1)
+	if s2.At(0, 0, 0) != f.At(3, 0, 0) {
+		t.Error("negative wrap mismatch")
+	}
+}
+
+func TestFieldSerializeRoundTrip(t *testing.T) {
+	f := SyntheticHCCI(5, 3, 2, 4, 7)
+	b := f.Serialize()
+	g, err := DeserializeField(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != 5 || g.NY != 3 || g.NZ != 2 {
+		t.Fatalf("dims = %d %d %d", g.NX, g.NY, g.NZ)
+	}
+	for i := range f.Values {
+		if f.Values[i] != g.Values[i] {
+			t.Fatal("value mismatch after round trip")
+		}
+	}
+}
+
+func TestDeserializeFieldErrors(t *testing.T) {
+	if _, err := DeserializeField([]byte{1, 2}); err == nil {
+		t.Error("short buffer should fail")
+	}
+	f := NewField(2, 2, 2)
+	b := f.Serialize()
+	if _, err := DeserializeField(b[:len(b)-4]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+}
+
+func TestDecomposition(t *testing.T) {
+	d, err := NewDecomposition(8, 8, 8, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Blocks() != 8 {
+		t.Fatalf("Blocks = %d", d.Blocks())
+	}
+	// Interior block gets a ghost layer on each upper face.
+	b0 := d.Block(0)
+	if sx, sy, sz := b0.Dims(); sx != 5 || sy != 5 || sz != 5 {
+		t.Errorf("block 0 dims = %d %d %d, want 5 5 5 (ghost layer)", sx, sy, sz)
+	}
+	// The last block touches the domain boundary: no ghost extension.
+	b7 := d.Block(7)
+	if b7.X1 != 8 || b7.Y1 != 8 || b7.Z1 != 8 {
+		t.Errorf("block 7 extent = %+v", b7)
+	}
+	if sx, _, _ := b7.Dims(); sx != 4 {
+		t.Errorf("boundary block x-dim = %d, want 4", sx)
+	}
+	bx, by, bz := d.BlockCoords(6)
+	if d.BlockIndex(bx, by, bz) != 6 {
+		t.Error("BlockIndex/BlockCoords mismatch")
+	}
+	if b7.Points() != 64 {
+		t.Errorf("block 7 points = %d", b7.Points())
+	}
+}
+
+func TestDecompositionErrors(t *testing.T) {
+	if _, err := NewDecomposition(8, 8, 8, 3, 2, 2); err == nil {
+		t.Error("non-divisible decomposition should fail")
+	}
+	if _, err := NewDecomposition(8, 8, 8, 0, 1, 1); err == nil {
+		t.Error("zero blocks should fail")
+	}
+}
+
+func TestDecompositionExtract(t *testing.T) {
+	f := SyntheticHCCI(8, 8, 8, 4, 11)
+	d, _ := NewDecomposition(8, 8, 8, 2, 1, 1)
+	blk, err := d.Extract(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Block(1)
+	if blk.At(0, 0, 0) != f.At(b.X0, b.Y0, b.Z0) {
+		t.Error("extracted block origin mismatch")
+	}
+	// Ghost sharing: block 0's last x-plane equals block 1's first.
+	blk0, _ := d.Extract(f, 0)
+	if blk0.At(blk0.NX-1, 0, 0) != blk.At(0, 0, 0) {
+		t.Error("ghost layer not shared between adjacent blocks")
+	}
+	wrong := NewField(4, 4, 4)
+	if _, err := d.Extract(wrong, 0); err == nil {
+		t.Error("extract from mismatched field should fail")
+	}
+}
+
+func TestBrainSpecimenGroundTruth(t *testing.T) {
+	tiles := BrainSpecimen(3, 2, 16, 0.25, 2, 99)
+	if len(tiles) != 6 {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	// Tile (0,0) has no jitter.
+	stride := int(16 * 0.75)
+	if tiles[0].TrueX != 2 || tiles[0].TrueY != 2 {
+		t.Errorf("tile 0 offset = %d,%d (want jitter margin 2,2)", tiles[0].TrueX, tiles[0].TrueY)
+	}
+	// Other tiles sit within jitter of the nominal grid position.
+	for _, tl := range tiles {
+		nomX := tl.GX*stride + 2
+		nomY := tl.GY*stride + 2
+		if abs(tl.TrueX-nomX) > 2 || abs(tl.TrueY-nomY) > 2 {
+			t.Errorf("tile (%d,%d) offset %d,%d too far from nominal %d,%d",
+				tl.GX, tl.GY, tl.TrueX, tl.TrueY, nomX, nomY)
+		}
+		if tl.Volume.NX != 16 || tl.Volume.NY != 16 || tl.Volume.NZ != 16 {
+			t.Errorf("tile volume dims %dx%dx%d", tl.Volume.NX, tl.Volume.NY, tl.Volume.NZ)
+		}
+	}
+	// Overlap consistency: adjacent tiles share content at the ground
+	// truth displacement. Compare tile (0,0) column near right edge with
+	// tile (1,0) matching column.
+	a, b := tiles[0], tiles[1]
+	dx := b.TrueX - a.TrueX
+	dy := b.TrueY - a.TrueY
+	matches := 0
+	for y := 4; y < 12; y++ {
+		if a.Volume.At(dx+1, dy+y, 0) == b.Volume.At(1, y, 0) {
+			matches++
+		}
+	}
+	if matches != 8 {
+		t.Errorf("overlap content mismatch: %d/8 samples equal", matches)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+		n := r.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+	// NormFloat64 has roughly zero mean.
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		sum += r.NormFloat64()
+	}
+	if mean := sum / 10000; math.Abs(mean) > 0.1 {
+		t.Errorf("NormFloat64 mean = %f", mean)
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

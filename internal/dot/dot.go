@@ -1,0 +1,125 @@
+// Package dot renders task graphs in the Dot graph-description language
+// (Koutsofios & North), the debugging aid the paper provides for inspecting
+// abstract task graphs or subsets of them.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Name is the graph name; defaults to "taskgraph".
+	Name string
+	// Labels maps callback ids to human-readable task-type names used for
+	// node labels and the shared fill colors. Unlisted callbacks render
+	// with a numeric label.
+	Labels map[core.CallbackId]string
+	// RankByLevel groups tasks of the same dataflow level on the same rank,
+	// producing the layered drawings of Figs. 5, 7 and 8.
+	RankByLevel bool
+	// Filter, when non-nil, restricts the drawing to tasks for which it
+	// returns true (edges to filtered-out tasks are dropped). Used to draw
+	// local sub-graphs.
+	Filter func(core.TaskId) bool
+}
+
+// colors is a fixed palette assigned to callback ids in ascending order.
+var colors = []string{
+	"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+	"#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+}
+
+// Write renders the graph to w.
+func Write(w io.Writer, g core.TaskGraph, opt Options) error {
+	name := opt.Name
+	if name == "" {
+		name = "taskgraph"
+	}
+	keep := func(id core.TaskId) bool { return opt.Filter == nil || opt.Filter(id) }
+
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, style=filled];\n", name); err != nil {
+		return err
+	}
+
+	cbs := append([]core.CallbackId(nil), g.Callbacks()...)
+	sort.Slice(cbs, func(i, j int) bool { return cbs[i] < cbs[j] })
+	color := make(map[core.CallbackId]string, len(cbs))
+	for i, cb := range cbs {
+		color[cb] = colors[i%len(colors)]
+	}
+
+	ids := g.TaskIds()
+	for _, id := range ids {
+		if !keep(id) {
+			continue
+		}
+		t, ok := g.Task(id)
+		if !ok {
+			return fmt.Errorf("dot: graph enumerates unknown task %d", id)
+		}
+		label := fmt.Sprintf("%d", id)
+		if opt.Labels != nil {
+			if n, ok := opt.Labels[t.Callback]; ok {
+				label = fmt.Sprintf("%s\\n%d", n, id)
+			}
+		}
+		// The label may contain dot's two-character `\n` line-break escape,
+		// which %q would double-escape; emit it verbatim.
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\", fillcolor=%q];\n", id, label, color[t.Callback]); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range ids {
+		if !keep(id) {
+			continue
+		}
+		t, _ := g.Task(id)
+		for slot, consumers := range t.Outgoing {
+			for _, c := range consumers {
+				if !keep(c) {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "  t%d -> t%d [label=\"%d\"];\n", id, c, slot); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if opt.RankByLevel {
+		levels, err := core.Levels(g)
+		if err != nil {
+			return fmt.Errorf("dot: %w", err)
+		}
+		for _, round := range levels {
+			var kept []core.TaskId
+			for _, id := range round {
+				if keep(id) {
+					kept = append(kept, id)
+				}
+			}
+			if len(kept) < 2 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  { rank=same;"); err != nil {
+				return err
+			}
+			for _, id := range kept {
+				if _, err := fmt.Fprintf(w, " t%d;", id); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w, " }"); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,73 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+)
+
+func TestWriteReduction(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	var b strings.Builder
+	err := Write(&b, g, Options{
+		Name:        "reduction",
+		Labels:      map[core.CallbackId]string{graphs.ReduceLeafCB: "leaf", graphs.ReduceMidCB: "reduce", graphs.ReduceRootCB: "root"},
+		RankByLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"reduction\"",
+		"t0 [label=\"root\\n0\"",
+		"t3 [label=\"leaf\\n3\"",
+		"t3 -> t1",
+		"t1 -> t0",
+		"rank=same",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// 7 nodes, 6 edges.
+	if got := strings.Count(out, "->"); got != 6 {
+		t.Errorf("edge count = %d, want 6", got)
+	}
+}
+
+func TestWriteDefaultsAndFilter(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	var b strings.Builder
+	// Filter to the sub-tree under task 1 (tasks 1, 3, 4).
+	err := Write(&b, g, Options{
+		Filter: func(id core.TaskId) bool { return id == 1 || id == 3 || id == 4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "digraph \"taskgraph\"") {
+		t.Error("default name not applied")
+	}
+	if strings.Contains(out, "t0 [") {
+		t.Error("filtered-out task 0 rendered")
+	}
+	if got := strings.Count(out, "->"); got != 2 {
+		t.Errorf("edge count = %d, want 2 (edges into filtered tasks dropped)", got)
+	}
+}
+
+func TestWriteSlotLabels(t *testing.T) {
+	g, _ := graphs.NewBinarySwap(2)
+	var b strings.Builder
+	if err := Write(&b, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "label=\"1\"") {
+		t.Error("output slot labels missing")
+	}
+}

@@ -1,0 +1,229 @@
+// Package fabric provides the in-process interconnect the runtime
+// controllers execute on: a set of ranks with unbounded FIFO mailboxes and
+// asynchronous point-to-point messaging.
+//
+// The fabric substitutes for the physical network of the paper's testbed.
+// It preserves the properties the controllers rely on — reliable delivery
+// and pairwise FIFO ordering between any sender/receiver pair — while
+// accounting message and byte counts for the performance studies. A
+// blocking (rendezvous) mode models the synchronous communication style of
+// the hand-tuned "Original MPI" baseline of Fig. 6.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Message is one point-to-point transfer between ranks: a payload travelling
+// from producing task Src toward consuming task Dest.
+type Message struct {
+	From    int
+	To      int
+	Src     core.TaskId
+	Dest    core.TaskId
+	Payload core.Payload
+
+	done chan struct{} // rendezvous signal in blocking mode
+}
+
+// Stats aggregates traffic counters. All fields are totals since fabric
+// creation.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Fabric connects n ranks with unbounded mailboxes.
+type Fabric struct {
+	boxes    []*Mailbox
+	blocking bool
+
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// New returns a fabric with n ranks and asynchronous sends: Send enqueues
+// and returns immediately, like MPI_Isend against a posted receive.
+func New(n int) *Fabric {
+	if n < 1 {
+		panic("fabric: need at least one rank")
+	}
+	f := &Fabric{boxes: make([]*Mailbox, n)}
+	for i := range f.boxes {
+		f.boxes[i] = NewMailbox()
+	}
+	return f
+}
+
+// NewBlocking returns a fabric whose Send performs a rendezvous: the sender
+// blocks until the receiver has dequeued the message, modeling blocking
+// MPI_Send of large messages.
+func NewBlocking(n int) *Fabric {
+	f := New(n)
+	f.blocking = true
+	return f
+}
+
+// Ranks returns the number of ranks.
+func (f *Fabric) Ranks() int { return len(f.boxes) }
+
+// Send delivers m to rank m.To. In asynchronous mode it never blocks; in
+// blocking mode it waits for the receiver to dequeue the message.
+func (f *Fabric) Send(m Message) error {
+	if m.To < 0 || m.To >= len(f.boxes) {
+		return fmt.Errorf("fabric: send to unknown rank %d", m.To)
+	}
+	if m.From != m.To {
+		// Self-sends are in-memory hand-offs and do not count as traffic.
+		f.messages.Add(1)
+		f.bytes.Add(uint64(m.Payload.Size()))
+	}
+	if f.blocking && m.From != m.To {
+		// Rendezvous, except for self-sends: local delivery is a memory
+		// hand-off, not a network transfer, even in blocking mode.
+		m.done = make(chan struct{})
+		f.boxes[m.To].Put(m)
+		<-m.done
+		return nil
+	}
+	f.boxes[m.To].Put(m)
+	return nil
+}
+
+// Recv blocks until a message for the rank arrives or its mailbox is
+// closed; ok is false after close with an empty queue.
+func (f *Fabric) Recv(rank int) (Message, bool) {
+	m, ok := f.boxes[rank].Get()
+	if ok && m.done != nil {
+		close(m.done)
+	}
+	return m, ok
+}
+
+// TryRecv dequeues a message if one is immediately available.
+func (f *Fabric) TryRecv(rank int) (Message, bool) {
+	m, ok := f.boxes[rank].TryGet()
+	if ok && m.done != nil {
+		close(m.done)
+	}
+	return m, ok
+}
+
+// Close closes the mailbox of a rank, releasing blocked receivers after the
+// queue drains.
+func (f *Fabric) Close(rank int) { f.boxes[rank].Close() }
+
+// Cancel aborts all communication: every mailbox stops accepting and
+// delivering messages, all blocked receivers return !ok and blocked
+// rendezvous senders are released. Controllers call it when a task fails so
+// every rank can unwind.
+func (f *Fabric) Cancel() {
+	for _, mb := range f.boxes {
+		mb.Cancel()
+	}
+}
+
+// Snapshot returns the traffic totals so far.
+func (f *Fabric) Snapshot() Stats {
+	return Stats{Messages: f.messages.Load(), Bytes: f.bytes.Load()}
+}
+
+// Mailbox is an unbounded FIFO queue with blocking receive. A single lock
+// protects the queue, so delivery order is the order Put calls complete,
+// which preserves pairwise FIFO for any sender.
+type Mailbox struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Message
+	closed    bool
+	cancelled bool
+}
+
+// NewMailbox returns an empty, open mailbox.
+func NewMailbox() *Mailbox {
+	mb := &Mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// Put enqueues a message. Put on a closed mailbox panics: controllers close
+// a rank's mailbox only after every producer for that rank has finished.
+func (mb *Mailbox) Put(m Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.cancelled {
+		// Drop silently, but release a rendezvous sender.
+		if m.done != nil {
+			close(m.done)
+		}
+		return
+	}
+	if mb.closed {
+		panic("fabric: Put on closed mailbox")
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+}
+
+// Get blocks until a message is available or the mailbox is closed and
+// drained.
+func (mb *Mailbox) Get() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed && !mb.cancelled {
+		mb.cond.Wait()
+	}
+	if mb.cancelled || len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+// TryGet dequeues a message if one is immediately available.
+func (mb *Mailbox) TryGet() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.cancelled || len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+// Len returns the number of queued messages.
+func (mb *Mailbox) Len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+// Close marks the mailbox closed and wakes all blocked receivers. Queued
+// messages remain receivable.
+func (mb *Mailbox) Close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// Cancel aborts the mailbox: queued messages are dropped (releasing any
+// rendezvous senders), further Puts are dropped, and receivers return !ok.
+func (mb *Mailbox) Cancel() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.cancelled = true
+	for _, m := range mb.queue {
+		if m.done != nil {
+			close(m.done)
+		}
+	}
+	mb.queue = nil
+	mb.cond.Broadcast()
+}

@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestSendRecvFIFO(t *testing.T) {
+	f := New(2)
+	for i := 0; i < 10; i++ {
+		if err := f.Send(Message{From: 0, To: 1, Src: core.TaskId(i), Payload: core.Buffer([]byte{byte(i)})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := f.Recv(1)
+		if !ok {
+			t.Fatal("mailbox closed early")
+		}
+		if m.Src != core.TaskId(i) {
+			t.Fatalf("message %d out of order: src=%d", i, m.Src)
+		}
+	}
+}
+
+func TestSendUnknownRank(t *testing.T) {
+	f := New(2)
+	if err := f.Send(Message{To: 5}); err == nil {
+		t.Error("send to unknown rank should fail")
+	}
+	if err := f.Send(Message{To: -1}); err == nil {
+		t.Error("send to negative rank should fail")
+	}
+}
+
+func TestCloseReleasesReceiver(t *testing.T) {
+	f := New(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := f.Recv(0)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Close(0)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Recv on closed empty mailbox should report !ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not return after Close")
+	}
+}
+
+func TestCloseDrainsQueuedMessages(t *testing.T) {
+	f := New(1)
+	f.Send(Message{To: 0, Src: 7})
+	f.Close(0)
+	m, ok := f.Recv(0)
+	if !ok || m.Src != 7 {
+		t.Errorf("queued message lost on close: %v %v", m, ok)
+	}
+	if _, ok := f.Recv(0); ok {
+		t.Error("second Recv should report closed")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	f := New(1)
+	if _, ok := f.TryRecv(0); ok {
+		t.Error("TryRecv on empty mailbox should fail")
+	}
+	f.Send(Message{To: 0, Src: 3})
+	m, ok := f.TryRecv(0)
+	if !ok || m.Src != 3 {
+		t.Errorf("TryRecv = %v, %v", m, ok)
+	}
+}
+
+func TestStatsCountMessagesAndBytes(t *testing.T) {
+	f := New(2)
+	f.Send(Message{To: 1, Payload: core.Buffer(make([]byte, 100))})
+	f.Send(Message{To: 1, Payload: core.Buffer(make([]byte, 28))})
+	s := f.Snapshot()
+	if s.Messages != 2 || s.Bytes != 128 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBlockingSendRendezvous(t *testing.T) {
+	f := NewBlocking(2)
+	var sendDone, recvStarted sync.WaitGroup
+	sendDone.Add(1)
+	recvStarted.Add(1)
+	sent := false
+	var mu sync.Mutex
+	go func() {
+		defer sendDone.Done()
+		f.Send(Message{From: 0, To: 1, Src: 1})
+		mu.Lock()
+		sent = true
+		mu.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	if sent {
+		mu.Unlock()
+		t.Fatal("blocking send completed before receive")
+	}
+	mu.Unlock()
+	if _, ok := f.Recv(1); !ok {
+		t.Fatal("Recv failed")
+	}
+	sendDone.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if !sent {
+		t.Error("send did not complete after receive")
+	}
+	recvStarted.Done()
+}
+
+func TestConcurrentSendersAllDelivered(t *testing.T) {
+	f := New(4)
+	const perSender = 200
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				f.Send(Message{From: s, To: 3, Src: core.TaskId(s*perSender + i)})
+			}
+		}(s)
+	}
+	go func() { wg.Wait(); f.Close(3) }()
+
+	seen := make(map[core.TaskId]bool)
+	lastPerSender := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		m, ok := f.Recv(3)
+		if !ok {
+			break
+		}
+		if seen[m.Src] {
+			t.Fatalf("duplicate message %d", m.Src)
+		}
+		seen[m.Src] = true
+		// Pairwise FIFO: per sender, sequence numbers ascend.
+		idx := int(m.Src) % perSender
+		if idx <= lastPerSender[m.From] {
+			t.Fatalf("sender %d out of order: %d after %d", m.From, idx, lastPerSender[m.From])
+		}
+		lastPerSender[m.From] = idx
+	}
+	if len(seen) != 3*perSender {
+		t.Errorf("delivered %d, want %d", len(seen), 3*perSender)
+	}
+}
+
+func TestMailboxLenAndPutAfterClosePanics(t *testing.T) {
+	mb := NewMailbox()
+	mb.Put(Message{})
+	if mb.Len() != 1 {
+		t.Errorf("Len = %d", mb.Len())
+	}
+	mb.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Put after Close should panic")
+		}
+	}()
+	mb.Put(Message{})
+}
+
+func TestNewPanicsOnZeroRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}

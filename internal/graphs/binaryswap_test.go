@@ -1,0 +1,156 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestBinarySwapValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		g, err := NewBinarySwap(n)
+		if err != nil {
+			t.Fatalf("NewBinarySwap(%d): %v", n, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d): %v", n, err)
+		}
+		if got := g.Size(); got != (g.Rounds()+1)*n {
+			t.Errorf("Size(%d) = %d", n, got)
+		}
+		if got := len(core.Roots(g)); got != n {
+			t.Errorf("binary swap over %d should end with %d tiles, got %d", n, n, got)
+		}
+		if got := len(core.Leaves(g)); got != n {
+			t.Errorf("binary swap over %d should have %d leaves, got %d", n, n, got)
+		}
+	}
+}
+
+func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12} {
+		if _, err := NewBinarySwap(n); err == nil {
+			t.Errorf("NewBinarySwap(%d) should fail", n)
+		}
+	}
+}
+
+func TestBinarySwapPartnerStructure(t *testing.T) {
+	g, _ := NewBinarySwap(4) // rounds 0..2, ids r*4+i
+	// Round 0 task 0: keeps to (1,0)=4, sends to partner 0^1=1 -> (1,1)=5.
+	t0, _ := g.Task(0)
+	if t0.Callback != SwapLeafCB {
+		t.Errorf("round-0 callback = %d", t0.Callback)
+	}
+	if t0.Outgoing[0][0] != 4 || t0.Outgoing[1][0] != 5 {
+		t.Errorf("task 0 outgoing = %v", t0.Outgoing)
+	}
+	// Round 1 task (1,2)=6: inputs from (0,2)=2 and partner 2^1=3 -> 3.
+	t6, _ := g.Task(6)
+	if t6.Incoming[0] != 2 || t6.Incoming[1] != 3 {
+		t.Errorf("task 6 incoming = %v", t6.Incoming)
+	}
+	// Round 1->2 exchanges bit 1: task (1,0)=4 sends to (2,0)=8 and (2,2)=10.
+	t4, _ := g.Task(4)
+	if t4.Callback != SwapMidCB {
+		t.Errorf("mid callback = %d", t4.Callback)
+	}
+	if t4.Outgoing[0][0] != 8 || t4.Outgoing[1][0] != 10 {
+		t.Errorf("task 4 outgoing = %v", t4.Outgoing)
+	}
+	// Final round task (2,3)=11: two inputs, sink output, root callback.
+	t11, _ := g.Task(11)
+	if t11.Callback != SwapRootCB || !t11.IsRoot() {
+		t.Errorf("final task = %+v", t11)
+	}
+}
+
+func TestBinarySwapSingleParticipant(t *testing.T) {
+	g, _ := NewBinarySwap(1)
+	task, _ := g.Task(0)
+	if task.Callback != SwapRootCB || !task.IsLeaf() || !task.IsRoot() {
+		t.Errorf("degenerate swap task = %+v", task)
+	}
+}
+
+// TestBinarySwapTileExchange verifies the defining property of binary swap:
+// executing with callbacks that model "split image, keep half, swap half"
+// over token sets, every final tile ends up owning the tokens of ALL leaves
+// restricted to its tile index. We model the image as a bitmask per tile.
+func TestBinarySwapTileExchange(t *testing.T) {
+	const n = 8
+	g, _ := NewBinarySwap(n)
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Payload: one uint64 bitmask of contributing leaves. At every round
+	// both halves carry the union of contributions so far; the final tile
+	// must contain all n contributions.
+	union := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		var m uint64
+		for _, p := range in {
+			m |= getU64(p)
+		}
+		return []core.Payload{u64(m), u64(m)}, nil
+	}
+	final := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		var m uint64
+		for _, p := range in {
+			m |= getU64(p)
+		}
+		return []core.Payload{u64(m)}, nil
+	}
+	c.RegisterCallback(SwapLeafCB, union)
+	c.RegisterCallback(SwapMidCB, union)
+	c.RegisterCallback(SwapRootCB, final)
+
+	initial := make(map[core.TaskId][]core.Payload)
+	for i := 0; i < n; i++ {
+		initial[core.TaskId(i)] = []core.Payload{u64(1 << i)}
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1<<n) - 1
+	for _, id := range g.TileIds() {
+		if got := getU64(out[id][0]); got != want {
+			t.Errorf("tile %d mask = %b, want %b", id, got, want)
+		}
+	}
+}
+
+// Property: at every round transition the partner relation is an involution
+// and tasks only communicate within their round +/- 1.
+func TestBinarySwapPartnerProperty(t *testing.T) {
+	check := func(d8 uint8) bool {
+		d := int(d8%5) + 1
+		n := 1 << d
+		g, err := NewBinarySwap(n)
+		if err != nil {
+			return false
+		}
+		for _, id := range g.TaskIds() {
+			r, i := g.RoundOf(id)
+			task, ok := g.Task(id)
+			if !ok {
+				return false
+			}
+			if r < g.Rounds() {
+				partner := i ^ (1 << r)
+				// The partner's send slot must target our successor.
+				ptask, _ := g.Task(core.TaskId(r*n + partner))
+				if ptask.Outgoing[1][0] != core.TaskId((r+1)*n+i) {
+					return false
+				}
+				_ = task
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

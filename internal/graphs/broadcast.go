@@ -1,0 +1,109 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Callback slots of a Broadcast, in the order returned by Callbacks().
+const (
+	// BcastSourceCB runs at the root, which receives the external input.
+	BcastSourceCB core.CallbackId = iota
+	// BcastRelayCB runs at internal nodes, forwarding the data downward.
+	BcastRelayCB
+	// BcastSinkCB runs at the leaves, which produce the sink outputs.
+	BcastSinkCB
+)
+
+// Broadcast is a k-way broadcast tree over k^d leaves: the mirror image of a
+// Reduction. Task 0 is the root and receives one external input; every node
+// forwards one output, multicast to its k children; leaves emit sink
+// outputs. The paper's merge-tree dataflow uses such relay trees to fan
+// augmented boundary trees out to the correction tasks without overloading
+// a single join task.
+type Broadcast struct {
+	k      int
+	d      int
+	leafs  int
+	ntasks int
+}
+
+// NewBroadcast returns a broadcast over the given number of leaves with the
+// given valence (fan-out). The leaf count must be a power of the valence.
+func NewBroadcast(leafs, valence int) (*Broadcast, error) {
+	r, err := NewReduction(leafs, valence)
+	if err != nil {
+		return nil, fmt.Errorf("graphs: broadcast: %w", err)
+	}
+	return &Broadcast{k: r.k, d: r.d, leafs: r.leafs, ntasks: r.ntasks}, nil
+}
+
+// Valence returns the fan-out of the tree.
+func (g *Broadcast) Valence() int { return g.k }
+
+// Depth returns the number of broadcast levels.
+func (g *Broadcast) Depth() int { return g.d }
+
+// Leafs returns the number of leaf tasks.
+func (g *Broadcast) Leafs() int { return g.leafs }
+
+// Size implements core.TaskGraph.
+func (g *Broadcast) Size() int { return g.ntasks }
+
+// TaskIds implements core.TaskGraph.
+func (g *Broadcast) TaskIds() []core.TaskId { return core.ContiguousIds(g.ntasks) }
+
+// Callbacks implements core.TaskGraph.
+func (g *Broadcast) Callbacks() []core.CallbackId {
+	return []core.CallbackId{BcastSourceCB, BcastRelayCB, BcastSinkCB}
+}
+
+// Root returns the id of the root (source) task.
+func (g *Broadcast) Root() core.TaskId { return 0 }
+
+// LeafIds returns the ids of the leaf tasks in block order.
+func (g *Broadcast) LeafIds() []core.TaskId {
+	ids := make([]core.TaskId, g.leafs)
+	first := g.ntasks - g.leafs
+	for i := range ids {
+		ids[i] = core.TaskId(first + i)
+	}
+	return ids
+}
+
+// Task implements core.TaskGraph.
+func (g *Broadcast) Task(id core.TaskId) (core.Task, bool) {
+	i := int(id)
+	if id == core.ExternalInput || i < 0 || i >= g.ntasks {
+		return core.Task{}, false
+	}
+	t := core.Task{Id: id}
+	if i == 0 {
+		t.Callback = BcastSourceCB
+		t.Incoming = []core.TaskId{core.ExternalInput}
+	} else {
+		t.Callback = BcastRelayCB
+		t.Incoming = []core.TaskId{core.TaskId((i - 1) / g.k)}
+	}
+	isLeaf := i >= g.ntasks-g.leafs
+	if isLeaf {
+		t.Callback = BcastSinkCB
+		t.Outgoing = [][]core.TaskId{{}}
+	} else {
+		children := make([]core.TaskId, g.k)
+		for c := 0; c < g.k; c++ {
+			children[c] = core.TaskId(i*g.k + c + 1)
+		}
+		// A single output slot multicast to all children: every child
+		// receives (a copy of) the same payload.
+		t.Outgoing = [][]core.TaskId{children}
+	}
+	if g.ntasks == 1 {
+		// Degenerate single-task broadcast: source with a sink output.
+		t.Callback = BcastSourceCB
+	}
+	return t, true
+}
+
+var _ core.TaskGraph = (*Broadcast)(nil)

@@ -1,0 +1,90 @@
+package graphs
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestBroadcastValidates(t *testing.T) {
+	for _, c := range []struct{ leafs, k int }{{1, 2}, {2, 2}, {8, 2}, {64, 8}, {9, 3}} {
+		g, err := NewBroadcast(c.leafs, c.k)
+		if err != nil {
+			t.Fatalf("NewBroadcast(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if got := len(core.Roots(g)); got != c.leafs {
+			t.Errorf("broadcast(%d,%d) has %d sinks, want %d", c.leafs, c.k, got, c.leafs)
+		}
+	}
+}
+
+func TestBroadcastRejectsBadLeafCount(t *testing.T) {
+	if _, err := NewBroadcast(3, 2); err == nil {
+		t.Error("3 leaves with valence 2 should be rejected")
+	}
+}
+
+func TestBroadcastStructure(t *testing.T) {
+	g, _ := NewBroadcast(4, 2)
+	root, _ := g.Task(0)
+	if root.Callback != BcastSourceCB || !root.IsLeaf() {
+		t.Errorf("root = %+v", root)
+	}
+	if len(root.Outgoing) != 1 || len(root.Outgoing[0]) != 2 {
+		t.Errorf("root should multicast one slot to 2 children, got %v", root.Outgoing)
+	}
+	mid, _ := g.Task(1)
+	if mid.Callback != BcastRelayCB || mid.Incoming[0] != 0 {
+		t.Errorf("mid = %+v", mid)
+	}
+	leaf, _ := g.Task(3)
+	if leaf.Callback != BcastSinkCB || !leaf.IsRoot() {
+		t.Errorf("leaf = %+v", leaf)
+	}
+}
+
+// TestBroadcastDeliversSameValueEverywhere runs a broadcast end to end: the
+// source value must arrive at every leaf.
+func TestBroadcastDeliversSameValueEverywhere(t *testing.T) {
+	g, _ := NewBroadcast(8, 2)
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	forward := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		return []core.Payload{in[0]}, nil
+	}
+	for _, cb := range g.Callbacks() {
+		c.RegisterCallback(cb, forward)
+	}
+	out, err := c.Run(map[core.TaskId][]core.Payload{0: {u64(42)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("got %d sinks, want 8", len(out))
+	}
+	for _, id := range g.LeafIds() {
+		ps, ok := out[id]
+		if !ok || len(ps) != 1 {
+			t.Fatalf("leaf %d missing output", id)
+		}
+		if getU64(ps[0]) != 42 {
+			t.Errorf("leaf %d got %d, want 42", id, getU64(ps[0]))
+		}
+	}
+}
+
+func TestBroadcastSingleTask(t *testing.T) {
+	g, _ := NewBroadcast(1, 2)
+	if err := core.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := g.Task(0)
+	if task.Callback != BcastSourceCB {
+		t.Errorf("degenerate broadcast callback = %d", task.Callback)
+	}
+}

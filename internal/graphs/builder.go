@@ -1,0 +1,166 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// PrefixShift is the bit position of the graph prefix within a composed
+// task id: Pid(prefix, id) = prefix<<48 | id. Sub-graph ids must therefore
+// stay below 2^48, and prefix 0xFFFF combined with a maximal id is reserved
+// (it would collide with core.ExternalInput).
+const PrefixShift = 48
+
+// Pid maps a sub-graph-local task id into the composed id space of a
+// Builder under the given prefix.
+func Pid(prefix uint16, id core.TaskId) core.TaskId {
+	return core.TaskId(uint64(prefix)<<PrefixShift | uint64(id))
+}
+
+// Builder composes multiple task graphs into one dataflow. Each added graph
+// receives a distinct 16-bit prefix on its task ids (the paper's technique
+// for assembling graphs from phases with intuitive per-phase numbering) and
+// a callback remapping into a shared callback id space. Connect rewires a
+// sink output of one sub-graph to an external input of another.
+//
+// Builder materializes the composed graph explicitly, so it suits graphs up
+// to a few million tasks; the specialized graphs (e.g. the merge-tree
+// dataflow) stay procedural.
+type Builder struct {
+	tasks    map[core.TaskId]*core.Task
+	prefixes map[uint16]bool
+	err      error
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{tasks: make(map[core.TaskId]*core.Task), prefixes: make(map[uint16]bool)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Add inserts a sub-graph under the given prefix. cbMap translates the
+// sub-graph's callback ids into the composed graph's callback id space; a
+// nil map keeps the callback ids unchanged (only safe when sub-graphs use
+// disjoint id ranges). Errors are deferred and reported by Graph.
+func (b *Builder) Add(prefix uint16, g core.TaskGraph, cbMap map[core.CallbackId]core.CallbackId) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if b.prefixes[prefix] {
+		b.fail("graphs: prefix %d used twice", prefix)
+		return b
+	}
+	b.prefixes[prefix] = true
+	for _, id := range g.TaskIds() {
+		if uint64(id) >= 1<<PrefixShift {
+			b.fail("graphs: sub-graph task id %d exceeds prefix capacity", id)
+			return b
+		}
+		t, ok := g.Task(id)
+		if !ok {
+			b.fail("graphs: sub-graph enumerates unknown task %d", id)
+			return b
+		}
+		nt := core.Task{Id: Pid(prefix, id), Callback: t.Callback}
+		if cbMap != nil {
+			mapped, ok := cbMap[t.Callback]
+			if !ok {
+				b.fail("graphs: no callback mapping for callback %d of prefix %d", t.Callback, prefix)
+				return b
+			}
+			nt.Callback = mapped
+		}
+		nt.Incoming = make([]core.TaskId, len(t.Incoming))
+		for i, in := range t.Incoming {
+			if in == core.ExternalInput {
+				nt.Incoming[i] = core.ExternalInput
+			} else {
+				nt.Incoming[i] = Pid(prefix, in)
+			}
+		}
+		nt.Outgoing = make([][]core.TaskId, len(t.Outgoing))
+		for s, slot := range t.Outgoing {
+			nt.Outgoing[s] = make([]core.TaskId, len(slot))
+			for i, c := range slot {
+				nt.Outgoing[s][i] = Pid(prefix, c)
+			}
+		}
+		b.tasks[nt.Id] = &nt
+	}
+	return b
+}
+
+// Connect rewires the fromSlot-th output slot of task from (which must be a
+// sink slot, i.e. have no consumers yet — or already carry builder-added
+// consumers, in which case the new consumer is appended) to feed the
+// toSlot-th input slot of task to (which must currently be ExternalInput).
+// Ids are composed ids; use Pid. Errors are deferred and reported by Graph.
+func (b *Builder) Connect(from core.TaskId, fromSlot int, to core.TaskId, toSlot int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	ft, ok := b.tasks[from]
+	if !ok {
+		b.fail("graphs: connect from unknown task %d", from)
+		return b
+	}
+	tt, ok := b.tasks[to]
+	if !ok {
+		b.fail("graphs: connect to unknown task %d", to)
+		return b
+	}
+	if fromSlot < 0 || fromSlot >= len(ft.Outgoing) {
+		b.fail("graphs: task %d has no output slot %d", from, fromSlot)
+		return b
+	}
+	if toSlot < 0 || toSlot >= len(tt.Incoming) {
+		b.fail("graphs: task %d has no input slot %d", to, toSlot)
+		return b
+	}
+	if tt.Incoming[toSlot] != core.ExternalInput {
+		b.fail("graphs: input slot %d of task %d is already connected", toSlot, to)
+		return b
+	}
+	ft.Outgoing[fromSlot] = append(ft.Outgoing[fromSlot], to)
+	tt.Incoming[toSlot] = from
+	return b
+}
+
+// AddTask inserts a single standalone task with a composed id. It is useful
+// for wrap-up tasks such as the extra root of Listing 1. Errors are
+// deferred and reported by Graph.
+func (b *Builder) AddTask(t core.Task) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.tasks[t.Id]; dup {
+		b.fail("graphs: duplicate task id %d", t.Id)
+		return b
+	}
+	c := t.Clone()
+	b.tasks[t.Id] = &c
+	return b
+}
+
+// Graph finalizes the composition, validates it and returns the explicit
+// graph, or the first deferred error.
+func (b *Builder) Graph() (*core.ExplicitGraph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	tasks := make([]core.Task, 0, len(b.tasks))
+	for _, t := range b.tasks {
+		tasks = append(tasks, *t)
+	}
+	g := core.NewExplicitGraph(tasks)
+	if err := core.Validate(g); err != nil {
+		return nil, fmt.Errorf("graphs: composed graph invalid: %w", err)
+	}
+	return g, nil
+}

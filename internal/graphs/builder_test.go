@@ -1,0 +1,134 @@
+package graphs
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// TestBuilderListing1Pattern composes the Listing-1 dataflow explicitly: a
+// reduction whose root feeds an extra wrap-up task ("write image").
+func TestBuilderListing1Pattern(t *testing.T) {
+	red, _ := NewReduction(4, 2)
+	const (
+		renderCB core.CallbackId = iota
+		compositeCB
+		rootCompositeCB
+		writeCB
+	)
+	writeTask := core.Task{
+		Id:       Pid(1, 0),
+		Callback: writeCB,
+		Incoming: []core.TaskId{core.ExternalInput},
+		Outgoing: [][]core.TaskId{{}},
+	}
+	g, err := NewBuilder().
+		Add(0, red, map[core.CallbackId]core.CallbackId{
+			ReduceLeafCB: renderCB,
+			ReduceMidCB:  compositeCB,
+			ReduceRootCB: rootCompositeCB,
+		}).
+		AddTask(writeTask).
+		Connect(Pid(0, red.Root()), 0, Pid(1, 0), 0).
+		Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != red.Size()+1 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	roots := core.Roots(g)
+	if len(roots) != 1 || roots[0] != Pid(1, 0) {
+		t.Fatalf("roots = %v", roots)
+	}
+
+	// Execute: sum at every reduce stage, wrap-up doubles.
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterCallback(renderCB, sumCB(1))
+	c.RegisterCallback(compositeCB, sumCB(1))
+	c.RegisterCallback(rootCompositeCB, sumCB(1))
+	c.RegisterCallback(writeCB, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		return []core.Payload{u64(2 * getU64(in[0]))}, nil
+	})
+	initial := make(map[core.TaskId][]core.Payload)
+	for i, id := range red.LeafIds() {
+		initial[Pid(0, id)] = []core.Payload{u64(uint64(i + 1))}
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getU64(out[Pid(1, 0)][0]); got != 20 {
+		t.Errorf("wrap-up output = %d, want 20", got)
+	}
+}
+
+func TestBuilderComposesReductionAndBroadcast(t *testing.T) {
+	red, _ := NewReduction(4, 2)
+	bc, _ := NewBroadcast(4, 2)
+	g, err := NewBuilder().
+		Add(0, red, map[core.CallbackId]core.CallbackId{ReduceLeafCB: 0, ReduceMidCB: 1, ReduceRootCB: 2}).
+		Add(1, bc, map[core.CallbackId]core.CallbackId{BcastSourceCB: 3, BcastRelayCB: 4, BcastSinkCB: 5}).
+		Connect(Pid(0, 0), 0, Pid(1, 0), 0).
+		Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != red.Size()+bc.Size() {
+		t.Errorf("Size = %d", g.Size())
+	}
+	if got := len(core.Leaves(g)); got != 4 {
+		t.Errorf("leaves = %d", got)
+	}
+	if got := len(core.Roots(g)); got != 4 {
+		t.Errorf("roots = %d", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	red, _ := NewReduction(2, 2)
+
+	// Duplicate prefix.
+	if _, err := NewBuilder().Add(0, red, nil).Add(0, red, nil).Graph(); err == nil {
+		t.Error("duplicate prefix should fail")
+	}
+	// Missing callback mapping.
+	if _, err := NewBuilder().Add(0, red, map[core.CallbackId]core.CallbackId{}).Graph(); err == nil {
+		t.Error("incomplete callback map should fail")
+	}
+	// Connect from unknown task.
+	if _, err := NewBuilder().Add(0, red, nil).Connect(Pid(5, 0), 0, Pid(0, 0), 0).Graph(); err == nil {
+		t.Error("connect from unknown task should fail")
+	}
+	// Connect to occupied input slot.
+	if _, err := NewBuilder().Add(0, red, nil).Connect(Pid(0, 1), 0, Pid(0, 0), 0).Graph(); err == nil {
+		t.Error("connect to an already-wired input should fail")
+	}
+	// Bad slot indices.
+	b := NewBuilder().Add(0, red, nil)
+	leaf := Pid(0, 1)
+	if _, err := b.Connect(leaf, 7, leaf, 0).Graph(); err == nil {
+		t.Error("out-of-range output slot should fail")
+	}
+	// Duplicate AddTask id.
+	tk := core.Task{Id: Pid(2, 0), Callback: 0, Outgoing: [][]core.TaskId{{}}}
+	if _, err := NewBuilder().AddTask(tk).AddTask(tk).Graph(); err == nil {
+		t.Error("duplicate AddTask should fail")
+	}
+	// Error sticks: further calls keep the first error.
+	bb := NewBuilder().Add(0, red, map[core.CallbackId]core.CallbackId{})
+	bb.Add(1, red, nil)
+	if _, err := bb.Graph(); err == nil {
+		t.Error("deferred error should persist")
+	}
+}
+
+func TestPidPlacesPrefix(t *testing.T) {
+	id := Pid(3, 17)
+	if uint64(id)>>PrefixShift != 3 || uint64(id)&((1<<PrefixShift)-1) != 17 {
+		t.Errorf("Pid = %x", uint64(id))
+	}
+}

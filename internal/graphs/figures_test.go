@@ -1,0 +1,76 @@
+package graphs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/dot"
+)
+
+// TestFig07BinarySwapDot renders the binary-swap dataflow of Fig. 7 (8
+// blocks: render leaves, swap rounds, final tile writers) and checks its
+// structure in the Dot output.
+func TestFig07BinarySwapDot(t *testing.T) {
+	g, err := NewBinarySwap(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err = dot.Write(&b, g, dot.Options{
+		Name: "fig7",
+		Labels: map[core.CallbackId]string{
+			SwapLeafCB: "render", SwapMidCB: "swap", SwapRootCB: "tile",
+		},
+		RankByLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 4 rounds of 8 tasks each (leaves + 2 mid rounds + tiles).
+	if got := strings.Count(out, "fillcolor"); got != 32 {
+		t.Errorf("node count = %d, want 32", got)
+	}
+	// Every non-final task has exactly 2 outgoing edges: 24 * 2 = 48.
+	if got := strings.Count(out, "->"); got != 48 {
+		t.Errorf("edge count = %d, want 48", got)
+	}
+	for _, want := range []string{"render", "swap", "tile", "rank=same"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// TestFig08NeighborDot renders the neighbor registration dataflow of
+// Fig. 8 (a 2x2 volume grid: per-volume read tasks feeding the correlate
+// tasks of their neighbors).
+func TestFig08NeighborDot(t *testing.T) {
+	g, err := NewNeighbor2D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err = dot.Write(&b, g, dot.Options{
+		Name: "fig8",
+		Labels: map[core.CallbackId]string{
+			NeighborExtractCB: "read", NeighborProcessCB: "correlate",
+		},
+		RankByLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "fillcolor"); got != 8 {
+		t.Errorf("node count = %d, want 8", got)
+	}
+	// Each corner cell has self + 2 neighbor edges: 4 * 3 = 12.
+	if got := strings.Count(out, "->"); got != 12 {
+		t.Errorf("edge count = %d, want 12", got)
+	}
+	if !strings.Contains(out, "read") || !strings.Contains(out, "correlate") {
+		t.Error("labels missing")
+	}
+}

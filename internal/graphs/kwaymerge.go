@@ -1,0 +1,143 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Callback slots of a KWayMerge, in the order returned by Callbacks().
+const (
+	// MergeLeafCB runs at the up-sweep leaves (local computation).
+	MergeLeafCB core.CallbackId = iota
+	// MergeMidCB runs at internal up-sweep nodes (merge partial results).
+	MergeMidCB
+	// MergeRootCB runs at the root: merge the final partials and emit the
+	// global result, which the down-sweep fans back out.
+	MergeRootCB
+	// MergeRelayCB runs at internal down-sweep nodes, relaying the global
+	// result toward the leaves.
+	MergeRelayCB
+	// MergeFinalCB runs at the down-sweep leaves: combine the global result
+	// with leaf-local state and emit the per-leaf sink output.
+	MergeFinalCB
+)
+
+// KWayMerge is the k-way merge (all-reduce) dataflow: a k-way reduction
+// whose root feeds a mirrored k-way broadcast, so every one of the k^d
+// leaves receives the globally merged result. It is the skeleton of
+// algorithms that compute a global structure and then distribute it back,
+// such as the merge-tree dataflow of Fig. 5.
+//
+// Ids: the up-sweep reduction occupies [0, nt) with the Reduction id
+// scheme; the down-sweep broadcast occupies [nt, 2*nt) with the Broadcast
+// scheme shifted by nt. Up-leaf i and down-leaf i correspond to the same
+// data block.
+type KWayMerge struct {
+	up   *Reduction
+	down *Broadcast
+	nt   int
+}
+
+// NewKWayMerge returns a merge dataflow over k^d leaves with valence k.
+func NewKWayMerge(leafs, valence int) (*KWayMerge, error) {
+	up, err := NewReduction(leafs, valence)
+	if err != nil {
+		return nil, fmt.Errorf("graphs: k-way merge: %w", err)
+	}
+	down, _ := NewBroadcast(leafs, valence)
+	return &KWayMerge{up: up, down: down, nt: up.Size()}, nil
+}
+
+// Leafs returns the number of data blocks (up-sweep leaves).
+func (g *KWayMerge) Leafs() int { return g.up.Leafs() }
+
+// Valence returns the tree fan-in/out.
+func (g *KWayMerge) Valence() int { return g.up.Valence() }
+
+// Size implements core.TaskGraph.
+func (g *KWayMerge) Size() int { return 2 * g.nt }
+
+// TaskIds implements core.TaskGraph.
+func (g *KWayMerge) TaskIds() []core.TaskId { return core.ContiguousIds(g.Size()) }
+
+// Callbacks implements core.TaskGraph.
+func (g *KWayMerge) Callbacks() []core.CallbackId {
+	return []core.CallbackId{MergeLeafCB, MergeMidCB, MergeRootCB, MergeRelayCB, MergeFinalCB}
+}
+
+// UpLeafIds returns the ids of the up-sweep leaves in block order.
+func (g *KWayMerge) UpLeafIds() []core.TaskId { return g.up.LeafIds() }
+
+// DownLeafIds returns the ids of the down-sweep leaves in block order;
+// down-leaf i emits the sink output for block i.
+func (g *KWayMerge) DownLeafIds() []core.TaskId {
+	ids := g.down.LeafIds()
+	for i := range ids {
+		ids[i] += core.TaskId(g.nt)
+	}
+	return ids
+}
+
+// Task implements core.TaskGraph.
+func (g *KWayMerge) Task(id core.TaskId) (core.Task, bool) {
+	if id == core.ExternalInput || int(id) < 0 || int(id) >= g.Size() {
+		return core.Task{}, false
+	}
+	if int(id) < g.nt {
+		// Up-sweep: a Reduction task; the root's sink output is rewired to
+		// feed the down-sweep root.
+		t, ok := g.up.Task(id)
+		if !ok {
+			return core.Task{}, false
+		}
+		switch t.Callback {
+		case ReduceLeafCB:
+			t.Callback = MergeLeafCB
+		case ReduceMidCB:
+			t.Callback = MergeMidCB
+		case ReduceRootCB:
+			t.Callback = MergeRootCB
+		}
+		if id == g.up.Root() {
+			t.Outgoing = [][]core.TaskId{{core.TaskId(g.nt)}}
+		}
+		return t, true
+	}
+	// Down-sweep: a Broadcast task shifted by nt; the root's external input
+	// is rewired to come from the up-sweep root.
+	bt, ok := g.down.Task(id - core.TaskId(g.nt))
+	if !ok {
+		return core.Task{}, false
+	}
+	t := core.Task{Id: id}
+	switch bt.Callback {
+	case BcastSourceCB, BcastRelayCB:
+		t.Callback = MergeRelayCB
+	case BcastSinkCB:
+		t.Callback = MergeFinalCB
+	}
+	if len(bt.Incoming) == 1 && bt.Incoming[0] == core.ExternalInput {
+		t.Incoming = []core.TaskId{g.up.Root()}
+	} else {
+		t.Incoming = make([]core.TaskId, len(bt.Incoming))
+		for i, in := range bt.Incoming {
+			t.Incoming[i] = in + core.TaskId(g.nt)
+		}
+	}
+	t.Outgoing = make([][]core.TaskId, len(bt.Outgoing))
+	for s, slot := range bt.Outgoing {
+		t.Outgoing[s] = make([]core.TaskId, len(slot))
+		for i, c := range slot {
+			t.Outgoing[s][i] = c + core.TaskId(g.nt)
+		}
+	}
+	if g.nt == 1 {
+		// Degenerate: single leaf. Down task receives from up root and
+		// emits the sink output.
+		t.Callback = MergeFinalCB
+	}
+	return t, true
+}
+
+var _ core.TaskGraph = (*KWayMerge)(nil)

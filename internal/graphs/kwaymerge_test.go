@@ -1,0 +1,212 @@
+package graphs
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestKWayMergeValidates(t *testing.T) {
+	for _, c := range []struct{ leafs, k int }{{1, 2}, {2, 2}, {8, 2}, {64, 8}, {27, 3}} {
+		g, err := NewKWayMerge(c.leafs, c.k)
+		if err != nil {
+			t.Fatalf("NewKWayMerge(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if got := len(core.Leaves(g)); got != c.leafs {
+			t.Errorf("leaves = %d, want %d", got, c.leafs)
+		}
+		if got := len(core.Roots(g)); got != c.leafs {
+			t.Errorf("sinks = %d, want %d", got, c.leafs)
+		}
+	}
+}
+
+func TestKWayMergeRejectsBadShape(t *testing.T) {
+	if _, err := NewKWayMerge(5, 2); err == nil {
+		t.Error("5 leaves valence 2 should be rejected")
+	}
+}
+
+// TestKWayMergeAllReduce: every down-leaf receives the global sum.
+func TestKWayMergeAllReduce(t *testing.T) {
+	g, err := NewKWayMerge(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterCallback(MergeLeafCB, sumCB(1))
+	c.RegisterCallback(MergeMidCB, sumCB(1))
+	c.RegisterCallback(MergeRootCB, sumCB(1))
+	c.RegisterCallback(MergeRelayCB, sumCB(1))
+	c.RegisterCallback(MergeFinalCB, sumCB(1))
+
+	initial := make(map[core.TaskId][]core.Payload)
+	var want uint64
+	for i, id := range g.UpLeafIds() {
+		initial[id] = []core.Payload{u64(uint64(i) * 3)}
+		want += uint64(i) * 3
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs := g.DownLeafIds()
+	if len(out) != len(downs) {
+		t.Fatalf("sink count = %d, want %d", len(out), len(downs))
+	}
+	for _, id := range downs {
+		if got := getU64(out[id][0]); got != want {
+			t.Errorf("down leaf %d = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestKWayMergeDegenerate(t *testing.T) {
+	g, err := NewKWayMerge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", g.Size())
+	}
+	up, _ := g.Task(0)
+	down, _ := g.Task(1)
+	if up.Outgoing[0][0] != 1 || down.Incoming[0] != 0 {
+		t.Errorf("degenerate wiring: up=%+v down=%+v", up, down)
+	}
+	if down.Callback != MergeFinalCB {
+		t.Errorf("down callback = %d", down.Callback)
+	}
+}
+
+func TestKWayMergeCallbackAssignment(t *testing.T) {
+	g, _ := NewKWayMerge(4, 2) // nt = 7
+	for _, id := range g.UpLeafIds() {
+		task, _ := g.Task(id)
+		if task.Callback != MergeLeafCB {
+			t.Errorf("up leaf %d callback = %d", id, task.Callback)
+		}
+	}
+	root, _ := g.Task(0)
+	if root.Callback != MergeRootCB {
+		t.Errorf("root callback = %d", root.Callback)
+	}
+	downRoot, _ := g.Task(7)
+	if downRoot.Callback != MergeRelayCB || downRoot.Incoming[0] != 0 {
+		t.Errorf("down root = %+v", downRoot)
+	}
+	for _, id := range g.DownLeafIds() {
+		task, _ := g.Task(id)
+		if task.Callback != MergeFinalCB {
+			t.Errorf("down leaf %d callback = %d", id, task.Callback)
+		}
+	}
+}
+
+func TestNeighbor2DValidates(t *testing.T) {
+	for _, c := range []struct{ w, h int }{{1, 1}, {2, 1}, {1, 3}, {3, 3}, {5, 4}} {
+		g, err := NewNeighbor2D(c.w, c.h)
+		if err != nil {
+			t.Fatalf("NewNeighbor2D(%d,%d): %v", c.w, c.h, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d,%d): %v", c.w, c.h, err)
+		}
+		if g.Size() != 2*c.w*c.h {
+			t.Errorf("Size = %d", g.Size())
+		}
+	}
+	if _, err := NewNeighbor2D(0, 3); err == nil {
+		t.Error("0-width grid should be rejected")
+	}
+}
+
+func TestNeighbor2DStructure(t *testing.T) {
+	g, _ := NewNeighbor2D(3, 3)
+	// Center cell (1,1): extract has self + 4 neighbor slots.
+	ex, _ := g.Task(g.ExtractId(1, 1))
+	if len(ex.Outgoing) != 5 {
+		t.Fatalf("center extract slots = %d, want 5", len(ex.Outgoing))
+	}
+	if ex.Outgoing[0][0] != g.ProcessId(1, 1) {
+		t.Errorf("slot 0 should go to own process task")
+	}
+	// Corner cell (0,0): extract has self + 2 neighbors (E, S).
+	cx, _ := g.Task(g.ExtractId(0, 0))
+	if len(cx.Outgoing) != 3 {
+		t.Fatalf("corner extract slots = %d, want 3", len(cx.Outgoing))
+	}
+	if cx.Outgoing[1][0] != g.ProcessId(1, 0) || cx.Outgoing[2][0] != g.ProcessId(0, 1) {
+		t.Errorf("corner neighbor targets = %v", cx.Outgoing)
+	}
+	// Center process: inputs from own + 4 neighbor extracts, sink output.
+	pr, _ := g.Task(g.ProcessId(1, 1))
+	if len(pr.Incoming) != 5 || !pr.IsRoot() {
+		t.Errorf("center process = %+v", pr)
+	}
+	if pr.Incoming[0] != g.ExtractId(1, 1) {
+		t.Error("process input 0 should be own extract")
+	}
+}
+
+func TestNeighbor2DExtractSlot(t *testing.T) {
+	g, _ := NewNeighbor2D(3, 3)
+	if s, ok := g.ExtractSlot(1, 1, East); !ok || s != 2 {
+		t.Errorf("ExtractSlot(center, East) = %d, %v", s, ok)
+	}
+	if _, ok := g.ExtractSlot(0, 0, West); ok {
+		t.Error("corner has no West neighbor")
+	}
+	if s, ok := g.ExtractSlot(0, 0, South); !ok || s != 2 {
+		t.Errorf("ExtractSlot(corner, South) = %d, %v", s, ok)
+	}
+}
+
+func TestNeighbor2DCellOf(t *testing.T) {
+	g, _ := NewNeighbor2D(4, 3)
+	x, y, ph := g.CellOf(g.ProcessId(2, 1))
+	if x != 2 || y != 1 || ph != 1 {
+		t.Errorf("CellOf(process(2,1)) = %d,%d,%d", x, y, ph)
+	}
+	x, y, ph = g.CellOf(g.ExtractId(3, 2))
+	if x != 3 || y != 2 || ph != 0 {
+		t.Errorf("CellOf(extract(3,2)) = %d,%d,%d", x, y, ph)
+	}
+}
+
+func TestGather(t *testing.T) {
+	g, err := NewGather(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewSerial()
+	c.Initialize(g, nil)
+	c.RegisterCallback(GatherLeafCB, sumCB(1))
+	c.RegisterCallback(GatherRootCB, sumCB(1))
+	initial := make(map[core.TaskId][]core.Payload)
+	for i := 0; i < 5; i++ {
+		initial[core.TaskId(i)] = []core.Payload{u64(uint64(i))}
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getU64(out[g.Root()][0]); got != 10 {
+		t.Errorf("gather sum = %d, want 10", got)
+	}
+	if _, err := NewGather(0); err == nil {
+		t.Error("0-leaf gather should be rejected")
+	}
+}

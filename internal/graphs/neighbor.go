@@ -1,0 +1,228 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Callback slots of a Neighbor2D, in the order returned by Callbacks().
+const (
+	// NeighborExtractCB runs in phase 0 on every grid cell: read the local
+	// block and produce one payload for itself plus one per existing
+	// neighbor (e.g. the overlapping halo regions).
+	NeighborExtractCB core.CallbackId = iota
+	// NeighborProcessCB runs in phase 1 on every grid cell: combine the
+	// local payload with the neighbors' payloads (e.g. evaluate the
+	// alignment of adjacent volumes) and emit the per-cell sink output.
+	NeighborProcessCB
+)
+
+// Direction indexes the 2-D neighbor order used consistently for output
+// slots and input slots: West, East, North, South.
+type Direction int
+
+// Neighbor directions in canonical slot order.
+const (
+	West Direction = iota
+	East
+	North
+	South
+)
+
+var dirOffsets = [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+
+// Neighbor2D is a two-phase halo-exchange dataflow over a W x H grid of
+// cells (Fig. 8 of the paper uses it for volume registration). Each cell
+// has an extract task (phase 0, id = y*W + x) and a process task (phase 1,
+// id = W*H + y*W + x).
+//
+// An extract task emits one payload kept by its own process task plus one
+// payload per existing neighbor (distinct data per direction, e.g. the
+// facing overlap region). A process task receives its own extract payload
+// first, then the payloads of its West, East, North, South neighbors (those
+// that exist), and emits one sink output.
+type Neighbor2D struct {
+	w, h int
+}
+
+// NewNeighbor2D returns a neighbor dataflow over a w x h cell grid.
+func NewNeighbor2D(w, h int) (*Neighbor2D, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("graphs: neighbor grid must be at least 1x1, got %dx%d", w, h)
+	}
+	return &Neighbor2D{w: w, h: h}, nil
+}
+
+// Width returns the number of grid columns.
+func (g *Neighbor2D) Width() int { return g.w }
+
+// Height returns the number of grid rows.
+func (g *Neighbor2D) Height() int { return g.h }
+
+// Cells returns the number of grid cells.
+func (g *Neighbor2D) Cells() int { return g.w * g.h }
+
+// Size implements core.TaskGraph.
+func (g *Neighbor2D) Size() int { return 2 * g.w * g.h }
+
+// TaskIds implements core.TaskGraph.
+func (g *Neighbor2D) TaskIds() []core.TaskId { return core.ContiguousIds(g.Size()) }
+
+// Callbacks implements core.TaskGraph.
+func (g *Neighbor2D) Callbacks() []core.CallbackId {
+	return []core.CallbackId{NeighborExtractCB, NeighborProcessCB}
+}
+
+// ExtractId returns the phase-0 task id of cell (x, y).
+func (g *Neighbor2D) ExtractId(x, y int) core.TaskId { return core.TaskId(y*g.w + x) }
+
+// ProcessId returns the phase-1 task id of cell (x, y).
+func (g *Neighbor2D) ProcessId(x, y int) core.TaskId {
+	return core.TaskId(g.w*g.h + y*g.w + x)
+}
+
+// CellOf returns the grid coordinates and phase of a task id.
+func (g *Neighbor2D) CellOf(id core.TaskId) (x, y, phase int) {
+	i := int(id)
+	if i >= g.w*g.h {
+		phase = 1
+		i -= g.w * g.h
+	}
+	return i % g.w, i / g.w, phase
+}
+
+// neighbors returns the existing neighbors of (x, y) in canonical order,
+// together with their directions.
+func (g *Neighbor2D) neighbors(x, y int) (xs, ys []int, dirs []Direction) {
+	for d, off := range dirOffsets {
+		nx, ny := x+off[0], y+off[1]
+		if nx < 0 || nx >= g.w || ny < 0 || ny >= g.h {
+			continue
+		}
+		xs = append(xs, nx)
+		ys = append(ys, ny)
+		dirs = append(dirs, Direction(d))
+	}
+	return xs, ys, dirs
+}
+
+// NeighborDirs returns the directions of the existing neighbors of cell
+// (x, y) in canonical slot order: the i-th entry corresponds to extract
+// output slot i+1 and to process input slot i+1.
+func (g *Neighbor2D) NeighborDirs(x, y int) []Direction {
+	_, _, dirs := g.neighbors(x, y)
+	return dirs
+}
+
+// ExtractSlot returns the output-slot index of an extract task that carries
+// the payload destined for the neighbor in direction dir (slot 0 is always
+// the cell's own process task). ok is false when that neighbor does not
+// exist.
+func (g *Neighbor2D) ExtractSlot(x, y int, dir Direction) (slot int, ok bool) {
+	_, _, dirs := g.neighbors(x, y)
+	for i, d := range dirs {
+		if d == dir {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// Task implements core.TaskGraph.
+func (g *Neighbor2D) Task(id core.TaskId) (core.Task, bool) {
+	if id == core.ExternalInput || int(id) < 0 || int(id) >= g.Size() {
+		return core.Task{}, false
+	}
+	x, y, phase := g.CellOf(id)
+	t := core.Task{Id: id}
+	if phase == 0 {
+		t.Callback = NeighborExtractCB
+		t.Incoming = []core.TaskId{core.ExternalInput}
+		xs, ys, _ := g.neighbors(x, y)
+		t.Outgoing = make([][]core.TaskId, 1+len(xs))
+		t.Outgoing[0] = []core.TaskId{g.ProcessId(x, y)}
+		for i := range xs {
+			t.Outgoing[i+1] = []core.TaskId{g.ProcessId(xs[i], ys[i])}
+		}
+		return t, true
+	}
+	t.Callback = NeighborProcessCB
+	t.Incoming = []core.TaskId{g.ExtractId(x, y)}
+	xs, ys, _ := g.neighbors(x, y)
+	for i := range xs {
+		t.Incoming = append(t.Incoming, g.ExtractId(xs[i], ys[i]))
+	}
+	t.Outgoing = [][]core.TaskId{{}}
+	return t, true
+}
+
+var _ core.TaskGraph = (*Neighbor2D)(nil)
+
+// Callback slots of a Gather, in the order returned by Callbacks().
+const (
+	// GatherLeafCB runs at every leaf.
+	GatherLeafCB core.CallbackId = iota
+	// GatherRootCB runs at the root, which receives all leaf outputs in
+	// leaf order and emits the sink output.
+	GatherRootCB
+)
+
+// Gather is a flat, single-level gather: n leaves each take one external
+// input and send one output to a root task that emits the sink output. It
+// is the degenerate valence-n reduction and is handy for collecting
+// per-block statistics.
+type Gather struct {
+	n int
+}
+
+// NewGather returns a gather over n leaves.
+func NewGather(n int) (*Gather, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graphs: gather needs at least one leaf, got %d", n)
+	}
+	return &Gather{n: n}, nil
+}
+
+// Leafs returns the number of leaves.
+func (g *Gather) Leafs() int { return g.n }
+
+// Root returns the id of the root task.
+func (g *Gather) Root() core.TaskId { return core.TaskId(g.n) }
+
+// LeafIds returns the leaf task ids, 0..n-1.
+func (g *Gather) LeafIds() []core.TaskId { return core.ContiguousIds(g.n) }
+
+// Size implements core.TaskGraph.
+func (g *Gather) Size() int { return g.n + 1 }
+
+// TaskIds implements core.TaskGraph.
+func (g *Gather) TaskIds() []core.TaskId { return core.ContiguousIds(g.n + 1) }
+
+// Callbacks implements core.TaskGraph.
+func (g *Gather) Callbacks() []core.CallbackId {
+	return []core.CallbackId{GatherLeafCB, GatherRootCB}
+}
+
+// Task implements core.TaskGraph.
+func (g *Gather) Task(id core.TaskId) (core.Task, bool) {
+	if id == core.ExternalInput || int(id) < 0 || int(id) > g.n {
+		return core.Task{}, false
+	}
+	t := core.Task{Id: id}
+	if int(id) < g.n {
+		t.Callback = GatherLeafCB
+		t.Incoming = []core.TaskId{core.ExternalInput}
+		t.Outgoing = [][]core.TaskId{{core.TaskId(g.n)}}
+		return t, true
+	}
+	t.Callback = GatherRootCB
+	t.Incoming = make([]core.TaskId, g.n)
+	for i := 0; i < g.n; i++ {
+		t.Incoming[i] = core.TaskId(i)
+	}
+	t.Outgoing = [][]core.TaskId{{}}
+	return t, true
+}
+
+var _ core.TaskGraph = (*Gather)(nil)

@@ -1,0 +1,125 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Direction3D indexes the 3-D neighbor order used for output and input
+// slots: West, East, North, South, Down, Up.
+type Direction3D int
+
+// Neighbor directions in canonical slot order.
+const (
+	West3D Direction3D = iota
+	East3D
+	North3D
+	South3D
+	Down3D
+	Up3D
+)
+
+var dirOffsets3D = [6][3]int{
+	{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+}
+
+// Neighbor3D is the three-dimensional generalization of Neighbor2D: a
+// two-phase halo-exchange dataflow over a W x H x D grid of cells with
+// 6-connectivity. Extract tasks occupy ids [0, W*H*D); process tasks the
+// next W*H*D ids.
+type Neighbor3D struct {
+	w, h, d int
+}
+
+// NewNeighbor3D returns a neighbor dataflow over a w x h x d cell grid.
+func NewNeighbor3D(w, h, d int) (*Neighbor3D, error) {
+	if w < 1 || h < 1 || d < 1 {
+		return nil, fmt.Errorf("graphs: neighbor grid must be at least 1x1x1, got %dx%dx%d", w, h, d)
+	}
+	return &Neighbor3D{w: w, h: h, d: d}, nil
+}
+
+// Cells returns the number of grid cells.
+func (g *Neighbor3D) Cells() int { return g.w * g.h * g.d }
+
+// Size implements core.TaskGraph.
+func (g *Neighbor3D) Size() int { return 2 * g.Cells() }
+
+// TaskIds implements core.TaskGraph.
+func (g *Neighbor3D) TaskIds() []core.TaskId { return core.ContiguousIds(g.Size()) }
+
+// Callbacks implements core.TaskGraph. The callback ids are shared with
+// Neighbor2D: NeighborExtractCB and NeighborProcessCB.
+func (g *Neighbor3D) Callbacks() []core.CallbackId {
+	return []core.CallbackId{NeighborExtractCB, NeighborProcessCB}
+}
+
+// ExtractId returns the phase-0 task id of cell (x, y, z).
+func (g *Neighbor3D) ExtractId(x, y, z int) core.TaskId {
+	return core.TaskId((z*g.h+y)*g.w + x)
+}
+
+// ProcessId returns the phase-1 task id of cell (x, y, z).
+func (g *Neighbor3D) ProcessId(x, y, z int) core.TaskId {
+	return core.TaskId(g.Cells() + (z*g.h+y)*g.w + x)
+}
+
+// CellOf returns the grid coordinates and phase of a task id.
+func (g *Neighbor3D) CellOf(id core.TaskId) (x, y, z, phase int) {
+	i := int(id)
+	if i >= g.Cells() {
+		phase = 1
+		i -= g.Cells()
+	}
+	x = i % g.w
+	y = (i / g.w) % g.h
+	z = i / (g.w * g.h)
+	return
+}
+
+// NeighborDirs returns the directions of the existing neighbors of cell
+// (x, y, z) in canonical slot order: the i-th entry corresponds to extract
+// output slot i+1 and process input slot i+1.
+func (g *Neighbor3D) NeighborDirs(x, y, z int) []Direction3D {
+	var dirs []Direction3D
+	for d, off := range dirOffsets3D {
+		nx, ny, nz := x+off[0], y+off[1], z+off[2]
+		if nx < 0 || nx >= g.w || ny < 0 || ny >= g.h || nz < 0 || nz >= g.d {
+			continue
+		}
+		dirs = append(dirs, Direction3D(d))
+	}
+	return dirs
+}
+
+// Task implements core.TaskGraph.
+func (g *Neighbor3D) Task(id core.TaskId) (core.Task, bool) {
+	if id == core.ExternalInput || int(id) < 0 || int(id) >= g.Size() {
+		return core.Task{}, false
+	}
+	x, y, z, phase := g.CellOf(id)
+	t := core.Task{Id: id}
+	dirs := g.NeighborDirs(x, y, z)
+	if phase == 0 {
+		t.Callback = NeighborExtractCB
+		t.Incoming = []core.TaskId{core.ExternalInput}
+		t.Outgoing = make([][]core.TaskId, 1+len(dirs))
+		t.Outgoing[0] = []core.TaskId{g.ProcessId(x, y, z)}
+		for i, d := range dirs {
+			off := dirOffsets3D[d]
+			t.Outgoing[i+1] = []core.TaskId{g.ProcessId(x+off[0], y+off[1], z+off[2])}
+		}
+		return t, true
+	}
+	t.Callback = NeighborProcessCB
+	t.Incoming = []core.TaskId{g.ExtractId(x, y, z)}
+	for _, d := range dirs {
+		off := dirOffsets3D[d]
+		t.Incoming = append(t.Incoming, g.ExtractId(x+off[0], y+off[1], z+off[2]))
+	}
+	t.Outgoing = [][]core.TaskId{{}}
+	return t, true
+}
+
+var _ core.TaskGraph = (*Neighbor3D)(nil)

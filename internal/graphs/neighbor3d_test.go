@@ -1,0 +1,111 @@
+package graphs
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestNeighbor3DValidates(t *testing.T) {
+	for _, c := range []struct{ w, h, d int }{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}, {3, 2, 4}} {
+		g, err := NewNeighbor3D(c.w, c.h, c.d)
+		if err != nil {
+			t.Fatalf("NewNeighbor3D(%v): %v", c, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%v): %v", c, err)
+		}
+		if g.Size() != 2*c.w*c.h*c.d {
+			t.Errorf("Size = %d", g.Size())
+		}
+	}
+	if _, err := NewNeighbor3D(0, 1, 1); err == nil {
+		t.Error("degenerate grid should fail")
+	}
+}
+
+func TestNeighbor3DStructure(t *testing.T) {
+	g, _ := NewNeighbor3D(3, 3, 3)
+	// Center cell has all 6 neighbors.
+	ex, _ := g.Task(g.ExtractId(1, 1, 1))
+	if len(ex.Outgoing) != 7 {
+		t.Fatalf("center extract slots = %d, want 7 (self + 6)", len(ex.Outgoing))
+	}
+	if ex.Outgoing[0][0] != g.ProcessId(1, 1, 1) {
+		t.Error("slot 0 should feed own process task")
+	}
+	// Corner has 3 neighbors.
+	cx, _ := g.Task(g.ExtractId(0, 0, 0))
+	if len(cx.Outgoing) != 4 {
+		t.Fatalf("corner extract slots = %d, want 4", len(cx.Outgoing))
+	}
+	pr, _ := g.Task(g.ProcessId(1, 1, 1))
+	if len(pr.Incoming) != 7 || !pr.IsRoot() {
+		t.Errorf("center process = %+v", pr)
+	}
+	dirs := g.NeighborDirs(1, 1, 1)
+	if len(dirs) != 6 || dirs[0] != West3D || dirs[5] != Up3D {
+		t.Errorf("center dirs = %v", dirs)
+	}
+}
+
+func TestNeighbor3DCellOfRoundTrip(t *testing.T) {
+	g, _ := NewNeighbor3D(4, 3, 2)
+	for z := 0; z < 2; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 4; x++ {
+				gx, gy, gz, ph := g.CellOf(g.ExtractId(x, y, z))
+				if gx != x || gy != y || gz != z || ph != 0 {
+					t.Fatalf("CellOf(extract %d,%d,%d) = %d,%d,%d,%d", x, y, z, gx, gy, gz, ph)
+				}
+				gx, gy, gz, ph = g.CellOf(g.ProcessId(x, y, z))
+				if gx != x || gy != y || gz != z || ph != 1 {
+					t.Fatalf("CellOf(process %d,%d,%d) = %d,%d,%d,%d", x, y, z, gx, gy, gz, ph)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighbor3DHaloSum runs a 3-D halo exchange end to end: every process
+// task sums its own value plus all neighbors' contributions.
+func TestNeighbor3DHaloSum(t *testing.T) {
+	g, _ := NewNeighbor3D(2, 2, 2)
+	extract := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		task, _ := g.Task(id)
+		out := make([]core.Payload, len(task.Outgoing))
+		for i := range out {
+			out[i] = u64(getU64(in[0]))
+		}
+		return out, nil
+	}
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterCallback(NeighborExtractCB, extract)
+	c.RegisterCallback(NeighborProcessCB, sumCB(1))
+	initial := make(map[core.TaskId][]core.Payload)
+	for z := 0; z < 2; z++ {
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				initial[g.ExtractId(x, y, z)] = []core.Payload{u64(1)}
+			}
+		}
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cell of a 2x2x2 grid has exactly 3 neighbors: sum = 1 + 3.
+	for z := 0; z < 2; z++ {
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				got := getU64(out[g.ProcessId(x, y, z)][0])
+				if got != 4 {
+					t.Errorf("cell (%d,%d,%d) sum = %d, want 4", x, y, z, got)
+				}
+			}
+		}
+	}
+}

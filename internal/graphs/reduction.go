@@ -1,0 +1,142 @@
+// Package graphs provides the prototypical task graphs that ship with
+// BabelFlow: k-way reductions, broadcasts, binary swaps, k-way merge
+// (all-reduce) and neighbor dataflows, plus a Builder for composing graphs
+// via id prefixes. Users can employ these directly — registering one
+// callback per task type — or derive new extensions.
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Callback slots of a Reduction, in the order returned by Callbacks().
+// Mirroring Listing 1 of the paper: index 0 runs at the leaves (e.g. volume
+// rendering of the local block), index 1 at internal nodes (compositing),
+// index 2 at the root (writing the image).
+const (
+	ReduceLeafCB core.CallbackId = iota
+	ReduceMidCB
+	ReduceRootCB
+)
+
+// Reduction is a k-way reduction tree over k^d leaves (Listing 2 of the
+// paper). Task 0 is the root; the children of task t are t*k+1 .. t*k+k and
+// the parent of t is (t-1)/k. Leaves occupy the last k^d ids and each takes
+// one external input. The root produces the single sink output.
+type Reduction struct {
+	k      int
+	d      int
+	leafs  int
+	ntasks int
+}
+
+// NewReduction returns a reduction over the given number of leaves with the
+// given valence (fan-in). The leaf count must be an exact power of the
+// valence; see RoundUpPow to size block decompositions accordingly.
+func NewReduction(leafs, valence int) (*Reduction, error) {
+	if valence < 2 {
+		return nil, fmt.Errorf("graphs: reduction valence must be >= 2, got %d", valence)
+	}
+	if leafs < 1 {
+		return nil, fmt.Errorf("graphs: reduction needs at least one leaf, got %d", leafs)
+	}
+	d, n := 0, 1
+	for n < leafs {
+		n *= valence
+		d++
+	}
+	if n != leafs {
+		return nil, fmt.Errorf("graphs: reduction leaf count %d is not a power of valence %d", leafs, valence)
+	}
+	// ntasks = (k^(d+1) - 1) / (k - 1)
+	ntasks := (intPow(valence, d+1) - 1) / (valence - 1)
+	return &Reduction{k: valence, d: d, leafs: leafs, ntasks: ntasks}, nil
+}
+
+// Valence returns the fan-in of the tree.
+func (g *Reduction) Valence() int { return g.k }
+
+// Depth returns the number of reduction levels (0 for a single task).
+func (g *Reduction) Depth() int { return g.d }
+
+// Leafs returns the number of leaf tasks.
+func (g *Reduction) Leafs() int { return g.leafs }
+
+// Size implements core.TaskGraph.
+func (g *Reduction) Size() int { return g.ntasks }
+
+// TaskIds implements core.TaskGraph.
+func (g *Reduction) TaskIds() []core.TaskId { return core.ContiguousIds(g.ntasks) }
+
+// Callbacks implements core.TaskGraph.
+func (g *Reduction) Callbacks() []core.CallbackId {
+	return []core.CallbackId{ReduceLeafCB, ReduceMidCB, ReduceRootCB}
+}
+
+// LeafIds returns the ids of the leaf tasks in block order: leaf i (the i-th
+// block of the decomposition) has id FirstLeaf()+i.
+func (g *Reduction) LeafIds() []core.TaskId {
+	ids := make([]core.TaskId, g.leafs)
+	first := g.ntasks - g.leafs
+	for i := range ids {
+		ids[i] = core.TaskId(first + i)
+	}
+	return ids
+}
+
+// FirstLeaf returns the id of leaf 0.
+func (g *Reduction) FirstLeaf() core.TaskId { return core.TaskId(g.ntasks - g.leafs) }
+
+// Root returns the id of the root task.
+func (g *Reduction) Root() core.TaskId { return 0 }
+
+// Task implements core.TaskGraph.
+func (g *Reduction) Task(id core.TaskId) (core.Task, bool) {
+	i := int(id)
+	if id == core.ExternalInput || i < 0 || i >= g.ntasks {
+		return core.Task{}, false
+	}
+	t := core.Task{Id: id}
+	isLeaf := i >= g.ntasks-g.leafs
+	if isLeaf {
+		t.Callback = ReduceLeafCB
+		t.Incoming = []core.TaskId{core.ExternalInput}
+	} else {
+		t.Callback = ReduceMidCB
+		t.Incoming = make([]core.TaskId, g.k)
+		for c := 0; c < g.k; c++ {
+			t.Incoming[c] = core.TaskId(i*g.k + c + 1)
+		}
+	}
+	if i == 0 {
+		t.Callback = ReduceRootCB
+		t.Outgoing = [][]core.TaskId{{}}
+	} else {
+		t.Outgoing = [][]core.TaskId{{core.TaskId((i - 1) / g.k)}}
+	}
+	return t, true
+}
+
+// RoundUpPow returns the smallest power of base that is >= n.
+func RoundUpPow(n, base int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p *= base
+	}
+	return p
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+var _ core.TaskGraph = (*Reduction)(nil)

@@ -1,0 +1,207 @@
+package graphs
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func u64(v uint64) core.Payload {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return core.Buffer(b)
+}
+
+func getU64(p core.Payload) uint64 { return binary.LittleEndian.Uint64(p.Data) }
+
+// sumCB sums uint64 inputs and emits the sum on every output slot.
+func sumCB(slots int) core.Callback {
+	return func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		var sum uint64
+		for _, p := range in {
+			sum += getU64(p)
+		}
+		out := make([]core.Payload, slots)
+		for i := range out {
+			out[i] = u64(sum)
+		}
+		return out, nil
+	}
+}
+
+func TestNewReductionSizesMatchListing2(t *testing.T) {
+	cases := []struct{ leafs, k, want int }{
+		{1, 2, 1},
+		{2, 2, 3},
+		{4, 2, 7},
+		{8, 2, 15},
+		{8, 8, 9},
+		{64, 8, 73},
+		{9, 3, 13},
+	}
+	for _, c := range cases {
+		g, err := NewReduction(c.leafs, c.k)
+		if err != nil {
+			t.Fatalf("NewReduction(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if g.Size() != c.want {
+			t.Errorf("Size(%d,%d) = %d, want %d", c.leafs, c.k, g.Size(), c.want)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d,%d): %v", c.leafs, c.k, err)
+		}
+	}
+}
+
+func TestNewReductionRejectsBadArgs(t *testing.T) {
+	if _, err := NewReduction(3, 2); err == nil {
+		t.Error("3 leaves with valence 2 should be rejected")
+	}
+	if _, err := NewReduction(4, 1); err == nil {
+		t.Error("valence 1 should be rejected")
+	}
+	if _, err := NewReduction(0, 2); err == nil {
+		t.Error("0 leaves should be rejected")
+	}
+}
+
+func TestReductionStructure(t *testing.T) {
+	g, _ := NewReduction(4, 2) // 7 tasks: root 0, mids 1-2, leaves 3-6
+	root, _ := g.Task(0)
+	if root.Callback != ReduceRootCB {
+		t.Errorf("root callback = %d", root.Callback)
+	}
+	if len(root.Incoming) != 2 || root.Incoming[0] != 1 || root.Incoming[1] != 2 {
+		t.Errorf("root incoming = %v", root.Incoming)
+	}
+	if len(root.Outgoing) != 1 || len(root.Outgoing[0]) != 0 {
+		t.Errorf("root outgoing = %v (want one sink slot)", root.Outgoing)
+	}
+	mid, _ := g.Task(1)
+	if mid.Callback != ReduceMidCB || mid.Outgoing[0][0] != 0 {
+		t.Errorf("mid task = %+v", mid)
+	}
+	leaf, _ := g.Task(3)
+	if leaf.Callback != ReduceLeafCB {
+		t.Errorf("leaf callback = %d", leaf.Callback)
+	}
+	if !leaf.IsLeaf() {
+		t.Error("leaf task is not a leaf")
+	}
+	if leaf.Outgoing[0][0] != 1 {
+		t.Errorf("leaf 3 parent = %d, want 1", leaf.Outgoing[0][0])
+	}
+	if g.FirstLeaf() != 3 {
+		t.Errorf("FirstLeaf = %d", g.FirstLeaf())
+	}
+	ids := g.LeafIds()
+	if len(ids) != 4 || ids[0] != 3 || ids[3] != 6 {
+		t.Errorf("LeafIds = %v", ids)
+	}
+}
+
+func TestReductionSingleTask(t *testing.T) {
+	g, _ := NewReduction(1, 2)
+	if err := core.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := g.Task(0)
+	if !task.IsLeaf() || !task.IsRoot() {
+		t.Error("single-task reduction should be both leaf and root")
+	}
+	if task.Callback != ReduceRootCB {
+		t.Errorf("callback = %d, want root", task.Callback)
+	}
+}
+
+func TestReductionUnknownIds(t *testing.T) {
+	g, _ := NewReduction(4, 2)
+	if _, ok := g.Task(7); ok {
+		t.Error("Task(7) should not exist in a 7-task graph")
+	}
+	if _, ok := g.Task(core.ExternalInput); ok {
+		t.Error("Task(ExternalInput) should not exist")
+	}
+}
+
+// TestReductionComputesGlobalSum runs the Listing-1 pattern end to end on
+// the serial reference controller.
+func TestReductionComputesGlobalSum(t *testing.T) {
+	g, _ := NewReduction(8, 2)
+	c := core.NewSerial()
+	if err := c.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range g.Callbacks() {
+		c.RegisterCallback(cb, sumCB(1))
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	var want uint64
+	for i, id := range g.LeafIds() {
+		initial[id] = []core.Payload{u64(uint64(i + 1))}
+		want += uint64(i + 1)
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getU64(out[g.Root()][0]); got != want {
+		t.Errorf("global sum = %d, want %d", got, want)
+	}
+}
+
+// Property: reductions of any valid (leafs, valence) shape validate, have
+// exactly `leafs` leaves, one root, and every non-root path reaches task 0.
+func TestReductionShapeProperty(t *testing.T) {
+	check := func(d8, k8 uint8) bool {
+		k := int(k8%4) + 2 // 2..5
+		d := int(d8 % 4)   // 0..3
+		leafs := intPow(k, d)
+		g, err := NewReduction(leafs, k)
+		if err != nil {
+			return false
+		}
+		if core.Validate(g) != nil {
+			return false
+		}
+		if len(core.Leaves(g)) != leafs {
+			return false
+		}
+		roots := core.Roots(g)
+		if len(roots) != 1 || roots[0] != 0 {
+			return false
+		}
+		// Walk each leaf to the root.
+		for _, id := range g.LeafIds() {
+			cur := id
+			for steps := 0; cur != 0; steps++ {
+				if steps > d+1 {
+					return false
+				}
+				task, ok := g.Task(cur)
+				if !ok {
+					return false
+				}
+				cur = task.Outgoing[0][0]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundUpPow(t *testing.T) {
+	cases := []struct{ n, base, want int }{
+		{1, 2, 1}, {2, 2, 2}, {3, 2, 4}, {5, 2, 8}, {8, 2, 8},
+		{9, 8, 64}, {64, 8, 64}, {0, 2, 1}, {-3, 2, 1},
+	}
+	for _, c := range cases {
+		if got := RoundUpPow(c.n, c.base); got != c.want {
+			t.Errorf("RoundUpPow(%d,%d) = %d, want %d", c.n, c.base, got, c.want)
+		}
+	}
+}

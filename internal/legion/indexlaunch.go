@@ -1,0 +1,144 @@
+package legion
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// IndexLaunch is the Legion index-launch controller: the top-level task
+// crawls the graph to group the tasks into rounds of non-interfering tasks
+// (tasks with no dependencies among each other) and executes one index
+// launch per round, mapping the outputs of the previous launch to the
+// inputs of the next.
+//
+// Neither phase barriers nor task maps are required: the parent task stages
+// every subtask's inputs and outputs itself. That per-subtask preparation
+// cost, borne serially by the parent, is the scaling bottleneck the paper
+// measures in Figs. 2 and 3.
+type IndexLaunch struct {
+	opt   Options
+	graph core.TaskGraph
+	reg   *core.Registry
+
+	lastMetrics Metrics
+}
+
+// NewIndexLaunch returns a Legion index-launch controller.
+func NewIndexLaunch(opt Options) *IndexLaunch {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	return &IndexLaunch{opt: opt, reg: core.NewRegistry()}
+}
+
+// Initialize implements core.Controller. The task map is optional and
+// ignored: index launches let the runtime distribute the tasks.
+func (c *IndexLaunch) Initialize(g core.TaskGraph, _ core.TaskMap) error {
+	if g == nil {
+		return fmt.Errorf("legion: nil task graph")
+	}
+	if err := core.Validate(g); err != nil {
+		return err
+	}
+	c.graph = g
+	return nil
+}
+
+// RegisterCallback implements core.Controller.
+func (c *IndexLaunch) RegisterCallback(cb core.CallbackId, fn core.Callback) error {
+	if c.graph == nil {
+		return core.ErrNotInitialized
+	}
+	return c.reg.Register(cb, fn)
+}
+
+// Metrics returns the timing breakdown of the last Run.
+func (c *IndexLaunch) Metrics() Metrics { return c.lastMetrics }
+
+// Run implements core.Controller. It acts as the top-level task.
+func (c *IndexLaunch) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	if c.graph == nil {
+		return nil, core.ErrNotInitialized
+	}
+	if err := c.reg.Covers(c.graph); err != nil {
+		return nil, err
+	}
+	if err := core.CheckInitial(c.graph, initial); err != nil {
+		return nil, err
+	}
+
+	// Crawl the graph into rounds of non-interfering tasks.
+	rounds, err := core.Levels(c.graph)
+	if err != nil {
+		return nil, err
+	}
+
+	store := NewRegionStore()
+	results := make(map[core.TaskId][]core.Payload)
+	var resMu sync.Mutex
+	met := newMetricsCollector()
+
+	for _, round := range rounds {
+		// One index launch per round. The parent prepares every subtask's
+		// region requirements serially (gathering inputs counts as staging
+		// and is the parent-borne launch overhead), then the subtasks of
+		// the round execute concurrently.
+		met.launch()
+		type launchRecord struct {
+			task core.Task
+			in   []core.Payload
+		}
+		records := make([]launchRecord, 0, len(round))
+		for _, id := range round {
+			t, _ := c.graph.Task(id)
+			in, err := gatherInputs(c.graph, t, store, met, initial)
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, launchRecord{task: t, in: in})
+		}
+
+		sem := make(chan struct{}, c.opt.Workers)
+		var wg sync.WaitGroup
+		outs := make([][]core.Payload, len(records))
+		errs := make([]error, len(records))
+		for i, rec := range records {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, rec launchRecord) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out, err := runCallback(c.reg, rec.task, rec.in, met)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if c.opt.Observer != nil {
+					c.opt.Observer.TaskExecuted(rec.task.Id, core.ShardId(i%c.opt.Workers), rec.task.Callback)
+				}
+				outs[i] = out
+			}(i, rec)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				c.lastMetrics = met.snapshot()
+				return nil, err
+			}
+		}
+		// The parent maps the launch's outputs into regions for the next
+		// round.
+		for i, rec := range records {
+			if err := stageOutputs(rec.task, outs[i], store, met, results, &resMu); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	c.lastMetrics = met.snapshot()
+	return results, nil
+}
+
+var _ core.Controller = (*IndexLaunch)(nil)

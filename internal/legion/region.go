@@ -1,0 +1,183 @@
+// Package legion implements the Legion runtime controllers of the paper
+// (§IV-C). Legion is a data-centric programming system: dependencies are
+// expressed through logical regions holding the meta-information of a piece
+// of data, and tasks declare region requirements for their inputs and
+// outputs. The controller maps Payloads to physical regions (and back)
+// using the payloads' serialization routines.
+//
+// Two controllers are provided, matching the paper's comparison:
+//
+//   - SPMD: one long-running task per shard, started simultaneously with a
+//     must-parallelism launcher; each shard schedules its assigned part of
+//     the task graph with single-task launchers and synchronizes with other
+//     shards through phase barriers — a lightweight producer/consumer
+//     mechanism with no global synchronization.
+//   - IndexLaunch: the top-level task crawls the graph into rounds of
+//     non-interfering tasks and executes one index launch per round,
+//     mapping the outputs of the previous launch to the inputs of the next.
+//     The cost of preparing and scheduling subtasks is borne by the parent
+//     task and is roughly proportional to the number of subtasks — the
+//     effect behind Figs. 2 and 3.
+package legion
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// ErrCancelled is returned by region waits after a run aborts.
+var ErrCancelled = errors.New("legion: run cancelled")
+
+// RegionId names a logical region: the data produced on one output slot of
+// one task.
+type RegionId struct {
+	Producer core.TaskId
+	Slot     int
+}
+
+// String renders the region id for diagnostics.
+func (r RegionId) String() string { return fmt.Sprintf("region(%d.%d)", r.Producer, r.Slot) }
+
+// PhaseBarrier is the lightweight producer-consumer synchronization
+// primitive of Legion SPMD: a set of producers notify a set of consumers
+// when data is ready. There is no global synchronization involved — each
+// barrier involves only the tasks that touch its region.
+type PhaseBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   bool
+	cancelled bool
+}
+
+// NewPhaseBarrier returns an un-triggered barrier.
+func NewPhaseBarrier() *PhaseBarrier {
+	b := &PhaseBarrier{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Arrive triggers the barrier, releasing current and future waiters.
+func (b *PhaseBarrier) Arrive() {
+	b.mu.Lock()
+	b.arrived = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Cancel aborts the barrier: waiters return ErrCancelled.
+func (b *PhaseBarrier) Cancel() {
+	b.mu.Lock()
+	b.cancelled = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Wait blocks until the barrier triggers or is cancelled.
+func (b *PhaseBarrier) Wait() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.arrived && !b.cancelled {
+		b.cond.Wait()
+	}
+	if b.cancelled && !b.arrived {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// RegionStore holds the physical regions of a run. Writing a region stages
+// the payload's serialized bytes into it and arrives at the region's phase
+// barrier; reading waits on the barrier and returns an owned copy of the
+// bytes, so every consumer holds independent data.
+type RegionStore struct {
+	mu        sync.Mutex
+	regions   map[RegionId]*physicalRegion
+	cancelled bool
+}
+
+type physicalRegion struct {
+	barrier *PhaseBarrier
+	data    []byte
+}
+
+// NewRegionStore returns an empty store.
+func NewRegionStore() *RegionStore {
+	return &RegionStore{regions: make(map[RegionId]*physicalRegion)}
+}
+
+func (s *RegionStore) region(id RegionId) *physicalRegion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.regions[id]
+	if !ok {
+		r = &physicalRegion{barrier: NewPhaseBarrier()}
+		if s.cancelled {
+			r.barrier.Cancel()
+		}
+		s.regions[id] = r
+	}
+	return r
+}
+
+// Put stages a payload into the region: the payload is serialized (Legion
+// maps payloads to physical regions through the user's serialization
+// routines) and the region's phase barrier triggers.
+func (s *RegionStore) Put(id RegionId, p core.Payload) error {
+	wire, err := p.Wire()
+	if err != nil {
+		return fmt.Errorf("legion: staging %v: %w", id, err)
+	}
+	r := s.region(id)
+	r.data = append([]byte(nil), wire...)
+	r.barrier.Arrive()
+	return nil
+}
+
+// Get waits for the region's phase barrier and returns an owned copy of the
+// staged bytes as a payload.
+func (s *RegionStore) Get(id RegionId) (core.Payload, error) {
+	r := s.region(id)
+	if err := r.barrier.Wait(); err != nil {
+		return core.Payload{}, fmt.Errorf("%w (waiting for %v)", err, id)
+	}
+	cp := make([]byte, len(r.data))
+	copy(cp, r.data)
+	return core.Buffer(cp), nil
+}
+
+// Cancel aborts every current and future region wait.
+func (s *RegionStore) Cancel() {
+	s.mu.Lock()
+	regions := make([]*physicalRegion, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	s.cancelled = true
+	s.mu.Unlock()
+	for _, r := range regions {
+		r.barrier.Cancel()
+	}
+}
+
+// producerSlot finds the output slot of producer p that feeds the occ-th
+// input slot (among those naming p) of the given consumer. Producers emit
+// their slots in order, so the occ-th listing of the consumer across p's
+// output slots is the matching region.
+func producerSlot(p core.Task, consumer core.TaskId, occ int) (int, error) {
+	count := 0
+	for s, cs := range p.Outgoing {
+		for _, c := range cs {
+			if c != consumer {
+				continue
+			}
+			if count == occ {
+				return s, nil
+			}
+			count++
+		}
+	}
+	return 0, fmt.Errorf("legion: task %d does not feed consumer %d (occurrence %d)", p.Id, consumer, occ)
+}

@@ -1,0 +1,203 @@
+package legion
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Options configures the Legion controllers.
+type Options struct {
+	// Workers bounds the concurrency of an index launch (IndexLaunch
+	// controller only); zero selects 4. The SPMD controller's concurrency
+	// is the shard count of its task map.
+	Workers int
+	// Observer, when non-nil, receives a notification per executed task.
+	Observer core.Observer
+}
+
+// SPMD is the Legion SPMD controller: one long-running shard task per task
+// map shard, started together with a must-parallelism launcher; shards
+// synchronize exclusively through the phase barriers of the region store.
+type SPMD struct {
+	opt   Options
+	graph core.TaskGraph
+	tmap  core.TaskMap
+	reg   *core.Registry
+
+	lastMetrics Metrics
+}
+
+// Metrics reports where a Legion run spent its time, matching the series of
+// Fig. 3: task execution (compute), staging payloads into and out of
+// regions, and the number of launcher invocations.
+type Metrics struct {
+	// ComputeNS is the total nanoseconds spent inside task callbacks,
+	// summed over tasks.
+	ComputeNS int64
+	// StagingNS is the total nanoseconds spent serializing payloads into
+	// regions and materializing them back.
+	StagingNS int64
+	// Launches counts launcher invocations: single-task launches for SPMD,
+	// index launches (one per round) for IndexLaunch.
+	Launches int64
+	// Tasks counts executed tasks.
+	Tasks int64
+}
+
+// NewSPMD returns a Legion SPMD controller.
+func NewSPMD(opt Options) *SPMD {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	return &SPMD{opt: opt, reg: core.NewRegistry()}
+}
+
+// Initialize implements core.Controller. Like the MPI controller, the SPMD
+// controller makes use of the task map: shards are conceptually similar to
+// the MPI rank assignment.
+func (c *SPMD) Initialize(g core.TaskGraph, m core.TaskMap) error {
+	if g == nil {
+		return fmt.Errorf("legion: nil task graph")
+	}
+	if m == nil {
+		return fmt.Errorf("legion: the SPMD controller requires a task map")
+	}
+	if err := core.Validate(g); err != nil {
+		return err
+	}
+	if err := core.ValidateMap(g, m); err != nil {
+		return err
+	}
+	c.graph, c.tmap = g, m
+	return nil
+}
+
+// RegisterCallback implements core.Controller.
+func (c *SPMD) RegisterCallback(cb core.CallbackId, fn core.Callback) error {
+	if c.graph == nil {
+		return core.ErrNotInitialized
+	}
+	return c.reg.Register(cb, fn)
+}
+
+// Metrics returns the timing breakdown of the last Run.
+func (c *SPMD) Metrics() Metrics { return c.lastMetrics }
+
+// Run implements core.Controller.
+func (c *SPMD) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	if c.graph == nil {
+		return nil, core.ErrNotInitialized
+	}
+	if err := c.reg.Covers(c.graph); err != nil {
+		return nil, err
+	}
+	if err := core.CheckInitial(c.graph, initial); err != nil {
+		return nil, err
+	}
+
+	store := NewRegionStore()
+	results := make(map[core.TaskId][]core.Payload)
+	var resMu sync.Mutex
+	met := newMetricsCollector()
+
+	var firstErr error
+	var errMu sync.Mutex
+	abort := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		store.Cancel()
+	}
+
+	// Global level order; each shard walks its local tasks in this order,
+	// which guarantees progress (see shard scheduling argument below).
+	levels, err := core.Levels(c.graph)
+	if err != nil {
+		return nil, err
+	}
+	order := make(map[core.TaskId]int, c.graph.Size())
+	pos := 0
+	for _, round := range levels {
+		for _, id := range round {
+			order[id] = pos
+			pos++
+		}
+	}
+
+	// Must-parallelism launch: one shard task per shard, all running
+	// concurrently without runtime synchronization between them.
+	var wg sync.WaitGroup
+	for s := 0; s < c.tmap.ShardCount(); s++ {
+		wg.Add(1)
+		go func(shard core.ShardId) {
+			defer wg.Done()
+			if err := c.runShard(shard, order, store, met, initial, results, &resMu); err != nil {
+				abort(err)
+			}
+		}(core.ShardId(s))
+	}
+	wg.Wait()
+
+	c.lastMetrics = met.snapshot()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runShard is the long-running per-shard task. It schedules its assigned
+// tasks with single-task launchers in ascending global level order; inputs
+// are satisfied through region waits (phase barriers). Because every shard
+// respects the level order, the blocked task of minimal level always has
+// all its producers already executed or executing, so the schedule cannot
+// deadlock.
+func (c *SPMD) runShard(shard core.ShardId, order map[core.TaskId]int, store *RegionStore, met *metricsCollector, initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+	local, err := core.LocalGraph(c.graph, c.tmap, shard)
+	if err != nil {
+		return err
+	}
+	sortTasksBy(local, order)
+
+	for _, t := range local {
+		// Single task launcher: gather region requirements, wait for them,
+		// execute, stage the outputs.
+		met.launch()
+		in, err := c.gatherInputs(t, store, met, initial)
+		if err != nil {
+			return err
+		}
+		out, err := runCallback(c.reg, t, in, met)
+		if err != nil {
+			return err
+		}
+		if c.opt.Observer != nil {
+			c.opt.Observer.TaskExecuted(t.Id, shard, t.Callback)
+		}
+		if err := stageOutputs(t, out, store, met, results, resMu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherInputs assembles a task's input payloads: external slots from the
+// initial inputs, everything else from the region store.
+func (c *SPMD) gatherInputs(t core.Task, store *RegionStore, met *metricsCollector, initial map[core.TaskId][]core.Payload) ([]core.Payload, error) {
+	return gatherInputs(c.graph, t, store, met, initial)
+}
+
+func sortTasksBy(tasks []core.Task, order map[core.TaskId]int) {
+	for i := 1; i < len(tasks); i++ {
+		for j := i; j > 0 && order[tasks[j].Id] < order[tasks[j-1].Id]; j-- {
+			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+		}
+	}
+}
+
+var _ core.Controller = (*SPMD)(nil)

@@ -1,0 +1,363 @@
+package mergetree
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/charm"
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/legion"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+// e2eControllers builds one instance of every runtime controller for a
+// graph, matching the paper's claim that the same dataflow runs unmodified
+// on each runtime.
+func e2eControllers(g *Graph, shards int) map[string]core.Controller {
+	m := core.NewListMap(shards, g.TaskIds())
+	out := make(map[string]core.Controller)
+
+	mc := mpi.New(mpi.Options{})
+	mc.Initialize(g, m)
+	out["mpi"] = mc
+
+	orig := mpi.New(mpi.Options{Inline: true})
+	orig.Initialize(g, m)
+	out["original-mpi"] = orig
+
+	cc := charm.New(charm.Options{PEs: shards, LBPeriod: 4})
+	cc.Initialize(g, nil)
+	out["charm"] = cc
+
+	sp := legion.NewSPMD(legion.Options{})
+	sp.Initialize(g, m)
+	out["legion-spmd"] = sp
+
+	il := legion.NewIndexLaunch(legion.Options{})
+	il.Initialize(g, nil)
+	out["legion-il"] = il
+
+	ser := core.NewSerial()
+	ser.Initialize(g, nil)
+	out["serial"] = ser
+	return out
+}
+
+// TestDistributedSegmentationMatchesGlobal is the headline correctness test
+// of the use case: the distributed merge-tree dataflow, executed on every
+// runtime controller, produces exactly the per-vertex feature labels of the
+// serial global computation.
+func TestDistributedSegmentationMatchesGlobal(t *testing.T) {
+	const n = 16
+	field := data.SyntheticHCCI(n, n, n, 6, 2026)
+	decomp, err := data.NewDecomposition(n, n, n, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(decomp.Blocks(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Decomp: decomp, Threshold: 0.3}
+	want := SerialSegmentation(field, cfg.Threshold)
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no vertices above threshold")
+	}
+
+	for name, c := range e2eControllers(g, 4) {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.Register(c, g); err != nil {
+				t.Fatal(err)
+			}
+			initial, err := cfg.InitialInputs(field, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := c.Run(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != decomp.Blocks() {
+				t.Fatalf("got %d sink outputs, want %d", len(out), decomp.Blocks())
+			}
+			covered := 0
+			for i := 0; i < decomp.Blocks(); i++ {
+				ps := out[g.SegmentationTask(i)]
+				if len(ps) != 1 {
+					t.Fatalf("block %d: %d payloads", i, len(ps))
+				}
+				wire, _ := ps[0].Wire()
+				seg, err := DeserializeSegmentation(wire)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seg.Block != i {
+					t.Errorf("payload says block %d, want %d", seg.Block, i)
+				}
+				for vid, label := range seg.Labels {
+					wantLabel, ok := want[vid]
+					if !ok {
+						t.Errorf("block %d labels vertex %d below global threshold", i, vid)
+						continue
+					}
+					if label != wantLabel {
+						x, y, z := VertexCoords(vid, n, n)
+						t.Errorf("block %d vertex (%d,%d,%d): label %d, want %d", i, x, y, z, label, wantLabel)
+					}
+					covered++
+				}
+			}
+			if covered < len(want) {
+				t.Errorf("blocks covered %d labeled vertices, global has %d", covered, len(want))
+			}
+		})
+	}
+}
+
+// TestAllControllersProduceIdenticalBytes checks runtime-independence at
+// the byte level: every controller's serialized sink payloads are
+// identical.
+func TestAllControllersProduceIdenticalBytes(t *testing.T) {
+	const n = 12
+	field := data.SyntheticHCCI(n, n, n, 5, 7)
+	decomp, _ := data.NewDecomposition(n, n, n, 2, 2, 1)
+	g, err := NewGraph(decomp.Blocks(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Decomp: decomp, Threshold: 0.2}
+
+	var reference map[core.TaskId][]byte
+	for _, shards := range []int{1, 3, 8} {
+		for name, c := range e2eControllers(g, shards) {
+			if err := cfg.Register(c, g); err != nil {
+				t.Fatal(err)
+			}
+			initial, _ := cfg.InitialInputs(field, g)
+			out, err := c.Run(initial)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, shards, err)
+			}
+			bytesOut := make(map[core.TaskId][]byte)
+			for id, ps := range out {
+				w, _ := ps[0].Wire()
+				bytesOut[id] = w
+			}
+			if reference == nil {
+				reference = bytesOut
+				continue
+			}
+			for id, want := range reference {
+				if !bytes.Equal(bytesOut[id], want) {
+					t.Errorf("%s/%d: sink %x differs from reference", name, shards, uint64(id))
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureCountMatchesKernelCount: with well-separated kernels and a
+// suitable threshold the distributed pipeline finds one feature per kernel
+// (the Fig. 4 scenario).
+func TestFeatureCountMatchesKernelCount(t *testing.T) {
+	const n = 24
+	f := data.NewField(n, n, n)
+	// Three sharp, well-separated bumps.
+	centers := [][3]int{{4, 4, 4}, {16, 16, 8}, {6, 18, 18}}
+	for _, c := range centers {
+		for dz := -2; dz <= 2; dz++ {
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					d2 := dx*dx + dy*dy + dz*dz
+					x, y, z := c[0]+dx, c[1]+dy, c[2]+dz
+					v := f.At(x, y, z) + float32(10-d2)
+					f.Set(x, y, z, v)
+				}
+			}
+		}
+	}
+	decomp, _ := data.NewDecomposition(n, n, n, 2, 2, 2)
+	g, _ := NewGraph(8, 2)
+	cfg := Config{Decomp: decomp, Threshold: 3}
+
+	mc := mpi.New(mpi.Options{})
+	mc.Initialize(g, core.NewListMap(3, g.TaskIds()))
+	if err := cfg.Register(mc, g); err != nil {
+		t.Fatal(err)
+	}
+	initial, _ := cfg.InitialInputs(f, g)
+	out, err := mc.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make(map[uint64]bool)
+	total := 0
+	for i := 0; i < 8; i++ {
+		w, _ := out[g.SegmentationTask(i)][0].Wire()
+		seg, _ := DeserializeSegmentation(w)
+		for _, label := range seg.Labels {
+			features[label] = true
+		}
+		total += len(seg.Labels)
+	}
+	if len(features) != 3 {
+		t.Errorf("found %d features, want 3", len(features))
+	}
+	if total == 0 {
+		t.Error("no labeled vertices")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, _ := NewGraph(4, 2)
+	c := core.NewSerial()
+	c.Initialize(g, nil)
+	if err := (Config{Threshold: 0}).Register(c, g); err == nil {
+		t.Error("missing decomposition should fail")
+	}
+	wrongDecomp, _ := data.NewDecomposition(8, 8, 8, 2, 2, 2)
+	if err := (Config{Decomp: wrongDecomp}).Register(c, g); err == nil {
+		t.Error("block-count mismatch should fail")
+	}
+}
+
+func TestSegmentationSerializeRoundTrip(t *testing.T) {
+	s := Segmentation{Block: 3, Labels: map[uint64]uint64{9: 1, 2: 1, 40: 7}}
+	b := s.Serialize()
+	got, err := DeserializeSegmentation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block != 3 || len(got.Labels) != 3 || got.Labels[40] != 7 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DeserializeSegmentation(b[:10]); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if _, err := DeserializeSegmentation(b[:len(b)-8]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+}
+
+// TestScalingShapes executes the same dataflow over several shard counts on
+// the MPI controller and confirms output invariance (the over-decomposition
+// property of §I).
+func TestScalingShapes(t *testing.T) {
+	const n = 16
+	field := data.SyntheticHCCI(n, n, n, 4, 99)
+	decomp, _ := data.NewDecomposition(n, n, n, 4, 2, 1)
+	g, err := NewGraph(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Decomp: decomp, Threshold: 0.25}
+	var ref []byte
+	for _, shards := range []int{1, 2, 7, 16, 40} {
+		mc := mpi.New(mpi.Options{})
+		mc.Initialize(g, core.NewListMap(shards, g.TaskIds()))
+		if err := cfg.Register(mc, g); err != nil {
+			t.Fatal(err)
+		}
+		initial, _ := cfg.InitialInputs(field, g)
+		out, err := mc.Run(initial)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var all []byte
+		for i := 0; i < 8; i++ {
+			w, _ := out[g.SegmentationTask(i)][0].Wire()
+			all = append(all, w...)
+		}
+		if ref == nil {
+			ref = all
+		} else if !bytes.Equal(ref, all) {
+			t.Errorf("shards=%d produced different labels", shards)
+		}
+	}
+}
+
+func ExampleConfig_Register() {
+	field := data.SyntheticHCCI(8, 8, 8, 3, 1)
+	decomp, _ := data.NewDecomposition(8, 8, 8, 2, 1, 1)
+	g, _ := NewGraph(2, 2)
+	cfg := Config{Decomp: decomp, Threshold: 0.3}
+
+	c := mpi.New(mpi.Options{})
+	c.Initialize(g, core.NewListMap(2, g.TaskIds()))
+	cfg.Register(c, g)
+	initial, _ := cfg.InitialInputs(field, g)
+	out, _ := c.Run(initial)
+	fmt.Println(len(out) == 2)
+	// Output: true
+}
+
+// TestLargeScaleStress runs a 64-block, 3-level dataflow (841 tasks) on the
+// concurrent controllers against the serial global reference. Skipped in
+// -short mode.
+func TestLargeScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 32
+	field := data.SyntheticHCCI(n, n, n, 10, 64064)
+	decomp, err := data.NewDecomposition(n, n, n, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Decomp: decomp, Threshold: 0.25}
+	want := SerialSegmentation(field, cfg.Threshold)
+
+	for name, c := range map[string]core.Controller{
+		"mpi": func() core.Controller {
+			m := mpi.New(mpi.Options{Workers: 8})
+			m.Initialize(g, core.NewListMap(16, g.TaskIds()))
+			return m
+		}(),
+		"charm": func() core.Controller {
+			m := charm.New(charm.Options{PEs: 16, LBPeriod: 16})
+			m.Initialize(g, nil)
+			return m
+		}(),
+		"legion-spmd": func() core.Controller {
+			m := legion.NewSPMD(legion.Options{})
+			m.Initialize(g, core.NewListMap(16, g.TaskIds()))
+			return m
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.Register(c, g); err != nil {
+				t.Fatal(err)
+			}
+			initial, err := cfg.InitialInputs(field, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := c.Run(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mismatches := 0
+			for i := 0; i < 64; i++ {
+				wire, _ := out[g.SegmentationTask(i)][0].Wire()
+				seg, err := DeserializeSegmentation(wire)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for vid, rep := range seg.Labels {
+					if want[vid] != rep {
+						mismatches++
+					}
+				}
+			}
+			if mismatches != 0 {
+				t.Errorf("%d label mismatches vs serial", mismatches)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package mergetree
+
+import (
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+// VertexId computes the global vertex id of domain coordinates (x, y, z) in
+// an nx*ny*nz domain, x-fastest.
+func VertexId(x, y, z, nx, ny int) uint64 {
+	return uint64((z*ny+y)*nx + x)
+}
+
+// VertexCoords inverts VertexId.
+func VertexCoords(id uint64, nx, ny int) (x, y, z int) {
+	i := int(id)
+	x = i % nx
+	y = (i / nx) % ny
+	z = i / (nx * ny)
+	return
+}
+
+// FromField computes the augmented merge tree of one block of a scalar
+// field, restricted to vertices with value >= threshold, using
+// 6-connectivity. Vertices carry global domain ids (the block's origin and
+// the domain dimensions determine them), so trees of adjacent blocks share
+// the ids of their common ghost-layer vertices and can be joined.
+func FromField(block *data.Field, originX, originY, originZ, domainNX, domainNY int, threshold float32) *Tree {
+	values := make(map[uint64]float32)
+	for z := 0; z < block.NZ; z++ {
+		for y := 0; y < block.NY; y++ {
+			for x := 0; x < block.NX; x++ {
+				v := block.At(x, y, z)
+				if v >= threshold {
+					values[VertexId(originX+x, originY+y, originZ+z, domainNX, domainNY)] = v
+				}
+			}
+		}
+	}
+	offsets := [6][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}}
+	adj := func(id uint64) []uint64 {
+		gx, gy, gz := VertexCoords(id, domainNX, domainNY)
+		x, y, z := gx-originX, gy-originY, gz-originZ
+		var out []uint64
+		for _, o := range offsets {
+			nx, ny, nz := x+o[0], y+o[1], z+o[2]
+			if nx < 0 || nx >= block.NX || ny < 0 || ny >= block.NY || nz < 0 || nz >= block.NZ {
+				continue
+			}
+			nid := VertexId(originX+nx, originY+ny, originZ+nz, domainNX, domainNY)
+			if _, ok := values[nid]; ok {
+				out = append(out, nid)
+			}
+		}
+		return out
+	}
+	return compute(values, adj)
+}
+
+// BoundaryKeeper returns a keep-predicate for Tree.Reduce that retains
+// vertices lying on the internal face planes of a block decomposition —
+// the vertices shared between adjacent blocks, through which cross-block
+// connectivity flows. Join tasks reduce their merged trees with it before
+// forwarding, bounding the tree sizes exchanged up the reduction.
+func BoundaryKeeper(d *data.Decomposition) func(id uint64) bool {
+	sx, sy, sz := d.NX/d.BXN, d.NY/d.BYN, d.NZ/d.BZN
+	return func(id uint64) bool {
+		x, y, z := VertexCoords(id, d.NX, d.NY)
+		if x > 0 && x%sx == 0 {
+			return true
+		}
+		if y > 0 && y%sy == 0 {
+			return true
+		}
+		return z > 0 && z%sz == 0
+	}
+}

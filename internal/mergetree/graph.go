@@ -1,0 +1,306 @@
+package mergetree
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Task phases of the merge-tree dataflow, encoded in the top bits of the
+// task id (the paper's prefix technique: each phase numbers its tasks
+// independently).
+const (
+	phaseLocal uint16 = iota
+	phaseJoin
+	phaseRelay
+	phaseCorrection
+	phaseSegmentation
+)
+
+// phaseShift is the bit position of the phase prefix.
+const phaseShift = 48
+
+// Callback slots of the merge-tree dataflow, in Callbacks() order.
+const (
+	// CBLocal computes the augmented local tree and the boundary tree of
+	// one block.
+	CBLocal core.CallbackId = iota
+	// CBJoin merges k boundary trees and forwards the reduced result.
+	CBJoin
+	// CBRelay forwards an augmented boundary tree down the broadcast
+	// overlay.
+	CBRelay
+	// CBCorrection merges an augmented boundary tree into a block's local
+	// tree.
+	CBCorrection
+	// CBSegmentation extracts the final per-block segmentation.
+	CBSegmentation
+)
+
+// Graph is the merge-tree dataflow of Fig. 5: a k-way reduction of join
+// tasks over k^d leaves, per-join broadcast overlays of relay tasks that
+// fan the augmented boundary trees back out, one correction task per block
+// per join level, and a final segmentation task per block.
+//
+// Tree node positions use complete k-ary numbering: root 0, children of m
+// are m*k+1 .. m*k+k; internal nodes occupy [0, nI) and leaf i sits at node
+// nI+i.
+type Graph struct {
+	k, d     int
+	leafs    int // k^d
+	nI       int // internal tree nodes: (k^d - 1)/(k - 1)
+	treeSize int // nI + leafs
+}
+
+// NewGraph returns the merge-tree dataflow over k^d blocks with valence k.
+// At least one join level is required (leafs >= valence).
+func NewGraph(leafs, valence int) (*Graph, error) {
+	if valence < 2 {
+		return nil, fmt.Errorf("mergetree: valence must be >= 2, got %d", valence)
+	}
+	d, n := 0, 1
+	for n < leafs {
+		n *= valence
+		d++
+	}
+	if n != leafs {
+		return nil, fmt.Errorf("mergetree: %d blocks is not a power of valence %d", leafs, valence)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("mergetree: need at least %d blocks (one join level)", valence)
+	}
+	nI := (leafs - 1) / (valence - 1)
+	return &Graph{k: valence, d: d, leafs: leafs, nI: nI, treeSize: nI + leafs}, nil
+}
+
+// Leafs returns the number of blocks.
+func (g *Graph) Leafs() int { return g.leafs }
+
+// Valence returns the reduction fan-in.
+func (g *Graph) Valence() int { return g.k }
+
+// Depth returns the number of join levels.
+func (g *Graph) Depth() int { return g.d }
+
+// pid packs a phase and a phase-local index into a task id.
+func pid(phase uint16, rest int) core.TaskId {
+	return core.TaskId(uint64(phase)<<phaseShift | uint64(rest))
+}
+
+// split unpacks a task id.
+func split(id core.TaskId) (phase uint16, rest int) {
+	return uint16(uint64(id) >> phaseShift), int(uint64(id) & (1<<phaseShift - 1))
+}
+
+// LeafTask returns the local-compute task id of block i.
+func (g *Graph) LeafTask(i int) core.TaskId { return pid(phaseLocal, i) }
+
+// SegmentationTask returns the segmentation task id of block i; its sink
+// output carries the block's final labels.
+func (g *Graph) SegmentationTask(i int) core.TaskId { return pid(phaseSegmentation, i) }
+
+// JoinTask returns the join task id at tree position m.
+func (g *Graph) JoinTask(m int) core.TaskId { return pid(phaseJoin, m) }
+
+// LeafIds returns the local-compute task ids in block order.
+func (g *Graph) LeafIds() []core.TaskId {
+	ids := make([]core.TaskId, g.leafs)
+	for i := range ids {
+		ids[i] = g.LeafTask(i)
+	}
+	return ids
+}
+
+// depthOf returns the depth of tree node m (root 0 has depth 0).
+func (g *Graph) depthOf(m int) int {
+	depth, first, count := 0, 0, 1
+	for m >= first+count {
+		first += count
+		count *= g.k
+		depth++
+	}
+	return depth
+}
+
+// relayCountPerLevel returns the number of relay positions for a source
+// join at depth l: tree nodes at depths l+1 .. d-1.
+func (g *Graph) relayNodesForLevel(l int) []int {
+	var out []int
+	first, count := 0, 1
+	for t := 0; t <= g.d-1; t++ {
+		if t > l {
+			for m := first; m < first+count; m++ {
+				out = append(out, m)
+			}
+		}
+		first += count
+		count *= g.k
+	}
+	return out
+}
+
+// Size implements core.TaskGraph.
+func (g *Graph) Size() int {
+	relays := 0
+	for l := 0; l <= g.d-2; l++ {
+		relays += len(g.relayNodesForLevel(l))
+	}
+	return g.leafs + g.nI + relays + g.d*g.leafs + g.leafs
+}
+
+// Callbacks implements core.TaskGraph.
+func (g *Graph) Callbacks() []core.CallbackId {
+	return []core.CallbackId{CBLocal, CBJoin, CBRelay, CBCorrection, CBSegmentation}
+}
+
+// TaskIds implements core.TaskGraph.
+func (g *Graph) TaskIds() []core.TaskId {
+	ids := make([]core.TaskId, 0, g.Size())
+	for i := 0; i < g.leafs; i++ {
+		ids = append(ids, pid(phaseLocal, i))
+	}
+	for m := 0; m < g.nI; m++ {
+		ids = append(ids, pid(phaseJoin, m))
+	}
+	for l := 0; l <= g.d-2; l++ {
+		for _, m := range g.relayNodesForLevel(l) {
+			ids = append(ids, pid(phaseRelay, l*g.treeSize+m))
+		}
+	}
+	for l := 0; l <= g.d-1; l++ {
+		for i := 0; i < g.leafs; i++ {
+			ids = append(ids, pid(phaseCorrection, l*g.leafs+i))
+		}
+	}
+	for i := 0; i < g.leafs; i++ {
+		ids = append(ids, pid(phaseSegmentation, i))
+	}
+	return ids
+}
+
+// augSource returns the task that delivers the level-l augmented boundary
+// tree to block i's correction: the covering join directly at the deepest
+// level, otherwise the last relay of the overlay.
+func (g *Graph) augSource(l, i int) core.TaskId {
+	leafNode := g.nI + i
+	parent := (leafNode - 1) / g.k
+	if l == g.d-1 {
+		return pid(phaseJoin, parent)
+	}
+	return pid(phaseRelay, l*g.treeSize+parent)
+}
+
+// Task implements core.TaskGraph.
+func (g *Graph) Task(id core.TaskId) (core.Task, bool) {
+	phase, rest := split(id)
+	t := core.Task{Id: id}
+	switch phase {
+	case phaseLocal:
+		i := rest
+		if i < 0 || i >= g.leafs {
+			return core.Task{}, false
+		}
+		t.Callback = CBLocal
+		t.Incoming = []core.TaskId{core.ExternalInput}
+		leafNode := g.nI + i
+		t.Outgoing = [][]core.TaskId{
+			{pid(phaseJoin, (leafNode-1)/g.k)},        // boundary tree up
+			{pid(phaseCorrection, (g.d-1)*g.leafs+i)}, // local tree to first correction
+		}
+		return t, true
+
+	case phaseJoin:
+		m := rest
+		if m < 0 || m >= g.nI {
+			return core.Task{}, false
+		}
+		t.Callback = CBJoin
+		l := g.depthOf(m)
+		t.Incoming = make([]core.TaskId, g.k)
+		for c := 0; c < g.k; c++ {
+			child := m*g.k + c + 1
+			if child < g.nI {
+				t.Incoming[c] = pid(phaseJoin, child)
+			} else {
+				t.Incoming[c] = pid(phaseLocal, child-g.nI)
+			}
+		}
+		broadcast := make([]core.TaskId, g.k)
+		for c := 0; c < g.k; c++ {
+			child := m*g.k + c + 1
+			if l == g.d-1 {
+				broadcast[c] = pid(phaseCorrection, l*g.leafs+(child-g.nI))
+			} else {
+				broadcast[c] = pid(phaseRelay, l*g.treeSize+child)
+			}
+		}
+		if m == 0 {
+			t.Outgoing = [][]core.TaskId{broadcast}
+		} else {
+			t.Outgoing = [][]core.TaskId{{pid(phaseJoin, (m-1)/g.k)}, broadcast}
+		}
+		return t, true
+
+	case phaseRelay:
+		l := rest / g.treeSize
+		m := rest % g.treeSize
+		depth := g.depthOf(m)
+		if l < 0 || l > g.d-2 || depth < l+1 || depth > g.d-1 || m >= g.nI {
+			return core.Task{}, false
+		}
+		t.Callback = CBRelay
+		parent := (m - 1) / g.k
+		if depth == l+1 {
+			t.Incoming = []core.TaskId{pid(phaseJoin, parent)}
+		} else {
+			t.Incoming = []core.TaskId{pid(phaseRelay, l*g.treeSize+parent)}
+		}
+		targets := make([]core.TaskId, g.k)
+		for c := 0; c < g.k; c++ {
+			child := m*g.k + c + 1
+			if depth == g.d-1 {
+				targets[c] = pid(phaseCorrection, l*g.leafs+(child-g.nI))
+			} else {
+				targets[c] = pid(phaseRelay, l*g.treeSize+child)
+			}
+		}
+		t.Outgoing = [][]core.TaskId{targets}
+		return t, true
+
+	case phaseCorrection:
+		l := rest / g.leafs
+		i := rest % g.leafs
+		if l < 0 || l > g.d-1 || i < 0 || i >= g.leafs {
+			return core.Task{}, false
+		}
+		t.Callback = CBCorrection
+		var prev core.TaskId
+		if l == g.d-1 {
+			prev = pid(phaseLocal, i)
+		} else {
+			prev = pid(phaseCorrection, (l+1)*g.leafs+i)
+		}
+		t.Incoming = []core.TaskId{prev, g.augSource(l, i)}
+		var next core.TaskId
+		if l > 0 {
+			next = pid(phaseCorrection, (l-1)*g.leafs+i)
+		} else {
+			next = pid(phaseSegmentation, i)
+		}
+		t.Outgoing = [][]core.TaskId{{next}}
+		return t, true
+
+	case phaseSegmentation:
+		i := rest
+		if i < 0 || i >= g.leafs {
+			return core.Task{}, false
+		}
+		t.Callback = CBSegmentation
+		t.Incoming = []core.TaskId{pid(phaseCorrection, 0*g.leafs+i)}
+		t.Outgoing = [][]core.TaskId{{}}
+		return t, true
+	}
+	return core.Task{}, false
+}
+
+var _ core.TaskGraph = (*Graph)(nil)

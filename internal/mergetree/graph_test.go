@@ -1,0 +1,181 @@
+package mergetree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/dot"
+)
+
+func TestGraphValidates(t *testing.T) {
+	for _, c := range []struct{ leafs, k int }{{2, 2}, {4, 2}, {8, 2}, {16, 2}, {8, 8}, {64, 8}, {9, 3}, {27, 3}} {
+		g, err := NewGraph(c.leafs, c.k)
+		if err != nil {
+			t.Fatalf("NewGraph(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if err := core.Validate(g); err != nil {
+			t.Errorf("Validate(%d,%d): %v", c.leafs, c.k, err)
+		}
+		if got := len(core.Leaves(g)); got != c.leafs {
+			t.Errorf("(%d,%d): %d dataflow leaves, want %d", c.leafs, c.k, got, c.leafs)
+		}
+		if got := len(core.Roots(g)); got != c.leafs {
+			t.Errorf("(%d,%d): %d sinks, want %d (one segmentation per block)", c.leafs, c.k, got, c.leafs)
+		}
+	}
+}
+
+func TestGraphRejectsBadShapes(t *testing.T) {
+	if _, err := NewGraph(3, 2); err == nil {
+		t.Error("non-power leaf count should fail")
+	}
+	if _, err := NewGraph(1, 2); err == nil {
+		t.Error("single block (no join level) should fail")
+	}
+	if _, err := NewGraph(4, 1); err == nil {
+		t.Error("valence 1 should fail")
+	}
+}
+
+// TestGraphFig5Shape checks the four-leaf binary instance drawn in Fig. 5:
+// 4 local computations, 3 joins, 2 relays (only the root join needs an
+// overlay), 8 corrections (2 levels x 4 blocks) and 4 segmentations.
+func TestGraphFig5Shape(t *testing.T) {
+	g, err := NewGraph(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 4+3+2+8+4 {
+		t.Fatalf("Size = %d, want 21", g.Size())
+	}
+	counts := make(map[core.CallbackId]int)
+	for _, id := range g.TaskIds() {
+		task, ok := g.Task(id)
+		if !ok {
+			t.Fatalf("enumerated task %d missing", id)
+		}
+		counts[task.Callback]++
+	}
+	want := map[core.CallbackId]int{CBLocal: 4, CBJoin: 3, CBRelay: 2, CBCorrection: 8, CBSegmentation: 4}
+	for cb, n := range want {
+		if counts[cb] != n {
+			t.Errorf("callback %d count = %d, want %d", cb, counts[cb], n)
+		}
+	}
+}
+
+func TestGraphLeafWiring(t *testing.T) {
+	g, _ := NewGraph(4, 2)
+	leaf, _ := g.Task(g.LeafTask(0))
+	if len(leaf.Outgoing) != 2 {
+		t.Fatalf("leaf has %d output slots, want 2 (boundary, local)", len(leaf.Outgoing))
+	}
+	// Leaf 0 is tree node nI+0 = 3; parent join = (3-1)/2 = 1.
+	if leaf.Outgoing[0][0] != g.JoinTask(1) {
+		t.Errorf("boundary output goes to %d", leaf.Outgoing[0][0])
+	}
+	// Local tree goes to the deepest correction level (l = d-1 = 1).
+	corr := leaf.Outgoing[1][0]
+	ct, _ := g.Task(corr)
+	if ct.Callback != CBCorrection {
+		t.Errorf("slot 1 target is callback %d", ct.Callback)
+	}
+}
+
+func TestGraphRootJoinHasOnlyBroadcast(t *testing.T) {
+	g, _ := NewGraph(8, 2)
+	root, _ := g.Task(g.JoinTask(0))
+	if len(root.Outgoing) != 1 {
+		t.Fatalf("root join slots = %d, want 1", len(root.Outgoing))
+	}
+	nonroot, _ := g.Task(g.JoinTask(1))
+	if len(nonroot.Outgoing) != 2 {
+		t.Fatalf("non-root join slots = %d, want 2", len(nonroot.Outgoing))
+	}
+	if nonroot.Outgoing[0][0] != g.JoinTask(0) {
+		t.Errorf("non-root parent edge goes to %d", nonroot.Outgoing[0][0])
+	}
+}
+
+func TestGraphCorrectionChainOrder(t *testing.T) {
+	// Corrections run from the deepest join level to the root level, then
+	// feed segmentation.
+	g, _ := NewGraph(8, 2) // d = 3
+	// Correction chain of block 5: local -> corr(2,5) -> corr(1,5) -> corr(0,5) -> seg(5).
+	cur := pid(phaseCorrection, 2*8+5)
+	for l := 2; l >= 0; l-- {
+		task, ok := g.Task(cur)
+		if !ok {
+			t.Fatalf("missing correction l=%d", l)
+		}
+		if l > 0 {
+			next := task.Outgoing[0][0]
+			ph, rest := split(next)
+			if ph != phaseCorrection || rest != (l-1)*8+5 {
+				t.Fatalf("correction l=%d feeds %x", l, uint64(next))
+			}
+			cur = next
+		} else if task.Outgoing[0][0] != g.SegmentationTask(5) {
+			t.Fatalf("last correction feeds %x", uint64(task.Outgoing[0][0]))
+		}
+	}
+}
+
+func TestGraphDeepRelayOverlay(t *testing.T) {
+	// 16 leaves, k=2, d=4: root join (depth 0) broadcasts through relays at
+	// depths 1..3; check fan-out is bounded by k everywhere.
+	g, _ := NewGraph(16, 2)
+	for _, id := range g.TaskIds() {
+		task, _ := g.Task(id)
+		for slot, consumers := range task.Outgoing {
+			if len(consumers) > g.Valence() {
+				t.Errorf("task %x slot %d fans out to %d > k", uint64(id), slot, len(consumers))
+			}
+		}
+	}
+}
+
+func TestGraphDotGoldenFig5(t *testing.T) {
+	g, _ := NewGraph(4, 2)
+	var b strings.Builder
+	err := dot.Write(&b, g, dot.Options{
+		Name: "fig5",
+		Labels: map[core.CallbackId]string{
+			CBLocal: "local", CBJoin: "join", CBRelay: "relay",
+			CBCorrection: "correction", CBSegmentation: "segmentation",
+		},
+		RankByLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"local", "join", "relay", "correction", "segmentation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// 21 nodes.
+	if got := strings.Count(out, "fillcolor"); got != 21 {
+		t.Errorf("dot node count = %d, want 21", got)
+	}
+}
+
+func TestGraphTaskRejectsBadIds(t *testing.T) {
+	g, _ := NewGraph(4, 2)
+	bad := []core.TaskId{
+		pid(phaseLocal, 4),        // leaf out of range
+		pid(phaseJoin, 3),         // join out of range
+		pid(phaseRelay, 0),        // depth 0 is the root join, not a relay
+		pid(phaseCorrection, 2*4), // level out of range
+		pid(phaseSegmentation, 9),
+		core.TaskId(uint64(7) << phaseShift), // unknown phase
+		core.ExternalInput,
+	}
+	for _, id := range bad {
+		if _, ok := g.Task(id); ok {
+			t.Errorf("Task(%x) should not exist", uint64(id))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package mergetree
+
+import (
+	"sort"
+)
+
+// Pair is one persistence pair of the merge tree: a maximum and the saddle
+// at which its superlevel-set component merges into a component with a
+// higher maximum (the elder rule). Essential maxima — one per connected
+// component of the domain — never die; their Saddle is NoNode and their
+// Persistence is +Inf in spirit (reported as the maximum's own value).
+type Pair struct {
+	Max         uint64
+	Saddle      uint64
+	Persistence float32
+	Essential   bool
+}
+
+// PersistencePairs computes the persistence pairing of the tree's maxima
+// by a descending sweep: when components merge at a saddle, the component
+// whose maximum is lower (in sweep order) dies there. Pairs are returned
+// sorted by descending persistence, essential pairs first.
+func (t *Tree) PersistencePairs() []Pair {
+	_, pairs := t.sweepBranches(0, false)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Essential != pairs[j].Essential {
+			return pairs[i].Essential
+		}
+		if pairs[i].Persistence != pairs[j].Persistence {
+			return pairs[i].Persistence > pairs[j].Persistence
+		}
+		return pairs[i].Max < pairs[j].Max
+	})
+	return pairs
+}
+
+// BranchDecomposition labels every node of the tree with the maximum of
+// the branch it belongs to, after simplifying away branches whose
+// persistence is below minPersistence (their vertices join the surviving
+// branch at their death saddle). With minPersistence 0 this is the plain
+// branch decomposition; larger values give the noise-robust feature
+// segmentation topological analysis is used for.
+func (t *Tree) BranchDecomposition(minPersistence float32) map[uint64]uint64 {
+	labels, _ := t.sweepBranches(minPersistence, true)
+	return labels
+}
+
+// sweepBranches performs the descending sweep shared by PersistencePairs
+// and BranchDecomposition. It processes nodes from highest to lowest,
+// merging the child components arriving at each node; each node is labeled
+// with the representative maximum of its component at processing time.
+// Dying branches with persistence below minPersistence are remapped into
+// their survivor when simplify is set.
+func (t *Tree) sweepBranches(minPersistence float32, simplify bool) (map[uint64]uint64, []Pair) {
+	// Children lists (inverse parent arcs).
+	children := make(map[uint64][]uint64, len(t.value))
+	for c, p := range t.parent {
+		children[p] = append(children[p], c)
+	}
+	order := make([]uint64, 0, len(t.value))
+	for id := range t.value {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return above(t.value[order[i]], order[i], t.value[order[j]], order[j])
+	})
+
+	uf := newUnionFind()
+	best := make(map[uint64]uint64, len(t.value)) // component root -> branch max
+	labels := make(map[uint64]uint64, len(t.value))
+	remap := make(map[uint64]uint64)
+	var pairs []Pair
+
+	for _, v := range order {
+		uf.makeSet(v)
+		best[v] = v
+		// Merge every already-processed child component into v's.
+		survivor := v
+		var merged []uint64
+		for _, c := range children[v] {
+			rc := uf.find(c)
+			m := best[rc]
+			merged = append(merged, m)
+			if above(t.value[m], m, t.value[survivor], survivor) {
+				survivor = m
+			}
+		}
+		for _, c := range children[v] {
+			r := uf.union(uf.find(v), uf.find(c))
+			best[r] = survivor
+		}
+		// Every non-surviving branch dies at v.
+		for _, m := range merged {
+			if m == survivor {
+				continue
+			}
+			pers := t.value[m] - t.value[v]
+			pairs = append(pairs, Pair{Max: m, Saddle: v, Persistence: pers})
+			if simplify && pers < minPersistence {
+				remap[m] = survivor
+			}
+		}
+		labels[v] = survivor
+	}
+
+	// Essential maxima: the best of every final component.
+	roots := make(map[uint64]bool)
+	for id := range t.value {
+		roots[uf.find(id)] = true
+	}
+	for r := range roots {
+		m := best[r]
+		pairs = append(pairs, Pair{Max: m, Persistence: t.value[m], Essential: true})
+	}
+
+	if simplify {
+		resolve := func(m uint64) uint64 {
+			for {
+				next, ok := remap[m]
+				if !ok {
+					return m
+				}
+				m = next
+			}
+		}
+		for v, m := range labels {
+			labels[v] = resolve(m)
+		}
+	}
+	return labels, pairs
+}
+
+// FeatureCount returns the number of features with persistence at least
+// minPersistence — the hierarchy the paper's topological use case explores
+// by varying thresholds.
+func (t *Tree) FeatureCount(minPersistence float32) int {
+	n := 0
+	for _, p := range t.PersistencePairs() {
+		if p.Essential || p.Persistence >= minPersistence {
+			n++
+		}
+	}
+	return n
+}

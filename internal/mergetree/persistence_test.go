@@ -1,0 +1,141 @@
+package mergetree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+func TestPersistencePairsSimpleRidge(t *testing.T) {
+	// 5 3 1 2 4: maxima at 0 (value 5) and 4 (value 4); they merge at
+	// vertex 2 (value 1). Elder rule: the lower maximum (4) dies there.
+	f := lineField(5, 3, 1, 2, 4)
+	tr := FromField(f, 0, 0, 0, 5, 1, -100)
+	pairs := tr.PersistencePairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if !pairs[0].Essential || pairs[0].Max != 0 {
+		t.Errorf("essential pair = %+v, want max 0", pairs[0])
+	}
+	p := pairs[1]
+	if p.Essential || p.Max != 4 || p.Saddle != 2 || p.Persistence != 3 {
+		t.Errorf("finite pair = %+v, want (4, 2, 3)", p)
+	}
+}
+
+func TestPersistencePairsThreePeaks(t *testing.T) {
+	// 5 1 4 2 6: maxima 0(5), 2(4), 4(6). 2 merges with a neighbor at its
+	// higher adjacent saddle 3 (value 2): pers 2. 0 merges with the
+	// combined component at saddle 1 (value 1): pers 4. Essential: 4.
+	f := lineField(5, 1, 4, 2, 6)
+	tr := FromField(f, 0, 0, 0, 5, 1, -100)
+	pairs := tr.PersistencePairs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if !pairs[0].Essential || pairs[0].Max != 4 {
+		t.Errorf("essential = %+v", pairs[0])
+	}
+	if pairs[1].Max != 0 || pairs[1].Saddle != 1 || pairs[1].Persistence != 4 {
+		t.Errorf("pair[1] = %+v, want (0, 1, 4)", pairs[1])
+	}
+	if pairs[2].Max != 2 || pairs[2].Saddle != 3 || pairs[2].Persistence != 2 {
+		t.Errorf("pair[2] = %+v, want (2, 3, 2)", pairs[2])
+	}
+}
+
+func TestBranchDecompositionLabels(t *testing.T) {
+	f := lineField(5, 3, 1, 2, 4)
+	tr := FromField(f, 0, 0, 0, 5, 1, -100)
+	labels := tr.BranchDecomposition(0)
+	// Vertices 0,1 belong to branch 0; 3,4 to branch 4; the saddle 2 joins
+	// the surviving branch 0.
+	want := map[uint64]uint64{0: 0, 1: 0, 2: 0, 3: 4, 4: 4}
+	for v, m := range want {
+		if labels[v] != m {
+			t.Errorf("label[%d] = %d, want %d", v, labels[v], m)
+		}
+	}
+	// Simplifying away branch 4 (persistence 3) folds everything into 0.
+	simplified := tr.BranchDecomposition(3.5)
+	for v := uint64(0); v < 5; v++ {
+		if simplified[v] != 0 {
+			t.Errorf("simplified label[%d] = %d, want 0", v, simplified[v])
+		}
+	}
+}
+
+func TestBranchDecompositionChainRemap(t *testing.T) {
+	// 6 1.5 4 2 5: branch 2 (pers 2) dies into branch 4's component at
+	// saddle 3; branch 4 (pers 3.5) dies into 0 at saddle 1. With minPers
+	// 4, both remaps chain: everything labels 0.
+	f := lineField(6, 1.5, 4, 2, 5)
+	tr := FromField(f, 0, 0, 0, 5, 1, -100)
+	labels := tr.BranchDecomposition(4)
+	for v := uint64(0); v < 5; v++ {
+		if labels[v] != 0 {
+			t.Errorf("label[%d] = %d, want 0 after chained simplification", v, labels[v])
+		}
+	}
+}
+
+func TestFeatureCountMonotone(t *testing.T) {
+	f := data.SyntheticHCCI(16, 16, 16, 8, 77)
+	tr := FromField(f, 0, 0, 0, 16, 16, 0.05)
+	prev := math.MaxInt
+	for _, p := range []float32{0, 0.05, 0.1, 0.2, 0.5, 1, 10} {
+		n := tr.FeatureCount(p)
+		if n > prev {
+			t.Fatalf("feature count increased from %d to %d at persistence %f", prev, n, p)
+		}
+		if n < 1 {
+			t.Fatalf("feature count dropped below 1 (essential features remain)")
+		}
+		prev = n
+	}
+	// At persistence 0 every maximum is a feature.
+	if got, want := tr.FeatureCount(0), len(tr.PersistencePairs()); got != want {
+		t.Errorf("FeatureCount(0) = %d, want %d", got, want)
+	}
+}
+
+// TestPersistenceMatchesDistributedTree: the persistence pairs of the
+// corrected distributed tree (root join of reduced boundary trees merged
+// with a local tree) match the global tree's pairs for features above the
+// reduction's resolution.
+func TestPersistenceMatchesDistributedTree(t *testing.T) {
+	f := data.SyntheticHCCI(12, 12, 12, 5, 3)
+	d, _ := data.NewDecomposition(12, 12, 12, 2, 2, 2)
+	keep := BoundaryKeeper(d)
+	var trees []*Tree
+	for i := 0; i < d.Blocks(); i++ {
+		blk, _ := d.Extract(f, i)
+		b := d.Block(i)
+		trees = append(trees, FromField(blk, b.X0, b.Y0, b.Z0, 12, 12, 0.1).Reduce(keep))
+	}
+	merged := Merge(trees...)
+	global := FromField(f, 0, 0, 0, 12, 12, 0.1)
+
+	mp := merged.PersistencePairs()
+	gp := global.PersistencePairs()
+	if len(mp) != len(gp) {
+		t.Fatalf("pair counts differ: %d vs %d", len(mp), len(gp))
+	}
+	for i := range gp {
+		if mp[i].Max != gp[i].Max || mp[i].Persistence != gp[i].Persistence || mp[i].Essential != gp[i].Essential {
+			t.Errorf("pair %d: merged %+v, global %+v", i, mp[i], gp[i])
+		}
+	}
+}
+
+func TestPersistenceEmptyTree(t *testing.T) {
+	tr := NewTree()
+	if pairs := tr.PersistencePairs(); len(pairs) != 0 {
+		t.Errorf("empty tree pairs = %+v", pairs)
+	}
+	if n := tr.FeatureCount(0); n != 0 {
+		t.Errorf("empty tree features = %d", n)
+	}
+}

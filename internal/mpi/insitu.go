@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// Group is the in-situ coupling mode of the MPI controller (§III of the
+// paper): instead of one driver starting the whole dataflow, the graph is
+// split across the ranks and each rank instantiates only its assigned
+// sub-graph, requiring only the data local to that rank. Each simulation
+// rank obtains its Shard, registers the callbacks, hands over its local
+// external inputs and calls Run — typically concurrently from the host
+// application's per-rank control flow.
+type Group struct {
+	ctrl *Controller
+	fab  *fabric.Fabric
+
+	mu       sync.Mutex
+	firstErr error
+	started  map[int]bool
+}
+
+// NewGroup prepares an in-situ execution of the graph over the task map's
+// shards. The options follow the standalone controller.
+func NewGroup(g core.TaskGraph, m core.TaskMap, opt Options) (*Group, error) {
+	c := New(opt)
+	if err := c.Initialize(g, m); err != nil {
+		return nil, err
+	}
+	var fab *fabric.Fabric
+	if c.opt.Blocking {
+		fab = fabric.NewBlocking(m.ShardCount())
+	} else {
+		fab = fabric.New(m.ShardCount())
+	}
+	return &Group{ctrl: c, fab: fab, started: make(map[int]bool)}, nil
+}
+
+// RegisterCallback binds a task type's implementation for every shard of
+// the group (in situ, every rank runs the same analysis code).
+func (gr *Group) RegisterCallback(cb core.CallbackId, fn core.Callback) error {
+	return gr.ctrl.reg.Register(cb, fn)
+}
+
+// Ranks returns the number of shards of the group.
+func (gr *Group) Ranks() int { return gr.fab.Ranks() }
+
+// Shard returns the per-rank handle.
+func (gr *Group) Shard(rank int) (*Shard, error) {
+	if rank < 0 || rank >= gr.fab.Ranks() {
+		return nil, fmt.Errorf("mpi: group has no rank %d", rank)
+	}
+	return &Shard{group: gr, rank: rank}, nil
+}
+
+// abort records the first failure and cancels the fabric so every shard
+// unwinds.
+func (gr *Group) abort(err error) {
+	gr.mu.Lock()
+	if gr.firstErr == nil {
+		gr.firstErr = err
+	}
+	gr.mu.Unlock()
+	gr.fab.Cancel()
+}
+
+// Err returns the first error any shard hit.
+func (gr *Group) Err() error {
+	gr.mu.Lock()
+	defer gr.mu.Unlock()
+	return gr.firstErr
+}
+
+// Shard is one rank's view of an in-situ dataflow execution.
+type Shard struct {
+	group *Group
+	rank  int
+}
+
+// Rank returns the shard's rank.
+func (s *Shard) Rank() int { return s.rank }
+
+// LocalTasks returns the tasks assigned to this rank.
+func (s *Shard) LocalTasks() ([]core.Task, error) {
+	return core.LocalGraph(s.group.ctrl.graph, s.group.ctrl.tmap, core.ShardId(s.rank))
+}
+
+// checkLocalInitial verifies the rank-local external inputs: exactly the
+// ExternalInput slots of this rank's tasks must be covered.
+func (s *Shard) checkLocalInitial(initial map[core.TaskId][]core.Payload) error {
+	local, err := s.LocalTasks()
+	if err != nil {
+		return err
+	}
+	want := make(map[core.TaskId]int)
+	for _, t := range local {
+		n := 0
+		for _, in := range t.Incoming {
+			if in == core.ExternalInput {
+				n++
+			}
+		}
+		if n > 0 {
+			want[t.Id] = n
+		}
+	}
+	for id, ps := range initial {
+		n, ok := want[id]
+		if !ok {
+			return fmt.Errorf("mpi: rank %d received inputs for task %d, which expects none (or is not local)", s.rank, id)
+		}
+		if len(ps) != n {
+			return fmt.Errorf("mpi: rank %d task %d expects %d external inputs, got %d", s.rank, id, n, len(ps))
+		}
+		delete(want, id)
+	}
+	for id := range want {
+		return fmt.Errorf("mpi: rank %d task %d is missing its external inputs", s.rank, id)
+	}
+	return nil
+}
+
+// Run executes this rank's sub-graph: it consumes the rank-local external
+// inputs, exchanges messages with the other shards through the group's
+// fabric, and returns the sink outputs produced by tasks of this rank. It
+// blocks until the local sub-graph completes (or any shard fails) and must
+// be called exactly once per rank, typically concurrently across ranks.
+func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	gr := s.group
+	gr.mu.Lock()
+	if gr.started[s.rank] {
+		gr.mu.Unlock()
+		return nil, fmt.Errorf("mpi: rank %d already ran", s.rank)
+	}
+	gr.started[s.rank] = true
+	gr.mu.Unlock()
+
+	if err := gr.ctrl.reg.Covers(gr.ctrl.graph); err != nil {
+		gr.abort(err)
+		return nil, err
+	}
+	if err := s.checkLocalInitial(initial); err != nil {
+		gr.abort(err)
+		return nil, err
+	}
+
+	results := make(map[core.TaskId][]core.Payload)
+	var resMu sync.Mutex
+	if err := gr.ctrl.runRank(s.rank, gr.fab, gr.abort, initial, results, &resMu); err != nil {
+		gr.abort(err)
+	}
+	if err := gr.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,299 @@
+// Package mpi implements the MPI runtime controller of the paper (§IV-A):
+// static task placement via a task map, asynchronous point-to-point
+// messages, and a per-rank thread pool that executes tasks greedily as soon
+// as their inputs arrive.
+//
+// Each rank instantiates a separate controller loop that owns the local
+// sub-graph, posts receives, tracks input readiness and hands ready tasks to
+// background workers. Intra-rank messages skip serialization and pass the
+// payload pointer directly; inter-rank messages (and fan-out copies) are
+// serialized. A task assumes ownership of its inputs and relinquishes
+// ownership of its outputs, so no data races occur on payloads.
+//
+// In this reproduction "ranks" are goroutine groups connected by the
+// in-process fabric rather than OS processes on a Cray; the control
+// structure — who serializes what, when tasks dispatch, what blocks —
+// follows the paper's controller.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Workers is the per-rank thread-pool size; ready tasks beyond it queue.
+	// Zero selects the default of 4.
+	Workers int
+	// Inline executes tasks inside the controller loop instead of on the
+	// pool — the single-threaded execution style of the hand-tuned baseline.
+	Inline bool
+	// Blocking switches the fabric to rendezvous sends, modeling blocking
+	// MPI_Send of large (rendezvous-protocol) messages. Like real
+	// unbuffered blocking sends, it can deadlock on dataflows where two
+	// ranks send to each other simultaneously; the safe single-threaded
+	// "Original MPI" baseline of Fig. 6 uses Inline with asynchronous
+	// sends, which removes compute/communication overlap (the effect the
+	// paper attributes the performance gap to) without the deadlock.
+	Blocking bool
+	// AlwaysSerialize disables the in-memory message optimization, forcing
+	// every payload through serialization (ablation).
+	AlwaysSerialize bool
+	// Observer, when non-nil, receives a notification per executed task.
+	Observer core.Observer
+}
+
+// Controller executes task graphs in MPI style. Create one, Initialize it
+// with a graph and task map, register callbacks, then Run.
+type Controller struct {
+	opt   Options
+	graph core.TaskGraph
+	tmap  core.TaskMap
+	reg   *core.Registry
+
+	// Stats from the last Run.
+	lastStats fabric.Stats
+}
+
+// New returns an MPI controller with the given options.
+func New(opt Options) *Controller {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	return &Controller{opt: opt, reg: core.NewRegistry()}
+}
+
+// Initialize implements core.Controller. The task map is required: it
+// determines which tasks are assigned to which rank. Not all ranks must be
+// assigned tasks, nor is there a limit per rank — running a graph on fewer
+// ranks trades distributed for shared-memory parallelism.
+func (c *Controller) Initialize(g core.TaskGraph, m core.TaskMap) error {
+	if g == nil {
+		return fmt.Errorf("mpi: nil task graph")
+	}
+	if m == nil {
+		return fmt.Errorf("mpi: the MPI controller requires a task map")
+	}
+	if err := core.Validate(g); err != nil {
+		return err
+	}
+	if err := core.ValidateMap(g, m); err != nil {
+		return err
+	}
+	c.graph, c.tmap = g, m
+	return nil
+}
+
+// RegisterCallback implements core.Controller.
+func (c *Controller) RegisterCallback(cb core.CallbackId, fn core.Callback) error {
+	if c.graph == nil {
+		return core.ErrNotInitialized
+	}
+	return c.reg.Register(cb, fn)
+}
+
+// Stats returns the inter-rank traffic of the last Run.
+func (c *Controller) Stats() fabric.Stats { return c.lastStats }
+
+// Run implements core.Controller.
+func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	if c.graph == nil {
+		return nil, core.ErrNotInitialized
+	}
+	if err := c.reg.Covers(c.graph); err != nil {
+		return nil, err
+	}
+	if err := core.CheckInitial(c.graph, initial); err != nil {
+		return nil, err
+	}
+
+	ranks := c.tmap.ShardCount()
+	var fab *fabric.Fabric
+	if c.opt.Blocking {
+		fab = fabric.NewBlocking(ranks)
+	} else {
+		fab = fabric.New(ranks)
+	}
+
+	results := make(map[core.TaskId][]core.Payload)
+	var resMu sync.Mutex
+	var firstErr error
+	var errMu sync.Mutex
+	abort := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		fab.Cancel()
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := c.runRank(rank, fab, abort, initial, results, &resMu); err != nil {
+				abort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	c.lastStats = fab.Snapshot()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runRank is the per-rank controller loop.
+func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+	local, err := core.LocalGraph(c.graph, c.tmap, core.ShardId(rank))
+	if err != nil {
+		return err
+	}
+	if len(local) == 0 {
+		return nil // rank with no assigned tasks
+	}
+	tasks := make(map[core.TaskId]core.Task, len(local))
+	for _, t := range local {
+		tasks[t.Id] = t
+	}
+
+	st := core.NewDataflowState(c.graph)
+	remaining := len(local)
+
+	// Worker pool: a semaphore bounds concurrent task execution; each task
+	// runs on its own goroutine, as in the paper's thread-per-ready-task
+	// model, and routes its outputs when done. A failing worker records the
+	// cause and cancels the fabric so every rank unwinds.
+	sem := make(chan struct{}, c.opt.Workers)
+	var workers sync.WaitGroup
+
+	execute := func(t core.Task, in []core.Payload) {
+		out, err := c.runTask(t, in)
+		if err != nil {
+			abort(err)
+			return
+		}
+		if err := c.route(rank, fab, t, out, results, resMu); err != nil {
+			abort(err)
+		}
+	}
+	dispatch := func(t core.Task, in []core.Payload) {
+		if c.opt.Inline {
+			execute(t, in)
+			return
+		}
+		workers.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer workers.Done()
+			defer func() { <-sem }()
+			execute(t, in)
+		}()
+	}
+
+	// Feed external inputs for local leaf tasks, then dispatch tasks that
+	// are immediately ready.
+	for _, t := range local {
+		for _, p := range initial[t.Id] {
+			if err := st.DeliverExternal(t.Id, p); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range local {
+		if in, ok := st.Take(t.Id); ok {
+			dispatch(t, in)
+			remaining--
+		}
+	}
+
+	// Receive loop: every arriving message targets a local task. Tasks are
+	// scheduled greedily, in the order their last input arrives.
+	for remaining > 0 {
+		m, ok := fab.Recv(rank)
+		if !ok {
+			// The fabric was cancelled; the aborting goroutine recorded
+			// the cause.
+			workers.Wait()
+			return nil
+		}
+		t, ok := tasks[m.Dest]
+		if !ok {
+			workers.Wait()
+			return fmt.Errorf("mpi: rank %d received message for non-local task %d", rank, m.Dest)
+		}
+		if err := st.Deliver(m.Dest, m.Src, m.Payload); err != nil {
+			workers.Wait()
+			return err
+		}
+		if in, ok := st.Take(m.Dest); ok {
+			dispatch(t, in)
+			remaining--
+		}
+	}
+	workers.Wait()
+	return nil
+}
+
+// runTask executes one task's callback.
+func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, error) {
+	fn, ok := c.reg.Lookup(t.Callback)
+	if !ok {
+		return nil, fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
+	}
+	out, err := core.SafeInvoke(fn, in, t.Id)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: task %d (callback %d): %w", t.Id, t.Callback, err)
+	}
+	if len(out) != len(t.Outgoing) {
+		return nil, fmt.Errorf("mpi: task %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
+	}
+	if c.opt.Observer != nil {
+		c.opt.Observer.TaskExecuted(t.Id, c.tmap.Shard(t.Id), t.Callback)
+	}
+	return out, nil
+}
+
+// route delivers a finished task's outputs: sink slots into the result map,
+// intra-rank single-consumer edges as in-memory messages, everything else
+// serialized over the fabric.
+func (c *Controller) route(rank int, fab *fabric.Fabric, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+	for slot, consumers := range t.Outgoing {
+		if len(consumers) == 0 {
+			resMu.Lock()
+			results[t.Id] = append(results[t.Id], out[slot])
+			resMu.Unlock()
+			continue
+		}
+		for i, dest := range consumers {
+			destRank := int(c.tmap.Shard(dest))
+			p := out[slot]
+			inMemory := destRank == rank && i == len(consumers)-1 && !c.opt.AlwaysSerialize
+			if !inMemory {
+				// Inter-rank transfer or fan-out: serialize a copy so the
+				// receiver owns its data.
+				cp, err := p.CloneForWire()
+				if err != nil {
+					return fmt.Errorf("mpi: task %d output slot %d: %w", t.Id, slot, err)
+				}
+				p = cp
+			}
+			if err := fab.Send(fabric.Message{From: rank, To: destRank, Src: t.Id, Dest: dest, Payload: p}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var _ core.Controller = (*Controller)(nil)

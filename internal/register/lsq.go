@@ -1,0 +1,113 @@
+package register
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLeastSquares computes tile positions from the pairwise estimates by
+// minimizing the squared inconsistency over ALL estimated offsets, instead
+// of chaining one spanning tree like Solve. With a full grid of East and
+// South estimates every interior position is constrained by up to four
+// neighbors, so a single noisy correlation is averaged out rather than
+// propagated down the chain.
+//
+// The normal equations form a graph Laplacian system; it is solved by
+// Gauss-Seidel iteration anchored at tile (0,0), which converges for any
+// connected estimate graph. Positions are rounded to voxels at the end.
+func SolveLeastSquares(gridW, gridH int, estimates []Estimate, iterations int) ([][]Position, error) {
+	if iterations <= 0 {
+		iterations = 200
+	}
+	type edge struct {
+		fromX, fromY int
+		toX, toY     int
+		dx, dy       float64
+	}
+	var edges []edge
+	byCell := make(map[[2]int]bool)
+	for _, e := range estimates {
+		byCell[[2]int{e.X, e.Y}] = true
+		if e.HasEast {
+			edges = append(edges, edge{e.X, e.Y, e.X + 1, e.Y, float64(e.EastDx), float64(e.EastDy)})
+		}
+		if e.HasSouth {
+			edges = append(edges, edge{e.X, e.Y, e.X, e.Y + 1, float64(e.SouthDx), float64(e.SouthDy)})
+		}
+	}
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			if !byCell[[2]int{x, y}] {
+				return nil, fmt.Errorf("register: missing estimate record for cell (%d,%d)", x, y)
+			}
+		}
+	}
+
+	// Adjacency with signed offsets: position[v] should equal
+	// position[u] + d for an edge u->v, i.e. constraints (u, v, +d) on v
+	// and (v, u, -d) on u.
+	type constraint struct {
+		ox, oy int // the other endpoint
+		dx, dy float64
+	}
+	adj := make(map[[2]int][]constraint)
+	for _, e := range edges {
+		adj[[2]int{e.toX, e.toY}] = append(adj[[2]int{e.toX, e.toY}],
+			constraint{e.fromX, e.fromY, e.dx, e.dy})
+		adj[[2]int{e.fromX, e.fromY}] = append(adj[[2]int{e.fromX, e.fromY}],
+			constraint{e.toX, e.toY, -e.dx, -e.dy})
+	}
+
+	px := make([][]float64, gridH)
+	py := make([][]float64, gridH)
+	for y := range px {
+		px[y] = make([]float64, gridW)
+		py[y] = make([]float64, gridW)
+	}
+	// Initialize from the chain solve when possible (fast convergence),
+	// else zeros.
+	if chain, err := Solve(gridW, gridH, estimates); err == nil {
+		for y := 0; y < gridH; y++ {
+			for x := 0; x < gridW; x++ {
+				px[y][x] = float64(chain[y][x].X)
+				py[y][x] = float64(chain[y][x].Y)
+			}
+		}
+	}
+
+	for it := 0; it < iterations; it++ {
+		var maxDelta float64
+		for y := 0; y < gridH; y++ {
+			for x := 0; x < gridW; x++ {
+				if x == 0 && y == 0 {
+					continue // anchor
+				}
+				cs := adj[[2]int{x, y}]
+				if len(cs) == 0 {
+					return nil, fmt.Errorf("register: cell (%d,%d) has no constraints", x, y)
+				}
+				var sx, sy float64
+				for _, c := range cs {
+					sx += px[c.oy][c.ox] + c.dx
+					sy += py[c.oy][c.ox] + c.dy
+				}
+				nx, ny := sx/float64(len(cs)), sy/float64(len(cs))
+				maxDelta = math.Max(maxDelta, math.Abs(nx-px[y][x]))
+				maxDelta = math.Max(maxDelta, math.Abs(ny-py[y][x]))
+				px[y][x], py[y][x] = nx, ny
+			}
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+
+	out := make([][]Position, gridH)
+	for y := range out {
+		out[y] = make([]Position, gridW)
+		for x := range out[y] {
+			out[y][x] = Position{X: int(math.Round(px[y][x])), Y: int(math.Round(py[y][x]))}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package register
+
+import (
+	"testing"
+)
+
+// consistentEstimates fabricates a grid of estimates that exactly match a
+// ground-truth placement.
+func consistentEstimates(gridW, gridH int, truth [][]Position) []Estimate {
+	var ests []Estimate
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			e := Estimate{X: x, Y: y}
+			if x+1 < gridW {
+				e.HasEast = true
+				e.EastDx = truth[y][x+1].X - truth[y][x].X
+				e.EastDy = truth[y][x+1].Y - truth[y][x].Y
+			}
+			if y+1 < gridH {
+				e.HasSouth = true
+				e.SouthDx = truth[y+1][x].X - truth[y][x].X
+				e.SouthDy = truth[y+1][x].Y - truth[y][x].Y
+			}
+			ests = append(ests, e)
+		}
+	}
+	return ests
+}
+
+func testTruth(gridW, gridH, stride int) [][]Position {
+	truth := make([][]Position, gridH)
+	for y := range truth {
+		truth[y] = make([]Position, gridW)
+		for x := range truth[y] {
+			// Deterministic wobble.
+			truth[y][x] = Position{X: x*stride + (x+2*y)%3 - 1, Y: y*stride + (2*x+y)%3 - 1}
+		}
+	}
+	// Anchor at (0,0).
+	ox, oy := truth[0][0].X, truth[0][0].Y
+	for y := range truth {
+		for x := range truth[y] {
+			truth[y][x].X -= ox
+			truth[y][x].Y -= oy
+		}
+	}
+	return truth
+}
+
+func TestSolveLeastSquaresExactEstimates(t *testing.T) {
+	const w, h = 4, 3
+	truth := testTruth(w, h, 20)
+	ests := consistentEstimates(w, h, truth)
+	pos, err := SolveLeastSquares(w, h, ests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if pos[y][x] != truth[y][x] {
+				t.Errorf("(%d,%d): lsq %+v, truth %+v", x, y, pos[y][x], truth[y][x])
+			}
+		}
+	}
+}
+
+// TestSolveLeastSquaresAveragesNoise corrupts one estimate; the chain solve
+// propagates the error to every downstream tile, the least-squares solve
+// averages it out.
+func TestSolveLeastSquaresAveragesNoise(t *testing.T) {
+	const w, h = 4, 4
+	truth := testTruth(w, h, 20)
+	ests := consistentEstimates(w, h, truth)
+	// Corrupt the East estimate of the top-left cell by 6 voxels — it sits
+	// on the chain solve's first-row backbone.
+	for i := range ests {
+		if ests[i].X == 0 && ests[i].Y == 0 {
+			ests[i].EastDx += 6
+		}
+	}
+	chain, err := Solve(w, h, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsq, err := SolveLeastSquares(w, h, ests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(pos [][]Position) int {
+		total := 0
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				total += abs(pos[y][x].X-truth[y][x].X) + abs(pos[y][x].Y-truth[y][x].Y)
+			}
+		}
+		return total
+	}
+	ce, le := errOf(chain), errOf(lsq)
+	if ce == 0 {
+		t.Fatal("chain solve unexpectedly exact despite corruption")
+	}
+	if le >= ce {
+		t.Errorf("least squares error %d not better than chain error %d", le, ce)
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	if _, err := SolveLeastSquares(2, 2, nil, 0); err == nil {
+		t.Error("missing estimates should fail")
+	}
+	// A record exists but provides no constraints for its cell.
+	ests := []Estimate{
+		{X: 0, Y: 0, HasEast: true}, {X: 1, Y: 0},
+	}
+	if _, err := SolveLeastSquares(2, 2, ests, 0); err == nil {
+		t.Error("missing cells should fail")
+	}
+}
+
+// TestSolveLeastSquaresOnRealPipeline runs the actual registration dataflow
+// and checks the least-squares placement also recovers the ground truth.
+func TestSolveLeastSquaresOnRealPipeline(t *testing.T) {
+	cfg, tiles, g := testSetup(t)
+	mc := newTestController(t, g, 3)
+	ests := runRegistration(t, mc, cfg, g, tiles)
+	pos, err := SolveLeastSquares(cfg.GridW, cfg.GridH, ests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			tl := tiles[y*cfg.GridW+x]
+			want := Position{X: tl.TrueX - tiles[0].TrueX, Y: tl.TrueY - tiles[0].TrueY}
+			if pos[y][x] != want {
+				t.Errorf("tile (%d,%d): lsq %+v, truth %+v", x, y, pos[y][x], want)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

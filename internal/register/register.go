@@ -1,0 +1,232 @@
+// Package register implements the paper's third use case (§V-C): parallel
+// registration of tiled 3-D microscopy volumes. Adjacent tiles of an
+// acquisition grid overlap by ~15%; the dataflow exchanges the overlapping
+// sub-volumes between neighbors (Fig. 8), evaluates the correct alignment
+// of every adjacent pair by normalized cross-correlation, and finally
+// solves for the absolute position of each volume.
+//
+// The dataflow is the Neighbor2D graph: per grid cell, an extract task
+// reads the tile and emits the overlap strips facing each neighbor; a
+// process task correlates the tile against the neighbors' facing strips
+// and emits the estimated pairwise offsets as its sink output. The final
+// placement (the paper's sort/evaluate stage) is a deterministic
+// propagation over the estimated offsets.
+package register
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+)
+
+// Config describes the acquisition: grid dimensions, cubic tile edge,
+// nominal overlap fraction, and the stage-jitter bound that defines the
+// correlation search window.
+type Config struct {
+	GridW, GridH int
+	Tile         int
+	Overlap      float64
+	Jitter       int
+}
+
+// Stride returns the nominal tile-to-tile displacement in voxels.
+func (cfg Config) Stride() int {
+	s := int(float64(cfg.Tile) * (1 - cfg.Overlap))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// stripWidth is the width of the exchanged overlap strips: the nominal
+// overlap plus the jitter margin on both sides.
+func (cfg Config) stripWidth() int {
+	w := cfg.Tile - cfg.Stride() + 2*cfg.Jitter
+	if w < 1 {
+		w = 1
+	}
+	if w > cfg.Tile {
+		w = cfg.Tile
+	}
+	return w
+}
+
+// Graph returns the neighbor dataflow for the acquisition grid.
+func (cfg Config) Graph() (*graphs.Neighbor2D, error) {
+	return graphs.NewNeighbor2D(cfg.GridW, cfg.GridH)
+}
+
+// InitialInputs addresses each tile volume to its extract task. Tiles must
+// be in row-major grid order, as produced by data.BrainSpecimen.
+func (cfg Config) InitialInputs(g *graphs.Neighbor2D, tiles []data.BrainTile) (map[core.TaskId][]core.Payload, error) {
+	if len(tiles) != cfg.GridW*cfg.GridH {
+		return nil, fmt.Errorf("register: %d tiles for a %dx%d grid", len(tiles), cfg.GridW, cfg.GridH)
+	}
+	initial := make(map[core.TaskId][]core.Payload, len(tiles))
+	for _, tl := range tiles {
+		initial[g.ExtractId(tl.GX, tl.GY)] = []core.Payload{core.Object(tl.Volume)}
+	}
+	return initial, nil
+}
+
+// Register binds the extract and process callbacks to a controller
+// initialized with the neighbor graph.
+func (cfg Config) Register(c core.CallbackRegistrar, g *graphs.Neighbor2D) error {
+	if cfg.GridW != g.Width() || cfg.GridH != g.Height() {
+		return fmt.Errorf("register: config grid %dx%d does not match graph %dx%d", cfg.GridW, cfg.GridH, g.Width(), g.Height())
+	}
+	if cfg.Tile < 2 || cfg.Jitter < 0 {
+		return fmt.Errorf("register: invalid tile size %d or jitter %d", cfg.Tile, cfg.Jitter)
+	}
+	if err := c.RegisterCallback(graphs.NeighborExtractCB, cfg.extractCallback(g)); err != nil {
+		return err
+	}
+	return c.RegisterCallback(graphs.NeighborProcessCB, cfg.processCallback(g))
+}
+
+// asField extracts a field from a payload.
+func asField(p core.Payload) (*data.Field, error) {
+	if p.Object != nil {
+		f, ok := p.Object.(*data.Field)
+		if !ok {
+			return nil, fmt.Errorf("register: payload object is %T, want *data.Field", p.Object)
+		}
+		return f, nil
+	}
+	return data.DeserializeField(p.Data)
+}
+
+// extractCallback emits the tile itself (slot 0, to the own process task)
+// plus one facing strip per existing neighbor.
+func (cfg Config) extractCallback(g *graphs.Neighbor2D) core.Callback {
+	return func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		tile, err := asField(in[0])
+		if err != nil {
+			return nil, err
+		}
+		x, y, _ := g.CellOf(id)
+		dirs := g.NeighborDirs(x, y)
+		out := make([]core.Payload, 1+len(dirs))
+		out[0] = core.Object(tile)
+		w := cfg.stripWidth()
+		for i, d := range dirs {
+			var strip *data.Field
+			switch d {
+			case graphs.West:
+				strip = tile.SubField(0, 0, 0, w, tile.NY, tile.NZ)
+			case graphs.East:
+				strip = tile.SubField(tile.NX-w, 0, 0, w, tile.NY, tile.NZ)
+			case graphs.North:
+				strip = tile.SubField(0, 0, 0, tile.NX, w, tile.NZ)
+			case graphs.South:
+				strip = tile.SubField(0, tile.NY-w, 0, tile.NX, w, tile.NZ)
+			}
+			out[i+1] = core.Object(strip)
+		}
+		return out, nil
+	}
+}
+
+// processCallback correlates the tile against the facing strips of its
+// East and South neighbors (West/North estimates are the mirror image and
+// therefore redundant) and emits the estimates as the sink output.
+func (cfg Config) processCallback(g *graphs.Neighbor2D) core.Callback {
+	return func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		tile, err := asField(in[0])
+		if err != nil {
+			return nil, err
+		}
+		x, y, _ := g.CellOf(id)
+		dirs := g.NeighborDirs(x, y)
+		est := Estimate{X: x, Y: y}
+		for i, d := range dirs {
+			if d != graphs.East && d != graphs.South {
+				continue
+			}
+			strip, err := asField(in[i+1])
+			if err != nil {
+				return nil, err
+			}
+			dx, dy, score := cfg.correlate(tile, strip, d)
+			switch d {
+			case graphs.East:
+				est.HasEast, est.EastDx, est.EastDy, est.EastScore = true, dx, dy, score
+			case graphs.South:
+				est.HasSouth, est.SouthDx, est.SouthDy, est.SouthScore = true, dx, dy, score
+			}
+		}
+		return []core.Payload{core.Buffer(est.Serialize())}, nil
+	}
+}
+
+// correlate searches the displacement of a neighbor relative to the tile
+// that maximizes normalized cross-correlation between the tile and the
+// neighbor's facing strip. For an East neighbor the displacement is
+// (stride±J, ±J); for a South neighbor (±J, stride±J). Ties resolve to the
+// lexicographically smallest displacement, keeping results deterministic.
+func (cfg Config) correlate(tile, strip *data.Field, dir graphs.Direction) (bestDx, bestDy int, bestScore float64) {
+	// Both tiles jitter independently, so the relative displacement can
+	// deviate from the nominal stride by up to twice the jitter bound.
+	stride, j := cfg.Stride(), 2*cfg.Jitter
+	bestScore = math.Inf(-1)
+	var dxLo, dxHi, dyLo, dyHi int
+	if dir == graphs.East {
+		dxLo, dxHi, dyLo, dyHi = stride-j, stride+j, -j, j
+	} else {
+		dxLo, dxHi, dyLo, dyHi = -j, j, stride-j, stride+j
+	}
+	for dy := dyLo; dy <= dyHi; dy++ {
+		for dx := dxLo; dx <= dxHi; dx++ {
+			score := ncc(tile, strip, dx, dy)
+			if score > bestScore {
+				bestScore, bestDx, bestDy = score, dx, dy
+			}
+		}
+	}
+	return bestDx, bestDy, bestScore
+}
+
+// ncc computes normalized cross-correlation between the tile and a
+// neighbor strip under the hypothesis that strip voxel (i, j, k)
+// corresponds to tile voxel (i+dx, j+dy, k). Only in-bounds voxels
+// contribute; fewer than 8 valid voxels scores -Inf.
+func ncc(tile, strip *data.Field, dx, dy int) float64 {
+	var sa, sb, saa, sbb, sab float64
+	n := 0
+	for k := 0; k < strip.NZ; k++ {
+		for j := 0; j < strip.NY; j++ {
+			tj := j + dy
+			if tj < 0 || tj >= tile.NY {
+				continue
+			}
+			for i := 0; i < strip.NX; i++ {
+				ti := i + dx
+				if ti < 0 || ti >= tile.NX {
+					continue
+				}
+				a := float64(tile.At(ti, tj, k))
+				b := float64(strip.At(i, j, k))
+				sa += a
+				sb += b
+				saa += a * a
+				sbb += b * b
+				sab += a * b
+				n++
+			}
+		}
+	}
+	if n < 8 {
+		return math.Inf(-1)
+	}
+	fn := float64(n)
+	cov := sab - sa*sb/fn
+	va := saa - sa*sa/fn
+	vb := sbb - sb*sb/fn
+	if va <= 0 || vb <= 0 {
+		return math.Inf(-1)
+	}
+	return cov / math.Sqrt(va*vb)
+}

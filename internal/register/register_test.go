@@ -1,0 +1,275 @@
+package register
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/charm"
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/legion"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+func testSetup(t *testing.T) (Config, []data.BrainTile, *graphs.Neighbor2D) {
+	t.Helper()
+	cfg := Config{GridW: 3, GridH: 2, Tile: 16, Overlap: 0.25, Jitter: 1}
+	tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 20260707)
+	g, err := cfg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, tiles, g
+}
+
+func runRegistration(t *testing.T, c core.Controller, cfg Config, g *graphs.Neighbor2D, tiles []data.BrainTile) []Estimate {
+	t.Helper()
+	if err := cfg.Register(c, g); err != nil {
+		t.Fatal(err)
+	}
+	initial, err := cfg.InitialInputs(g, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ests []Estimate
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			ps := out[g.ProcessId(x, y)]
+			if len(ps) != 1 {
+				t.Fatalf("cell (%d,%d): %d payloads", x, y, len(ps))
+			}
+			wire, _ := ps[0].Wire()
+			e, err := DeserializeEstimate(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, e)
+		}
+	}
+	return ests
+}
+
+// TestRegistrationRecoversGroundTruth is the headline correctness test:
+// the dataflow's estimated pairwise offsets equal the ground-truth
+// displacements of the synthetic specimen, and the solved positions equal
+// the true tile positions.
+func TestRegistrationRecoversGroundTruth(t *testing.T) {
+	cfg, tiles, g := testSetup(t)
+	mc := mpi.New(mpi.Options{})
+	mc.Initialize(g, core.NewModuloMap(3, g.Size()))
+	ests := runRegistration(t, mc, cfg, g, tiles)
+
+	tileAt := func(x, y int) data.BrainTile { return tiles[y*cfg.GridW+x] }
+	for _, e := range ests {
+		if e.HasEast {
+			n := tileAt(e.X+1, e.Y)
+			o := tileAt(e.X, e.Y)
+			wantDx, wantDy := n.TrueX-o.TrueX, n.TrueY-o.TrueY
+			if e.EastDx != wantDx || e.EastDy != wantDy {
+				t.Errorf("cell (%d,%d) East estimate (%d,%d), truth (%d,%d)", e.X, e.Y, e.EastDx, e.EastDy, wantDx, wantDy)
+			}
+			if e.EastScore < 0.9 {
+				t.Errorf("cell (%d,%d) East score %f suspiciously low", e.X, e.Y, e.EastScore)
+			}
+		}
+		if e.HasSouth {
+			n := tileAt(e.X, e.Y+1)
+			o := tileAt(e.X, e.Y)
+			wantDx, wantDy := n.TrueX-o.TrueX, n.TrueY-o.TrueY
+			if e.SouthDx != wantDx || e.SouthDy != wantDy {
+				t.Errorf("cell (%d,%d) South estimate (%d,%d), truth (%d,%d)", e.X, e.Y, e.SouthDx, e.SouthDy, wantDx, wantDy)
+			}
+		}
+	}
+
+	pos, err := Solve(cfg.GridW, cfg.GridH, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			want := Position{
+				X: tileAt(x, y).TrueX - tileAt(0, 0).TrueX,
+				Y: tileAt(x, y).TrueY - tileAt(0, 0).TrueY,
+			}
+			if pos[y][x] != want {
+				t.Errorf("tile (%d,%d) solved at %+v, truth %+v", x, y, pos[y][x], want)
+			}
+		}
+	}
+}
+
+// TestRegistrationIdenticalAcrossRuntimes: every controller produces
+// byte-identical estimates.
+func TestRegistrationIdenticalAcrossRuntimes(t *testing.T) {
+	cfg, tiles, g := testSetup(t)
+
+	build := func(name string) core.Controller {
+		m := core.NewModuloMap(4, g.Size())
+		switch name {
+		case "serial":
+			c := core.NewSerial()
+			c.Initialize(g, nil)
+			return c
+		case "mpi":
+			c := mpi.New(mpi.Options{})
+			c.Initialize(g, m)
+			return c
+		case "charm":
+			c := charm.New(charm.Options{PEs: 4, LBPeriod: 3})
+			c.Initialize(g, nil)
+			return c
+		case "legion-spmd":
+			c := legion.NewSPMD(legion.Options{})
+			c.Initialize(g, m)
+			return c
+		default:
+			c := legion.NewIndexLaunch(legion.Options{})
+			c.Initialize(g, nil)
+			return c
+		}
+	}
+	var ref []byte
+	for _, name := range []string{"serial", "mpi", "charm", "legion-spmd", "legion-il"} {
+		ests := runRegistration(t, build(name), cfg, g, tiles)
+		var all []byte
+		for _, e := range ests {
+			all = append(all, e.Serialize()...)
+		}
+		if ref == nil {
+			ref = all
+		} else if !bytes.Equal(ref, all) {
+			t.Errorf("%s produced different estimates", name)
+		}
+	}
+}
+
+func TestEstimateSerializeRoundTrip(t *testing.T) {
+	e := Estimate{X: 2, Y: 1, HasEast: true, EastDx: 12, EastDy: -1, EastScore: 0.98,
+		HasSouth: true, SouthDx: -2, SouthDy: 11, SouthScore: 0.91}
+	got, err := DeserializeEstimate(e.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("round trip = %+v, want %+v", got, e)
+	}
+	if _, err := DeserializeEstimate([]byte{1, 2}); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(2, 2, nil); err == nil {
+		t.Error("missing estimates should fail")
+	}
+	ests := []Estimate{
+		{X: 0, Y: 0, HasEast: true, EastDx: 10},
+		{X: 1, Y: 0},
+		{X: 0, Y: 1},
+		{X: 1, Y: 1},
+	}
+	if _, err := Solve(2, 2, ests); err == nil {
+		t.Error("missing South estimate should fail")
+	}
+}
+
+func TestSolveChainsOffsets(t *testing.T) {
+	ests := []Estimate{
+		{X: 0, Y: 0, HasEast: true, EastDx: 10, EastDy: 1, HasSouth: true, SouthDx: -1, SouthDy: 12},
+		{X: 1, Y: 0, HasSouth: true, SouthDx: 2, SouthDy: 11},
+		{X: 0, Y: 1, HasEast: true, EastDx: 9, EastDy: 0},
+		{X: 1, Y: 1},
+	}
+	pos, err := Solve(2, 2, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[0][1] != (Position{10, 1}) {
+		t.Errorf("pos[0][1] = %+v", pos[0][1])
+	}
+	if pos[1][0] != (Position{-1, 12}) {
+		t.Errorf("pos[1][0] = %+v", pos[1][0])
+	}
+	if pos[1][1] != (Position{12, 12}) {
+		t.Errorf("pos[1][1] = %+v", pos[1][1])
+	}
+}
+
+func TestNCCPerfectMatch(t *testing.T) {
+	tile := data.NewField(8, 8, 2)
+	rng := data.NewRand(3)
+	for i := range tile.Values {
+		tile.Values[i] = float32(rng.Float64())
+	}
+	// Strip = columns 4..7 of the tile; perfect correlation at dx=4, dy=0.
+	strip := tile.SubField(4, 0, 0, 4, 8, 2)
+	best := math.Inf(-1)
+	var bdx int
+	for dx := 2; dx <= 6; dx++ {
+		if s := ncc(tile, strip, dx, 0); s > best {
+			best, bdx = s, dx
+		}
+	}
+	if bdx != 4 {
+		t.Errorf("best dx = %d, want 4", bdx)
+	}
+	if math.Abs(best-1) > 1e-9 {
+		t.Errorf("best score = %f, want 1", best)
+	}
+}
+
+func TestNCCDegenerate(t *testing.T) {
+	tile := data.NewField(4, 4, 1) // all zeros: zero variance
+	strip := data.NewField(2, 4, 1)
+	if s := ncc(tile, strip, 0, 0); !math.IsInf(s, -1) {
+		t.Errorf("zero-variance score = %f, want -Inf", s)
+	}
+	if s := ncc(tile, strip, 100, 0); !math.IsInf(s, -1) {
+		t.Errorf("no-overlap score = %f, want -Inf", s)
+	}
+}
+
+func TestConfigStrideAndStrip(t *testing.T) {
+	cfg := Config{GridW: 2, GridH: 2, Tile: 20, Overlap: 0.15, Jitter: 2}
+	if cfg.Stride() != 17 {
+		t.Errorf("stride = %d", cfg.Stride())
+	}
+	if w := cfg.stripWidth(); w != 7 {
+		t.Errorf("strip width = %d, want 7 (overlap 3 + 2*jitter)", w)
+	}
+	tiny := Config{Tile: 2, Overlap: 0.9, Jitter: 0}
+	if tiny.Stride() < 1 || tiny.stripWidth() > tiny.Tile {
+		t.Error("degenerate config not clamped")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	cfg, tiles, g := testSetup(t)
+	other, _ := graphs.NewNeighbor2D(5, 5)
+	c := core.NewSerial()
+	c.Initialize(other, nil)
+	if err := cfg.Register(c, other); err == nil {
+		t.Error("grid mismatch should fail")
+	}
+	if _, err := cfg.InitialInputs(g, tiles[:2]); err == nil {
+		t.Error("tile count mismatch should fail")
+	}
+}
+
+// newTestController builds an MPI controller over the graph for reuse in
+// solver tests.
+func newTestController(t *testing.T, g *graphs.Neighbor2D, shards int) core.Controller {
+	t.Helper()
+	mc := mpi.New(mpi.Options{})
+	if err := mc.Initialize(g, core.NewModuloMap(shards, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}

@@ -1,0 +1,112 @@
+package register
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is the sink output of one process task: the estimated
+// displacement of the East and South neighbors relative to this tile, with
+// their correlation scores.
+type Estimate struct {
+	X, Y int
+	// East neighbor displacement (present unless the cell is in the last
+	// column).
+	HasEast        bool
+	EastDx, EastDy int
+	EastScore      float64
+	// South neighbor displacement (present unless the cell is in the last
+	// row).
+	HasSouth         bool
+	SouthDx, SouthDy int
+	SouthScore       float64
+}
+
+// Serialize encodes the estimate deterministically.
+func (e Estimate) Serialize() []byte {
+	buf := make([]byte, 2+8*8+2)
+	buf[0] = byte(e.X)
+	buf[1] = byte(e.Y)
+	if e.HasEast {
+		buf[2] = 1
+	}
+	if e.HasSouth {
+		buf[3] = 1
+	}
+	off := 4
+	for _, v := range []int64{int64(e.EastDx), int64(e.EastDy), int64(e.SouthDx), int64(e.SouthDy)} {
+		putI64(buf[off:], v)
+		off += 8
+	}
+	putI64(buf[off:], int64(math.Float64bits(e.EastScore)))
+	putI64(buf[off+8:], int64(math.Float64bits(e.SouthScore)))
+	return buf[:off+16]
+}
+
+// DeserializeEstimate decodes an estimate.
+func DeserializeEstimate(b []byte) (Estimate, error) {
+	if len(b) != 52 {
+		return Estimate{}, fmt.Errorf("register: estimate buffer has %d bytes, want 52", len(b))
+	}
+	e := Estimate{X: int(b[0]), Y: int(b[1]), HasEast: b[2] == 1, HasSouth: b[3] == 1}
+	e.EastDx = int(getI64(b[4:]))
+	e.EastDy = int(getI64(b[12:]))
+	e.SouthDx = int(getI64(b[20:]))
+	e.SouthDy = int(getI64(b[28:]))
+	e.EastScore = math.Float64frombits(uint64(getI64(b[36:])))
+	e.SouthScore = math.Float64frombits(uint64(getI64(b[44:])))
+	return e, nil
+}
+
+// Position is the solved placement of one tile, relative to tile (0,0).
+type Position struct{ X, Y int }
+
+// Solve computes absolute tile positions from the pairwise estimates — the
+// paper's final evaluate stage. Tile (0,0) anchors the grid; the first row
+// chains East estimates and every further row hangs off the row above via
+// South estimates. Estimates must cover a full gridW x gridH grid.
+func Solve(gridW, gridH int, estimates []Estimate) ([][]Position, error) {
+	byCell := make(map[[2]int]Estimate, len(estimates))
+	for _, e := range estimates {
+		byCell[[2]int{e.X, e.Y}] = e
+	}
+	pos := make([][]Position, gridH)
+	for y := range pos {
+		pos[y] = make([]Position, gridW)
+	}
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			if y == 0 {
+				w, ok := byCell[[2]int{x - 1, 0}]
+				if !ok || !w.HasEast {
+					return nil, fmt.Errorf("register: missing East estimate at (%d,0)", x-1)
+				}
+				pos[0][x] = Position{X: pos[0][x-1].X + w.EastDx, Y: pos[0][x-1].Y + w.EastDy}
+				continue
+			}
+			n, ok := byCell[[2]int{x, y - 1}]
+			if !ok || !n.HasSouth {
+				return nil, fmt.Errorf("register: missing South estimate at (%d,%d)", x, y-1)
+			}
+			pos[y][x] = Position{X: pos[y-1][x].X + n.SouthDx, Y: pos[y-1][x].Y + n.SouthDy}
+		}
+	}
+	return pos, nil
+}
+
+func putI64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+func getI64(b []byte) int64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return int64(v)
+}

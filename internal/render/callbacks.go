@@ -1,0 +1,189 @@
+package render
+
+import (
+	"fmt"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+)
+
+// Config binds the rendering pipeline to a domain: the block decomposition
+// of the volume, the camera and the transfer function.
+type Config struct {
+	Decomp *data.Decomposition
+	Camera Camera
+	TF     TransferFunction
+}
+
+// asImage extracts an image from a payload.
+func asImage(p core.Payload) (*Image, error) {
+	if p.Object != nil {
+		im, ok := p.Object.(*Image)
+		if !ok {
+			return nil, fmt.Errorf("render: payload object is %T, want *Image", p.Object)
+		}
+		return im, nil
+	}
+	return DeserializeImage(p.Data)
+}
+
+// asField extracts a field from a payload.
+func asField(p core.Payload) (*data.Field, error) {
+	if p.Object != nil {
+		f, ok := p.Object.(*data.Field)
+		if !ok {
+			return nil, fmt.Errorf("render: payload object is %T, want *data.Field", p.Object)
+		}
+		return f, nil
+	}
+	return data.DeserializeField(p.Data)
+}
+
+// InitialInputs extracts every block of the volume and addresses it to the
+// corresponding leaf task of a reduction or binary-swap dataflow whose leaf
+// i has task id leafIds[i].
+func (cfg Config) InitialInputs(f *data.Field, leafIds []core.TaskId) (map[core.TaskId][]core.Payload, error) {
+	if len(leafIds) != cfg.Decomp.Blocks() {
+		return nil, fmt.Errorf("render: %d leaf tasks for %d blocks", len(leafIds), cfg.Decomp.Blocks())
+	}
+	initial := make(map[core.TaskId][]core.Payload, len(leafIds))
+	for i, id := range leafIds {
+		blk, err := cfg.Decomp.Extract(f, i)
+		if err != nil {
+			return nil, err
+		}
+		initial[id] = []core.Payload{core.Object(blk)}
+	}
+	return initial, nil
+}
+
+// RegisterReduction binds the volume-rendering + reduction-compositing
+// callbacks (Listing 1 of the paper: volume_render at the leaves, composite
+// at internal nodes, write_image — here: emit the final image — at the
+// root) to a controller initialized with the reduction graph.
+func (cfg Config) RegisterReduction(c core.CallbackRegistrar, g *graphs.Reduction) error {
+	if err := cfg.check(g.Leafs()); err != nil {
+		return err
+	}
+	first := g.FirstLeaf()
+	leaf := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		blk, err := asField(in[0])
+		if err != nil {
+			return nil, err
+		}
+		img := RenderBlock(cfg.Camera, cfg.TF, cfg.Decomp, int(id-first), blk)
+		return []core.Payload{core.Object(img)}, nil
+	}
+	if err := c.RegisterCallback(graphs.ReduceLeafCB, leaf); err != nil {
+		return err
+	}
+	composite := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		acc, err := asImage(in[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range in[1:] {
+			im, err := asImage(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := acc.Over(im); err != nil {
+				return nil, err
+			}
+		}
+		return []core.Payload{core.Object(acc)}, nil
+	}
+	if err := c.RegisterCallback(graphs.ReduceMidCB, composite); err != nil {
+		return err
+	}
+	return c.RegisterCallback(graphs.ReduceRootCB, composite)
+}
+
+// RegisterBinarySwap binds the volume-rendering + binary-swap-compositing
+// callbacks (Fig. 7) to a controller initialized with the binary-swap
+// graph. After log2(n) exchange rounds, each final task emits one tile of
+// the frame.
+func (cfg Config) RegisterBinarySwap(c core.CallbackRegistrar, g *graphs.BinarySwap) error {
+	if err := cfg.check(g.Participants()); err != nil {
+		return err
+	}
+
+	// keepSend splits an image for the exchange after round r: the task
+	// whose bit r is 0 keeps the top half, its partner the bottom half.
+	keepSend := func(im *Image, round, index int) (keep, send *Image) {
+		a, b := im.SplitHorizontal()
+		if (index>>round)&1 == 0 {
+			return a, b
+		}
+		return b, a
+	}
+
+	leaf := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		blk, err := asField(in[0])
+		if err != nil {
+			return nil, err
+		}
+		_, i := g.RoundOf(id)
+		img := RenderBlock(cfg.Camera, cfg.TF, cfg.Decomp, i, blk)
+		if g.Rounds() == 0 {
+			return []core.Payload{core.Object(img)}, nil
+		}
+		keep, send := keepSend(img, 0, i)
+		return []core.Payload{core.Object(keep), core.Object(send)}, nil
+	}
+	mid := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		r, i := g.RoundOf(id)
+		acc, err := asImage(in[0])
+		if err != nil {
+			return nil, err
+		}
+		other, err := asImage(in[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.Over(other); err != nil {
+			return nil, err
+		}
+		keep, send := keepSend(acc, r, i)
+		return []core.Payload{core.Object(keep), core.Object(send)}, nil
+	}
+	final := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		if len(in) == 1 {
+			// Degenerate single-participant graph: render directly.
+			return leaf(in, id)
+		}
+		acc, err := asImage(in[0])
+		if err != nil {
+			return nil, err
+		}
+		other, err := asImage(in[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.Over(other); err != nil {
+			return nil, err
+		}
+		return []core.Payload{core.Object(acc)}, nil
+	}
+	if err := c.RegisterCallback(graphs.SwapLeafCB, leaf); err != nil {
+		return err
+	}
+	if err := c.RegisterCallback(graphs.SwapMidCB, mid); err != nil {
+		return err
+	}
+	return c.RegisterCallback(graphs.SwapRootCB, final)
+}
+
+func (cfg Config) check(leafs int) error {
+	if cfg.Decomp == nil {
+		return fmt.Errorf("render: Config.Decomp is required")
+	}
+	if cfg.Decomp.Blocks() != leafs {
+		return fmt.Errorf("render: decomposition has %d blocks but dataflow has %d leaves", cfg.Decomp.Blocks(), leafs)
+	}
+	if cfg.Camera.Width < 1 || cfg.Camera.Height < 1 {
+		return fmt.Errorf("render: camera dimensions %dx%d invalid", cfg.Camera.Width, cfg.Camera.Height)
+	}
+	return nil
+}

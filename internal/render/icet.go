@@ -1,0 +1,141 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+// IceT is the specialized sort-last compositing baseline of §V-B: a direct,
+// hand-coded compositor without the generic framework's task abstraction,
+// de/serialization or thread hand-off. To provide a fair comparison the
+// paper disabled IceT's interlacing and background filtering; likewise this
+// baseline exchanges dense images.
+//
+// IceT here composites with the same binary tree or binary-swap schedule as
+// the dataflows, but executed directly over in-memory images.
+type IceT struct {
+	cfg Config
+}
+
+// NewIceT returns the baseline compositor for a pipeline configuration.
+func NewIceT(cfg Config) *IceT { return &IceT{cfg: cfg} }
+
+// RenderAndCompositeTree renders every block and composites them with a
+// binary reduction tree, returning the final frame.
+func (i *IceT) RenderAndCompositeTree(f *data.Field) (*Image, error) {
+	images, err := i.renderAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return CompositeTree(images)
+}
+
+// RenderAndCompositeSwap renders every block and composites them with the
+// binary-swap schedule, returning the n tiles sorted by frame position.
+func (i *IceT) RenderAndCompositeSwap(f *data.Field) ([]*Image, error) {
+	images, err := i.renderAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return CompositeSwap(images)
+}
+
+func (i *IceT) renderAll(f *data.Field) ([]*Image, error) {
+	n := i.cfg.Decomp.Blocks()
+	images := make([]*Image, n)
+	for b := 0; b < n; b++ {
+		blk, err := i.cfg.Decomp.Extract(f, b)
+		if err != nil {
+			return nil, err
+		}
+		images[b] = RenderBlock(i.cfg.Camera, i.cfg.TF, i.cfg.Decomp, b, blk)
+	}
+	return images, nil
+}
+
+// CompositeTree composites images pairwise along a binary tree over the
+// input order (adjacent ranges first), the schedule of the reduction
+// dataflow.
+func CompositeTree(images []*Image) (*Image, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("render: no images to composite")
+	}
+	level := images
+	for len(level) > 1 {
+		next := make([]*Image, 0, (len(level)+1)/2)
+		for j := 0; j < len(level); j += 2 {
+			if j+1 == len(level) {
+				next = append(next, level[j])
+				continue
+			}
+			if err := level[j].Over(level[j+1]); err != nil {
+				return nil, err
+			}
+			next = append(next, level[j])
+		}
+		level = next
+	}
+	return level[0], nil
+}
+
+// CompositeSwap runs the binary-swap schedule directly: log2(n) rounds of
+// pairwise split-and-exchange. It returns one tile per participant,
+// ordered by participant index. The participant count must be a power of
+// two.
+func CompositeSwap(images []*Image) ([]*Image, error) {
+	n := len(images)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("render: binary swap needs a power-of-two image count, got %d", n)
+	}
+	cur := make([]*Image, n)
+	copy(cur, images)
+	for bit := 1; bit < n; bit <<= 1 {
+		next := make([]*Image, n)
+		halves := make([][2]*Image, n) // keep, send per participant
+		for i := 0; i < n; i++ {
+			a, b := cur[i].SplitHorizontal()
+			if i&bit == 0 {
+				halves[i] = [2]*Image{a, b}
+			} else {
+				halves[i] = [2]*Image{b, a}
+			}
+		}
+		for i := 0; i < n; i++ {
+			keep := halves[i][0]
+			recv := halves[i^bit][1]
+			if err := keep.Over(recv); err != nil {
+				return nil, err
+			}
+			next[i] = keep
+		}
+		cur = next
+	}
+	sort.SliceStable(cur, func(a, b int) bool {
+		if cur[a].Y0 != cur[b].Y0 {
+			return cur[a].Y0 < cur[b].Y0
+		}
+		return cur[a].X0 < cur[b].X0
+	})
+	return cur, nil
+}
+
+// AssembleTiles pastes binary-swap tiles back into one frame.
+func AssembleTiles(tiles []*Image, width, height int) (*Image, error) {
+	out := NewImage(width, height, 0, 0)
+	for _, t := range tiles {
+		for y := 0; y < t.Height; y++ {
+			gy := t.Y0 + y
+			if gy < 0 || gy >= height {
+				return nil, fmt.Errorf("render: tile row %d outside frame", gy)
+			}
+			for x := 0; x < t.Width; x++ {
+				gx := t.X0 + x
+				r, g, b, a := t.At(x, y)
+				out.SetPixel(gx, gy, r, g, b, a, t.Depth[y*t.Width+x])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestImageSetAt(t *testing.T) {
+	im := NewImage(4, 3, 0, 0)
+	im.SetPixel(2, 1, 0.5, 0.25, 0.125, 1, 3)
+	r, g, b, a := im.At(2, 1)
+	if r != 0.5 || g != 0.25 || b != 0.125 || a != 1 {
+		t.Errorf("At = %f %f %f %f", r, g, b, a)
+	}
+	if im.Depth[1*4+2] != 3 {
+		t.Error("depth not stored")
+	}
+	if !math.IsInf(float64(im.Depth[0]), 1) {
+		t.Error("empty pixels should have +Inf depth")
+	}
+}
+
+func TestOverDepthOrdering(t *testing.T) {
+	// A red fragment at depth 1 over a blue at depth 5, in both call
+	// orders, must give the same result: red in front.
+	front := NewImage(1, 1, 0, 0)
+	front.SetPixel(0, 0, 0.6, 0, 0, 0.6, 1) // premultiplied red, a=0.6
+	back := NewImage(1, 1, 0, 0)
+	back.SetPixel(0, 0, 0, 0, 0.8, 0.8, 5) // premultiplied blue, a=0.8
+
+	a := NewImage(1, 1, 0, 0)
+	a.SetPixel(0, 0, 0.6, 0, 0, 0.6, 1)
+	if err := a.Over(back); err != nil {
+		t.Fatal(err)
+	}
+	b := NewImage(1, 1, 0, 0)
+	b.SetPixel(0, 0, 0, 0, 0.8, 0.8, 5)
+	if err := b.Over(front); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Errorf("Over is not order-independent under depth sorting: %v vs %v", a.Pixels, b.Pixels)
+	}
+	r, _, bl, alpha := a.At(0, 0)
+	wantR := float32(0.6)
+	wantB := float32((1 - 0.6) * 0.8)
+	wantA := float32(0.6 + 0.4*0.8)
+	if r != wantR || bl != wantB || alpha != wantA {
+		t.Errorf("composite = %f %f %f, want %f %f %f", r, bl, alpha, wantR, wantB, wantA)
+	}
+	if a.Depth[0] != 1 {
+		t.Errorf("composite depth = %f", a.Depth[0])
+	}
+}
+
+func TestOverGeometryMismatch(t *testing.T) {
+	a := NewImage(2, 2, 0, 0)
+	b := NewImage(2, 2, 0, 2)
+	if err := a.Over(b); err == nil {
+		t.Error("mismatched anchors should fail")
+	}
+	c := NewImage(3, 2, 0, 0)
+	if err := a.Over(c); err == nil {
+		t.Error("mismatched sizes should fail")
+	}
+}
+
+func TestSplitHorizontal(t *testing.T) {
+	im := NewImage(2, 5, 0, 4)
+	for y := 0; y < 5; y++ {
+		im.SetPixel(0, y, float32(y), 0, 0, 1, float32(y))
+	}
+	a, b := im.SplitHorizontal()
+	if a.Height != 3 || b.Height != 2 {
+		t.Fatalf("split heights = %d, %d", a.Height, b.Height)
+	}
+	if a.Y0 != 4 || b.Y0 != 7 {
+		t.Errorf("anchors = %d, %d", a.Y0, b.Y0)
+	}
+	if r, _, _, _ := a.At(0, 2); r != 2 {
+		t.Error("first half content wrong")
+	}
+	if r, _, _, _ := b.At(0, 0); r != 3 {
+		t.Error("second half content wrong")
+	}
+}
+
+func TestImageSerializeRoundTrip(t *testing.T) {
+	im := NewImage(3, 2, 1, 5)
+	im.SetPixel(2, 1, 0.1, 0.2, 0.3, 0.4, 9)
+	got, err := DeserializeImage(im.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Error("round trip changed the image")
+	}
+	if _, err := DeserializeImage([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if _, err := DeserializeImage(im.Serialize()[:20]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := NewImage(2, 2, 0, 0)
+	im.SetPixel(0, 0, 1, 0, 0, 1, 0)
+	ppm := im.WritePPM()
+	if !strings.HasPrefix(string(ppm), "P6\n2 2\n255\n") {
+		t.Errorf("header = %q", ppm[:11])
+	}
+	body := ppm[len("P6\n2 2\n255\n"):]
+	if len(body) != 12 {
+		t.Fatalf("body length = %d", len(body))
+	}
+	if body[0] != 255 || body[1] != 0 {
+		t.Errorf("pixel 0 = %v", body[:3])
+	}
+}

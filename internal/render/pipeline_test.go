@@ -1,0 +1,299 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/charm"
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/legion"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+func testConfig(t *testing.T, bx, by, bz int) (Config, *data.Field) {
+	t.Helper()
+	const n = 16
+	f := data.SyntheticHCCI(n, n, n, 5, 4242)
+	d, err := data.NewDecomposition(n, n, n, bx, by, bz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Decomp: d,
+		Camera: Camera{Width: n, Height: n},
+		TF:     TransferFunction{Lo: 0.2, Hi: 1.2, Opacity: 0.3},
+	}, f
+}
+
+// closeImages compares with a tolerance: different compositing orders
+// accumulate different float rounding.
+func closeImages(a, b *Image, tol float64) bool {
+	if a.Width != b.Width || a.Height != b.Height {
+		return false
+	}
+	for i := range a.Pixels {
+		if math.Abs(float64(a.Pixels[i]-b.Pixels[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockRenderingCompositesToFullRender: rendering per block and
+// compositing with the direct tree reproduces the serial full-volume
+// render.
+func TestBlockRenderingCompositesToFullRender(t *testing.T) {
+	cfg, f := testConfig(t, 2, 2, 2)
+	want := RenderFull(cfg.Camera, cfg.TF, f)
+	got, err := NewIceT(cfg).RenderAndCompositeTree(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeImages(want, got, 1e-5) {
+		t.Error("tree-composited image differs from full render")
+	}
+	// The image must not be trivially empty.
+	var sum float64
+	for _, v := range want.Pixels {
+		sum += float64(v)
+	}
+	if sum == 0 {
+		t.Fatal("degenerate test: empty image")
+	}
+}
+
+// TestBinarySwapTilesMatchTreeComposite: binary-swap tiles assembled equal
+// the tree-composited frame.
+func TestBinarySwapTilesMatchTreeComposite(t *testing.T) {
+	cfg, f := testConfig(t, 2, 2, 2)
+	icet := NewIceT(cfg)
+	tree, err := icet.RenderAndCompositeTree(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, err := icet.RenderAndCompositeSwap(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 8 {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	frame, err := AssembleTiles(tiles, cfg.Camera.Width, cfg.Camera.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeImages(tree, frame, 1e-5) {
+		t.Error("binary-swap frame differs from tree composite")
+	}
+}
+
+// TestReductionDataflowMatchesIceT runs the rendering + reduction
+// compositing dataflow on every controller and compares to the direct
+// baseline (identical schedule, so identical bytes).
+func TestReductionDataflowMatchesIceT(t *testing.T) {
+	cfg, f := testConfig(t, 2, 2, 2)
+	g, err := graphs.NewReduction(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewIceT(cfg).RenderAndCompositeTree(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := core.NewModuloMap(4, g.Size())
+	cs := map[string]core.Controller{}
+	mc := mpi.New(mpi.Options{})
+	mc.Initialize(g, m)
+	cs["mpi"] = mc
+	cc := charm.New(charm.Options{PEs: 4, LBPeriod: 2})
+	cc.Initialize(g, nil)
+	cs["charm"] = cc
+	sp := legion.NewSPMD(legion.Options{})
+	sp.Initialize(g, m)
+	cs["legion-spmd"] = sp
+	il := legion.NewIndexLaunch(legion.Options{})
+	il.Initialize(g, nil)
+	cs["legion-il"] = il
+
+	for name, c := range cs {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.RegisterReduction(c, g); err != nil {
+				t.Fatal(err)
+			}
+			initial, err := cfg.InitialInputs(f, g.LeafIds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := c.Run(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, ok := out[g.Root()]
+			if !ok || len(ps) != 1 {
+				t.Fatalf("missing root image: %v", out)
+			}
+			wire, err := ps[0].Wire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := DeserializeImage(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The reduction graph pairs adjacent children exactly like the
+			// direct tree, so results are bit-identical.
+			if !img.Equal(want) {
+				t.Error("dataflow image differs from IceT baseline")
+			}
+		})
+	}
+}
+
+// TestBinarySwapDataflowMatchesBaseline runs the binary-swap dataflow and
+// compares each tile with the direct swap schedule.
+func TestBinarySwapDataflowMatchesBaseline(t *testing.T) {
+	cfg, f := testConfig(t, 2, 2, 2)
+	g, err := graphs.NewBinarySwap(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTiles, err := NewIceT(cfg).RenderAndCompositeSwap(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc := mpi.New(mpi.Options{})
+	mc.Initialize(g, core.NewModuloMap(3, g.Size()))
+	if err := cfg.RegisterBinarySwap(mc, g); err != nil {
+		t.Fatal(err)
+	}
+	initial, err := cfg.InitialInputs(f, g.LeafIds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mc.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTiles []*Image
+	for _, id := range g.TileIds() {
+		ps := out[id]
+		if len(ps) != 1 {
+			t.Fatalf("tile task %d: %d payloads", id, len(ps))
+		}
+		wire, _ := ps[0].Wire()
+		img, err := DeserializeImage(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTiles = append(gotTiles, img)
+	}
+	frameGot, err := AssembleTiles(gotTiles, cfg.Camera.Width, cfg.Camera.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameWant, err := AssembleTiles(wantTiles, cfg.Camera.Width, cfg.Camera.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frameGot.Equal(frameWant) {
+		t.Error("binary-swap dataflow tiles differ from direct schedule")
+	}
+}
+
+func TestTransferFunction(t *testing.T) {
+	tf := TransferFunction{Lo: 1, Hi: 3, Opacity: 0.5}
+	if _, _, _, a := tf.Sample(0.5); a != 0 {
+		t.Error("below Lo should be transparent")
+	}
+	_, _, _, a := tf.Sample(2)
+	if a != 0.25 {
+		t.Errorf("mid alpha = %f, want 0.25", a)
+	}
+	_, _, _, a = tf.Sample(100)
+	if a != 0.5 {
+		t.Errorf("clamped alpha = %f, want 0.5", a)
+	}
+	bad := TransferFunction{Lo: 2, Hi: 2, Opacity: 1}
+	if _, _, _, a := bad.Sample(5); a != 0 {
+		t.Error("degenerate range should be transparent")
+	}
+}
+
+func TestConfigChecks(t *testing.T) {
+	cfg, _ := testConfig(t, 2, 2, 2)
+	g, _ := graphs.NewReduction(4, 2)
+	c := core.NewSerial()
+	c.Initialize(g, nil)
+	if err := cfg.RegisterReduction(c, g); err == nil {
+		t.Error("block-count mismatch should fail")
+	}
+	bad := cfg
+	bad.Camera = Camera{}
+	g8, _ := graphs.NewReduction(8, 2)
+	c2 := core.NewSerial()
+	c2.Initialize(g8, nil)
+	if err := bad.RegisterReduction(c2, g8); err == nil {
+		t.Error("zero camera should fail")
+	}
+	if _, err := cfg.InitialInputs(data.NewField(16, 16, 16), []core.TaskId{1, 2}); err == nil {
+		t.Error("wrong leaf count should fail")
+	}
+}
+
+func TestCompositeErrors(t *testing.T) {
+	if _, err := CompositeTree(nil); err == nil {
+		t.Error("empty composite should fail")
+	}
+	if _, err := CompositeSwap(make([]*Image, 3)); err == nil {
+		t.Error("non-power-of-two swap should fail")
+	}
+	tiles := []*Image{NewImage(2, 2, 0, 9)}
+	if _, err := AssembleTiles(tiles, 4, 4); err == nil {
+		t.Error("out-of-frame tile should fail")
+	}
+}
+
+// TestCompositeTreeOddCount exercises the odd-leaf promotion path.
+func TestCompositeTreeOddCount(t *testing.T) {
+	imgs := make([]*Image, 3)
+	for i := range imgs {
+		imgs[i] = NewImage(1, 1, 0, 0)
+		imgs[i].SetPixel(0, 0, 0.1, 0.1, 0.1, 0.2, float32(i))
+	}
+	out, err := CompositeTree(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, a := out.At(0, 0); a <= 0.2 || a > 1 {
+		t.Errorf("alpha = %f", a)
+	}
+}
+
+// TestFig10dImage produces the composited frame of the full pipeline (the
+// Fig. 10d analogue) and checks the PPM output is a well-formed, non-empty
+// image.
+func TestFig10dImage(t *testing.T) {
+	cfg, f := testConfig(t, 2, 2, 2)
+	frame, err := NewIceT(cfg).RenderAndCompositeTree(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm := frame.WritePPM()
+	if !strings.HasPrefix(string(ppm), "P6\n16 16\n255\n") {
+		t.Fatalf("bad PPM header: %q", ppm[:14])
+	}
+	nonzero := 0
+	for _, b := range ppm[len("P6\n16 16\n255\n"):] {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("composited image is entirely black")
+	}
+}

@@ -1,0 +1,117 @@
+package render
+
+import (
+	"math"
+
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+// TransferFunction maps scalar values to premultiplied color and opacity.
+// The mapping is a deterministic piecewise-linear ramp, so every runtime
+// produces bit-identical samples.
+type TransferFunction struct {
+	// Lo, Hi bound the visible scalar range; values below Lo are fully
+	// transparent.
+	Lo, Hi float32
+	// Opacity scales per-sample alpha (the emission/absorption step size).
+	Opacity float32
+}
+
+// Sample returns the premultiplied RGBA contribution of one scalar sample.
+func (tf TransferFunction) Sample(v float32) (r, g, b, a float32) {
+	if v < tf.Lo || tf.Hi <= tf.Lo {
+		return 0, 0, 0, 0
+	}
+	t := (v - tf.Lo) / (tf.Hi - tf.Lo)
+	if t > 1 {
+		t = 1
+	}
+	a = t * tf.Opacity
+	if a > 1 {
+		a = 1
+	}
+	// Blue-to-red ramp, premultiplied.
+	r = t * a
+	g = 0.2 * a
+	b = (1 - t) * a
+	return r, g, b, a
+}
+
+// Camera is the orthographic view of the pipeline: rays travel along +Z and
+// pixel (px, py) maps to the voxel column (px*NX/W, py*NY/H). The paper's
+// rendering stage is embarrassingly parallel for any fixed view; a single
+// axis-aligned view keeps distributed and serial results comparable.
+type Camera struct {
+	Width, Height int
+}
+
+// column maps a pixel to its voxel column in an nx*ny domain.
+func (c Camera) column(px, py, nx, ny int) (x, y int) {
+	return px * nx / c.Width, py * ny / c.Height
+}
+
+// RenderBlock volume-renders the core region of one decomposition block
+// into a full-frame image: pixels whose voxel column falls outside the
+// block's core stay transparent. The block field includes the ghost layer;
+// samples are taken at the core's integer z planes, so compositing all
+// blocks reproduces the full-domain integral exactly.
+func RenderBlock(cam Camera, tf TransferFunction, d *data.Decomposition, blockIndex int, block *data.Field) *Image {
+	img := NewImage(cam.Width, cam.Height, 0, 0)
+	b := d.Block(blockIndex)
+	sx, sy, sz := d.NX/d.BXN, d.NY/d.BYN, d.NZ/d.BZN
+	// Core region: the ghost-free partition cell [b.X0, b.X0+sx) x ... ;
+	// the z sweep covers exactly the core planes, so compositing all
+	// blocks integrates every domain plane once.
+	coreX1, coreY1 := b.X0+sx, b.Y0+sy
+	zEnd := b.Z0 + sz
+	for py := 0; py < cam.Height; py++ {
+		for px := 0; px < cam.Width; px++ {
+			gx, gy := cam.column(px, py, d.NX, d.NY)
+			if gx < b.X0 || gx >= coreX1 || gy < b.Y0 || gy >= coreY1 {
+				continue
+			}
+			var cr, cg, cb, ca float32
+			depth := float32(math.Inf(1))
+			for z := b.Z0; z < zEnd; z++ {
+				v := block.At(gx-b.X0, gy-b.Y0, z-b.Z0)
+				sr, sg, sb, sa := tf.Sample(v)
+				if sa > 0 && math.IsInf(float64(depth), 1) {
+					depth = float32(z)
+				}
+				// Front-to-back OVER accumulation.
+				cr += (1 - ca) * sr
+				cg += (1 - ca) * sg
+				cb += (1 - ca) * sb
+				ca += (1 - ca) * sa
+			}
+			img.SetPixel(px, py, cr, cg, cb, ca, depth)
+		}
+	}
+	return img
+}
+
+// RenderFull volume-renders the whole domain serially: the reference result
+// the distributed pipeline must reproduce.
+func RenderFull(cam Camera, tf TransferFunction, f *data.Field) *Image {
+	img := NewImage(cam.Width, cam.Height, 0, 0)
+	for py := 0; py < cam.Height; py++ {
+		for px := 0; px < cam.Width; px++ {
+			gx, gy := cam.column(px, py, f.NX, f.NY)
+			var cr, cg, cb, ca float32
+			depth := float32(math.Inf(1))
+			for z := 0; z < f.NZ; z++ {
+				v := f.At(gx, gy, z)
+				sr, sg, sb, sa := tf.Sample(v)
+				if sa > 0 && math.IsInf(float64(depth), 1) {
+					depth = float32(z)
+				}
+				cr += (1 - ca) * sr
+				cg += (1 - ca) * sg
+				cb += (1 - ca) * sb
+				ca += (1 - ca) * sa
+			}
+			img.SetPixel(px, py, cr, cg, cb, ca, depth)
+		}
+	}
+	return img
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/babelflow/babelflow-go/internal/graphs"
+)
+
+// Row is one data point of a reproduced figure: (figure, series, x,
+// seconds), matching the paper's plotted curves.
+type Row struct {
+	Figure  string
+	Series  string
+	X       int
+	Seconds float64
+}
+
+// Figures lists the reproducible scaling figures in paper order.
+func Figures() []string {
+	return []string{"fig2", "fig3", "fig6", "fig9", "fig10a", "fig10b", "fig10c", "fig10e", "fig10f"}
+}
+
+// Figure regenerates one figure's series by name.
+func Figure(name string) ([]Row, error) {
+	switch name {
+	case "fig2":
+		return Fig2()
+	case "fig3":
+		return Fig3()
+	case "fig6":
+		return Fig6()
+	case "fig9":
+		return Fig9()
+	case "fig10a":
+		return Fig10a()
+	case "fig10b":
+		return Fig10b()
+	case "fig10c":
+		return Fig10c()
+	case "fig10e":
+		return Fig10e()
+	case "fig10f":
+		return Fig10f()
+	}
+	return nil, fmt.Errorf("sim: unknown figure %q (have %v)", name, Figures())
+}
+
+// mergeTreeLeafs picks the block count for a core count: the next power of
+// the reduction valence, giving 1-8x over-decomposition as in the paper's
+// runs.
+func mergeTreeLeafs(cores, valence int) int {
+	l := graphs.RoundUpPow(cores, valence)
+	if l < valence {
+		l = valence
+	}
+	return l
+}
+
+// Fig2 compares the Legion index-launch and SPMD controllers on the
+// parallel merge-tree dataflow over the 512³ HCCI dataset, 128-2048 cores.
+func Fig2() ([]Row, error) {
+	var rows []Row
+	for _, cores := range []int{128, 256, 512, 1024, 2048} {
+		w, err := MergeTreeWorkload(mergeTreeLeafs(cores, 8), 8, 512)
+		if err != nil {
+			return nil, err
+		}
+		m := ShaheenII(cores)
+		il, err := Execute(w, m, LegionIL)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := Execute(w, m, LegionSPMD)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{"fig2", "Legion IL", cores, il.Makespan},
+			Row{"fig2", "Legion SPMD", cores, sp.Makespan})
+	}
+	return rows, nil
+}
+
+// Fig3 is the strong-scaling study of a single data-parallel launch: N
+// identical tasks on N cores. It reports total time for the index launcher
+// and the must-epoch launcher, plus the (launcher-independent) staging and
+// per-task computation series.
+func Fig3() ([]Row, error) {
+	const totalWork = 64.0 // core-seconds split across the tasks
+	const outBytes = 4 << 20
+	var rows []Row
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		w := IndependentWorkload(n, totalWork, outBytes)
+		m := ShaheenII(n)
+		il, err := Execute(w, m, LegionIL)
+		if err != nil {
+			return nil, err
+		}
+		me, err := Execute(w, m, LegionSPMD)
+		if err != nil {
+			return nil, err
+		}
+		perTaskStage := il.Staging / float64(il.Tasks)
+		rows = append(rows,
+			Row{"fig3", "Total w/ Index launcher", n, il.Makespan},
+			Row{"fig3", "Total w/ Must epoch launcher", n, me.Makespan},
+			Row{"fig3", "Task staging", n, perTaskStage},
+			Row{"fig3", "Task computation", n, totalWork / float64(n)})
+	}
+	return rows, nil
+}
+
+// Fig6 is the headline merge-tree scaling study on the 1024³ HCCI dataset:
+// the hand-tuned Original MPI baseline against the BabelFlow MPI, Charm++
+// and Legion (SPMD) controllers, 128-32768 cores.
+func Fig6() ([]Row, error) {
+	var rows []Row
+	for _, cores := range []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		w, err := MergeTreeWorkload(mergeTreeLeafs(cores, 8), 8, 1024)
+		if err != nil {
+			return nil, err
+		}
+		m := ShaheenII(cores)
+		for _, r := range []RuntimeModel{OriginalMPI, MPI, Charm, LegionSPMD} {
+			res, err := Execute(w, m, r)
+			if err != nil {
+				return nil, err
+			}
+			series := r.String()
+			if r == OriginalMPI {
+				series = "Original MPI"
+			}
+			rows = append(rows, Row{"fig6", series, cores, res.Makespan})
+		}
+	}
+	return rows, nil
+}
+
+// Fig9 is the brain-registration scaling study: 25 volumes of 1024³ on a
+// 5x5 grid, 15% overlap, 4 cores used per node, 256-3200 nodes.
+func Fig9() ([]Row, error) {
+	var rows []Row
+	for _, nodes := range []int{256, 512, 1024, 2048, 3200} {
+		cores := 4 * nodes
+		slabs := cores / 50
+		if slabs < 1 {
+			slabs = 1
+		}
+		w, err := RegistrationWorkload(5, 5, 1024, 0.15, slabs)
+		if err != nil {
+			return nil, err
+		}
+		m := ShaheenII(cores)
+		for _, r := range []RuntimeModel{MPI, Charm, LegionSPMD} {
+			res, err := Execute(w, m, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{"fig9", r.String(), nodes, res.Makespan})
+		}
+	}
+	return rows, nil
+}
+
+// renderSweep is the core-count axis shared by the Fig. 10 rendering and
+// compositing studies.
+var renderSweep = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// Fig10a is the VTK volume-rendering strong-scaling curve (identical for
+// all runtimes): a 2048² frame over the 1024³ dataset.
+func Fig10a() ([]Row, error) {
+	var rows []Row
+	for _, cores := range renderSweep {
+		if cores > 8192 {
+			break // the paper plots rendering to 8192 cores
+		}
+		w := IndependentWorkload(cores, cSample*2048*2048*1024, 0)
+		res, err := Execute(w, ShaheenII(cores), MPI)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"fig10a", "VTK volume rendering", cores, res.Makespan})
+	}
+	return rows, nil
+}
+
+// fig10Pipeline builds the full-pipeline figures 10b/10c: rendering plus
+// compositing in one dataflow, weak-scaled in the number of images.
+func fig10Pipeline(fig string, swap bool) ([]Row, error) {
+	var rows []Row
+	for _, cores := range renderSweep {
+		render := RenderCostPerLeaf(cores, 2048, 2048, 1024)
+		var w Workload
+		var err error
+		if swap {
+			w, err = CompositingBinarySwapWorkload(cores, 2048, 2048, render)
+		} else {
+			w, err = CompositingReductionWorkload(cores, 2048, 2048, render)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := ShaheenII(cores)
+		for _, r := range []RuntimeModel{Direct, MPI, Charm, LegionSPMD} {
+			res, err := Execute(w, m, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{fig, r.String(), cores, res.Makespan})
+		}
+	}
+	return rows, nil
+}
+
+// Fig10b: rendering + reduction compositing, total time.
+func Fig10b() ([]Row, error) { return fig10Pipeline("fig10b", false) }
+
+// Fig10c: rendering + binary-swap compositing, total time.
+func Fig10c() ([]Row, error) { return fig10Pipeline("fig10c", true) }
+
+// fig10Compositing builds the compositing-only figures 10e/10f.
+func fig10Compositing(fig string, swap bool) ([]Row, error) {
+	var rows []Row
+	for _, cores := range renderSweep {
+		var w Workload
+		var err error
+		if swap {
+			w, err = CompositingBinarySwapWorkload(cores, 2048, 2048, 0)
+		} else {
+			w, err = CompositingReductionWorkload(cores, 2048, 2048, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := ShaheenII(cores)
+		for _, r := range []RuntimeModel{Direct, MPI, Charm, LegionSPMD} {
+			res, err := Execute(w, m, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{fig, r.String(), cores, res.Makespan})
+		}
+	}
+	return rows, nil
+}
+
+// Fig10e: reduction compositing stage only.
+func Fig10e() ([]Row, error) { return fig10Compositing("fig10e", false) }
+
+// Fig10f: binary-swap compositing stage only.
+func Fig10f() ([]Row, error) { return fig10Compositing("fig10f", true) }
+
+// SeriesOf extracts one named series from figure rows, sorted by x.
+func SeriesOf(rows []Row, series string) []Row {
+	var out []Row
+	for _, r := range rows {
+		if r.Series == series {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+)
+
+// last returns the final (largest-x) point of a series.
+func last(rows []Row, series string) Row {
+	s := SeriesOf(rows, series)
+	return s[len(s)-1]
+}
+
+func first(rows []Row, series string) Row {
+	return SeriesOf(rows, series)[0]
+}
+
+// TestFig3Shapes asserts the qualitative claims of Fig. 3: task computation
+// scales almost perfectly, staging stays constant at a low level, yet the
+// index-launcher total *increases* with the task count due to the spawning
+// overhead borne by the parent.
+func TestFig3Shapes(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SeriesOf(rows, "Task computation")
+	for i := 1; i < len(comp); i++ {
+		if comp[i].Seconds >= comp[i-1].Seconds {
+			t.Errorf("task computation not decreasing at %d cores", comp[i].X)
+		}
+	}
+	stage := SeriesOf(rows, "Task staging")
+	for _, r := range stage {
+		if r.Seconds <= 0 || r.Seconds > 0.1 {
+			t.Errorf("staging at %d = %f, want small constant", r.X, r.Seconds)
+		}
+	}
+	if rel := stage[len(stage)-1].Seconds / stage[0].Seconds; rel > 1.5 || rel < 0.67 {
+		t.Errorf("staging not roughly constant: ratio %f", rel)
+	}
+	il := SeriesOf(rows, "Total w/ Index launcher")
+	if il[len(il)-1].Seconds <= il[0].Seconds {
+		t.Error("index-launcher total should increase with task count")
+	}
+	me := SeriesOf(rows, "Total w/ Must epoch launcher")
+	for i := range il {
+		if il[i].Seconds <= me[i].Seconds {
+			t.Errorf("at %d tasks the index launcher (%f) should cost more than must-epoch (%f)",
+				il[i].X, il[i].Seconds, me[i].Seconds)
+		}
+	}
+}
+
+// TestFig2Shapes: the SPMD controller scales; the index-launch controller
+// suffers more from runtime overheads and does not (Fig. 2).
+func TestFig2Shapes(t *testing.T) {
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range SeriesOf(rows, "Legion IL") {
+		spmd := SeriesOf(rows, "Legion SPMD")
+		_ = spmd
+		il := r.Seconds
+		var sp float64
+		for _, s := range SeriesOf(rows, "Legion SPMD") {
+			if s.X == r.X {
+				sp = s.Seconds
+			}
+		}
+		if il <= sp {
+			t.Errorf("at %d cores IL (%f) should be slower than SPMD (%f)", r.X, il, sp)
+		}
+	}
+	spmd := SeriesOf(rows, "Legion SPMD")
+	if spmd[len(spmd)-1].Seconds >= spmd[0].Seconds {
+		t.Error("SPMD should scale down from 128 to 2048 cores")
+	}
+	il := SeriesOf(rows, "Legion IL")
+	if il[len(il)-1].Seconds < il[0].Seconds*0.5 {
+		t.Error("IL should not exhibit good scaling")
+	}
+}
+
+// TestFig9Shapes: MPI and Charm++ scale well; Legion is comparable at low
+// node counts but levels out (Fig. 9).
+func TestFig9Shapes(t *testing.T) {
+	rows, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"MPI", "Charm++"} {
+		pts := SeriesOf(rows, s)
+		if pts[len(pts)-1].Seconds >= pts[0].Seconds/4 {
+			t.Errorf("%s does not scale: %f -> %f", s, pts[0].Seconds, pts[len(pts)-1].Seconds)
+		}
+	}
+	// Legion within ~5%% of MPI at the smallest scale, clearly worse at
+	// the largest.
+	lf, mf := first(rows, "Legion"), first(rows, "MPI")
+	if lf.Seconds > mf.Seconds*1.05 {
+		t.Errorf("Legion at 256 nodes (%f) should be on par with MPI (%f)", lf.Seconds, mf.Seconds)
+	}
+	ll, ml := last(rows, "Legion"), last(rows, "MPI")
+	if ll.Seconds <= ml.Seconds {
+		t.Errorf("Legion at 3200 nodes (%f) should level out above MPI (%f)", ll.Seconds, ml.Seconds)
+	}
+}
+
+// TestFig10aShape: rendering is embarrassingly parallel and strong-scales.
+func TestFig10aShape(t *testing.T) {
+	rows, err := Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := SeriesOf(rows, "VTK volume rendering")
+	if len(pts) < 5 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	ratio := pts[0].Seconds / pts[len(pts)-1].Seconds
+	scale := float64(pts[len(pts)-1].X) / float64(pts[0].X)
+	if ratio < scale*0.9 {
+		t.Errorf("rendering speedup %f over %fx cores: not near-perfect scaling", ratio, scale)
+	}
+}
+
+// TestFig10eShapes: the specialized IceT compositor clearly beats the
+// generic controllers in the reduction case; MPI shows the lowest increase
+// among the runtimes; Legion is highest.
+func TestFig10eShapes(t *testing.T) {
+	rows, err := Fig10e()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []int{128, 2048, 32768}
+	at := func(series string, x int) float64 {
+		for _, r := range SeriesOf(rows, series) {
+			if r.X == x {
+				return r.Seconds
+			}
+		}
+		t.Fatalf("missing %s at %d", series, x)
+		return 0
+	}
+	for _, x := range xs {
+		if !(at("IceT", x) < at("MPI", x) && at("MPI", x) < at("Charm++", x) && at("Charm++", x) < at("Legion", x)) {
+			t.Errorf("at %d cores want IceT < MPI < Charm++ < Legion, got %f %f %f %f",
+				x, at("IceT", x), at("MPI", x), at("Charm++", x), at("Legion", x))
+		}
+	}
+	// Weak scaling: every runtime's time grows slowly (no more than ~10x
+	// over a 256x core increase).
+	for _, s := range []string{"IceT", "MPI", "Charm++", "Legion"} {
+		if at(s, 32768) > 10*at(s, 128) {
+			t.Errorf("%s grows too fast: %f -> %f", s, at(s, 128), at(s, 32768))
+		}
+	}
+}
+
+// TestFig6SmallShapes runs a reduced Fig. 6 sweep (to keep unit-test time
+// bounded) and checks the headline claims: the generic MPI controller
+// outperforms the hand-tuned blocking baseline at low core counts, and
+// Legion does not scale as well as MPI/Charm++ at high counts.
+func TestFig6SmallShapes(t *testing.T) {
+	costAt := func(cores int, r RuntimeModel) float64 {
+		w, err := MergeTreeWorkload(mergeTreeLeafs(cores, 8), 8, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(w, ShaheenII(cores), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if o, m := costAt(128, OriginalMPI), costAt(128, MPI); o <= m {
+		t.Errorf("at 128 cores Original MPI (%f) should be slower than MPI (%f)", o, m)
+	}
+	if l, m := costAt(4096, LegionSPMD), costAt(4096, MPI); l <= m {
+		t.Errorf("at 4096 cores Legion (%f) should be slower than MPI (%f)", l, m)
+	}
+	// Strong scaling for MPI between 128 and 4096 cores.
+	if hi, lo := costAt(128, MPI), costAt(4096, MPI); hi/lo < 3 {
+		t.Errorf("MPI speedup 128->4096 = %f, want > 3x", hi/lo)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	if _, err := Figure("nope"); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	rows, err := Figure("fig3")
+	if err != nil || len(rows) == 0 {
+		t.Errorf("Figure(fig3) = %d rows, %v", len(rows), err)
+	}
+	if len(Figures()) != 9 {
+		t.Errorf("Figures() = %v", Figures())
+	}
+}
+
+func TestSeriesOfSorts(t *testing.T) {
+	rows := []Row{{X: 4, Series: "a"}, {X: 1, Series: "a"}, {X: 2, Series: "b"}}
+	s := SeriesOf(rows, "a")
+	if len(s) != 2 || s[0].X != 1 || s[1].X != 4 {
+		t.Errorf("SeriesOf = %v", s)
+	}
+}

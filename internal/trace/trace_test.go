@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+func tracedRun(t *testing.T, shards int) (*graphs.Reduction, *Recorder) {
+	t.Helper()
+	g, _ := graphs.NewReduction(16, 2)
+	rec := NewRecorder()
+	c := mpi.New(mpi.Options{Observer: rec})
+	if err := c.Initialize(g, core.NewModuloMap(shards, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	work := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		time.Sleep(200 * time.Microsecond)
+		return []core.Payload{core.Buffer([]byte{1})}, nil
+	}
+	for _, cb := range g.Callbacks() {
+		c.RegisterCallback(cb, rec.Wrap(cb, work))
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range g.LeafIds() {
+		initial[id] = []core.Payload{core.Buffer([]byte{2})}
+	}
+	if _, err := c.Run(initial); err != nil {
+		t.Fatal(err)
+	}
+	return g, rec
+}
+
+func TestRecorderCapturesAllTasks(t *testing.T) {
+	g, rec := tracedRun(t, 4)
+	spans := rec.Spans()
+	if len(spans) != g.Size() {
+		t.Fatalf("spans = %d, want %d", len(spans), g.Size())
+	}
+	seen := make(map[core.TaskId]bool)
+	for _, s := range spans {
+		if s.End.Before(s.Start) {
+			t.Errorf("task %d: end before start", s.Task)
+		}
+		if s.Duration() <= 0 {
+			t.Errorf("task %d: non-positive duration", s.Task)
+		}
+		if seen[s.Task] {
+			t.Errorf("task %d recorded twice", s.Task)
+		}
+		seen[s.Task] = true
+	}
+	// Spans sorted by start.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+}
+
+func TestRecorderShardsMatchMap(t *testing.T) {
+	g, rec := tracedRun(t, 4)
+	m := core.NewModuloMap(4, g.Size())
+	for _, s := range rec.Spans() {
+		if s.Shard != m.Shard(s.Task) {
+			t.Errorf("task %d traced on shard %d, mapped to %d", s.Task, s.Shard, m.Shard(s.Task))
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g, rec := tracedRun(t, 4)
+	sum, err := Summarize(g, rec.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tasks != g.Size() {
+		t.Errorf("Tasks = %d", sum.Tasks)
+	}
+	if sum.Wall <= 0 {
+		t.Error("Wall must be positive")
+	}
+	// The MPI controller overlaps up to 4 tasks per rank (its default
+	// worker pool), so utilization lies in (0, 4].
+	u := sum.Utilization()
+	if u <= 0 || u > 4.0001 {
+		t.Errorf("utilization = %f", u)
+	}
+	// Critical path of a 31-task binary reduction with equal task costs is
+	// 5 levels deep: it must be at least 5x the min task duration and at
+	// most the total busy time.
+	var minDur, total time.Duration
+	for i, s := range rec.Spans() {
+		if i == 0 || s.Duration() < minDur {
+			minDur = s.Duration()
+		}
+		total += s.Duration()
+	}
+	if sum.CriticalPath < 5*minDur {
+		t.Errorf("critical path %v < 5 levels x %v", sum.CriticalPath, minDur)
+	}
+	if sum.CriticalPath > total {
+		t.Errorf("critical path %v exceeds total busy %v", sum.CriticalPath, total)
+	}
+	if len(sum.ByCallback) != 3 {
+		t.Errorf("callback types = %d, want 3", len(sum.ByCallback))
+	}
+	if len(sum.Busy) == 0 {
+		t.Error("no per-shard busy times")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	sum, err := Summarize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tasks != 0 || sum.Utilization() != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestSummarizeUnknownTask(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	if _, err := Summarize(g, []Span{{Task: 999}}); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	_, rec := tracedRun(t, 2)
+	var b strings.Builder
+	if err := WriteCSV(&b, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "task,callback,shard,start_ns,end_ns,duration_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+len(rec.Spans()) {
+		t.Errorf("rows = %d, want %d", len(lines)-1, len(rec.Spans()))
+	}
+	// First data row starts at offset 0 (epoch-relative).
+	if !strings.Contains(lines[1], ",0,") {
+		t.Errorf("first row not epoch-relative: %q", lines[1])
+	}
+	var empty strings.Builder
+	if err := WriteCSV(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	_, rec := tracedRun(t, 2)
+	if len(rec.Spans()) == 0 {
+		t.Fatal("no spans before reset")
+	}
+	rec.Reset()
+	if len(rec.Spans()) != 0 {
+		t.Error("spans survived reset")
+	}
+}
