@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-fastpath figures
+
+## check: the CI gate — vet, build, and the full test suite under the race
+## detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-fastpath: regenerate the message fast-path microbenchmark report
+## (BENCH_fastpath.json; the baseline_seed section is preserved).
+bench-fastpath:
+	$(GO) run ./cmd/bfbench -fastpath
+
+## figures: regenerate the paper's evaluation figures.
+figures:
+	$(GO) run ./cmd/bfbench

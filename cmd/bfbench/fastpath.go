@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	babelflow "github.com/babelflow/babelflow-go"
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// The fast-path mode measures the message/data plane in isolation — the
+// same microbenchmarks as bench_fastpath_test.go (kept in sync by hand) —
+// and records them in BENCH_fastpath.json. The baseline_seed section of an
+// existing report is preserved verbatim so before/after comparisons against
+// the pre-fast-path engine survive regeneration.
+
+type fastpathBlob struct{ data []byte }
+
+func (b fastpathBlob) Serialize() []byte {
+	cp := make([]byte, len(b.data))
+	copy(cp, b.data)
+	return cp
+}
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+func record(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Ops:         r.N,
+	}
+}
+
+func benchMailbox(b *testing.B) {
+	mb := fabric.NewMailbox()
+	payload := core.Buffer(make([]byte, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb.Put(fabric.Message{Payload: payload})
+		if _, ok := mb.TryGet(); !ok {
+			panic("lost message")
+		}
+	}
+}
+
+func benchFabricThroughput(b *testing.B) {
+	const (
+		batchSize = 64
+		window    = 8
+	)
+	f := fabric.New(2)
+	payload := core.Buffer(make([]byte, 64))
+	credits := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		credits <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		defer wg.Done()
+		dst := make([]fabric.Message, batchSize)
+		received := 0
+		for {
+			n, ok := f.RecvBatch(1, dst)
+			if !ok {
+				return
+			}
+			received += n
+			for received >= batchSize {
+				received -= batchSize
+				credits <- struct{}{}
+			}
+		}
+	}()
+	batch := make([]fabric.Message, 0, batchSize)
+	for i := 0; i < b.N; i++ {
+		batch = append(batch, fabric.Message{From: 0, To: 1, Src: 0, Dest: 1, Payload: payload})
+		if len(batch) == batchSize || i == b.N-1 {
+			if len(batch) == batchSize {
+				<-credits
+			}
+			if err := f.SendN(batch); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	f.Close(1)
+	wg.Wait()
+}
+
+func benchCloneData(b *testing.B) {
+	p := core.Buffer(make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CloneForWire(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func benchCloneObject(b *testing.B) {
+	p := core.Object(fastpathBlob{data: make([]byte, 4096)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CloneForWire(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func benchFanOutRouting(b *testing.B) {
+	graph, err := babelflow.NewBroadcast(64, 8)
+	if err != nil {
+		panic(err)
+	}
+	blob := fastpathBlob{data: make([]byte, 16384)}
+	forward := func(in []babelflow.Payload, id babelflow.TaskId) ([]babelflow.Payload, error) {
+		t, _ := graph.Task(id)
+		out := make([]babelflow.Payload, len(t.Outgoing))
+		for s := range out {
+			out[s] = babelflow.Object(blob)
+		}
+		return out, nil
+	}
+	taskMap := babelflow.NewModuloMap(4, graph.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := babelflow.NewMPI(babelflow.MPIOptions{})
+		if err := c.Initialize(graph, taskMap); err != nil {
+			panic(err)
+		}
+		for _, cid := range graph.Callbacks() {
+			c.RegisterCallback(cid, forward)
+		}
+		initial := map[babelflow.TaskId][]babelflow.Payload{}
+		for _, id := range graph.TaskIds() {
+			t, _ := graph.Task(id)
+			for _, in := range t.Incoming {
+				if in == core.ExternalInput {
+					initial[id] = append(initial[id], babelflow.Object(blob))
+				}
+			}
+		}
+		if _, err := c.Run(initial); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// runFastpath measures the fast-path benchmarks and rewrites the JSON report
+// at path, preserving an existing baseline_seed section.
+func runFastpath(path string) error {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkMailbox", benchMailbox},
+		{"BenchmarkFabricThroughput", benchFabricThroughput},
+		{"BenchmarkCloneForWire/data-4KiB", benchCloneData},
+		{"BenchmarkCloneForWire/object-4KiB", benchCloneObject},
+		{"BenchmarkFanOutRouting", benchFanOutRouting},
+	}
+	current := make(map[string]benchResult, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		res := record(r)
+		current[bm.name] = res
+		fmt.Printf("%-40s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			bm.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bfbench: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	cur, err := json.Marshal(current)
+	if err != nil {
+		return err
+	}
+	report["current"] = cur
+	if _, ok := report["baseline_seed"]; !ok {
+		// First run: the measurements double as the baseline.
+		report["baseline_seed"] = cur
+	}
+	if _, ok := report["note"]; !ok {
+		note, _ := json.Marshal("Message fast-path microbenchmarks (see bench_fastpath_test.go). baseline_seed is the pre-fast-path engine; regenerate current with: go run ./cmd/bfbench -fastpath")
+		report["note"] = note
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

@@ -8,6 +8,7 @@
 //	bfbench                 # all figures
 //	bfbench -figure fig6    # one figure
 //	bfbench -format csv     # machine-readable output
+//	bfbench -fastpath       # message fast-path microbenchmarks -> BENCH_fastpath.json
 package main
 
 import (
@@ -22,10 +23,19 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "", "regenerate one figure (default: all)")
-		format = flag.String("format", "table", "table | csv")
+		figure      = flag.String("figure", "", "regenerate one figure (default: all)")
+		format      = flag.String("format", "table", "table | csv")
+		fastpath    = flag.Bool("fastpath", false, "run the message fast-path microbenchmarks instead of the figures")
+		fastpathOut = flag.String("fastpath-out", "BENCH_fastpath.json", "report path for -fastpath (baseline_seed is preserved)")
 	)
 	flag.Parse()
+
+	if *fastpath {
+		if err := runFastpath(*fastpathOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	names := sim.Figures()
 	if *figure != "" {

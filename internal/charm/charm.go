@@ -280,7 +280,9 @@ func (r *charmRun) deliver(ch *chare, m fabric.Message) error {
 	}
 	for slot, producer := range ch.task.Incoming {
 		if producer == m.Src && !ch.filled[slot] {
-			ch.slots[slot] = m.Payload
+			// Detach a private copy of a shared fan-out wire form: the
+			// chare owns its inputs and may mutate them.
+			ch.slots[slot] = m.Payload.Own()
 			ch.filled[slot] = true
 			ch.missing--
 			return nil
@@ -307,6 +309,7 @@ func (r *charmRun) execute(pe int, ch *chare, inputs []core.Payload) error {
 	if r.c.opt.Observer != nil {
 		r.c.opt.Observer.TaskExecuted(t.Id, core.ShardId(pe), t.Callback)
 	}
+	var batch []fabric.Message
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
 			r.resMu.Lock()
@@ -314,23 +317,49 @@ func (r *charmRun) execute(pe int, ch *chare, inputs []core.Payload) error {
 			r.resMu.Unlock()
 			continue
 		}
+		p := out[slot]
+		// Resolve every consumer's owner once; the last same-PE consumer
+		// receives the payload pointer (the PUP framework's in-memory
+		// optimization), every other RPC carries the wire form.
+		owners := make([]int, len(consumers))
 		for i, dest := range consumers {
-			destPE := r.owner(dest)
-			p := out[slot]
-			if destPE != pe || i < len(consumers)-1 {
-				// Cross-PE RPC or fan-out: the PUP framework serializes.
-				cp, err := p.CloneForWire()
-				if err != nil {
-					return fmt.Errorf("charm: chare %d output slot %d: %w", t.Id, slot, err)
-				}
-				p = cp
+			owners[i] = r.owner(dest)
+		}
+		inMemoryIdx := -1
+		if last := len(consumers) - 1; owners[last] == pe {
+			inMemoryIdx = last
+		}
+		wireConsumers := len(consumers)
+		if inMemoryIdx >= 0 {
+			wireConsumers--
+		}
+		var wire core.Payload
+		var err error
+		switch {
+		case wireConsumers == 0:
+			// Single same-PE consumer: pure pointer pass.
+		case wireConsumers == 1 && inMemoryIdx < 0:
+			// Single RPC consumer: the chare relinquished the buffer,
+			// hand it over without a copy.
+			wire, err = p.WireForm()
+		default:
+			// Fan-out: the PUP framework serializes once; the immutable
+			// wire form is shared by all RPC consumers and each detaches
+			// a private copy at delivery.
+			wire, err = core.SharedPayload(p, wireConsumers, inMemoryIdx >= 0)
+		}
+		if err != nil {
+			return fmt.Errorf("charm: chare %d output slot %d: %w", t.Id, slot, err)
+		}
+		for i, dest := range consumers {
+			mp := wire
+			if i == inMemoryIdx {
+				mp = p
 			}
-			if err := r.fab.Send(fabric.Message{From: pe, To: destPE, Src: t.Id, Dest: dest, Payload: p}); err != nil {
-				return err
-			}
+			batch = append(batch, fabric.Message{From: pe, To: owners[i], Src: t.Id, Dest: dest, Payload: mp})
 		}
 	}
-	return nil
+	return r.fab.SendN(batch)
 }
 
 // rebalance is the periodic load balancer: it measures the per-PE count of

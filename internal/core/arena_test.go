@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestArenaClassBounds(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, -1},
+		{-5, -1},
+		{1, arenaMinBits},
+		{64, arenaMinBits},
+		{65, 7},
+		{100, 7},
+		{128, 7},
+		{129, 8},
+		{1 << 22, arenaMaxBits},
+		{1<<22 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := arenaClass(c.n); got != c.want {
+			t.Errorf("arenaClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGrabBufferLengthAndCapacity(t *testing.T) {
+	b := GrabBuffer(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if cap(b) < 128 {
+		t.Errorf("cap = %d, want at least the class size 128", cap(b))
+	}
+	// Outside the pooled range: a plain allocation of the exact size.
+	big := GrabBuffer(1<<22 + 1)
+	if len(big) != 1<<22+1 {
+		t.Fatalf("len = %d", len(big))
+	}
+	if z := GrabBuffer(0); len(z) != 0 {
+		t.Fatalf("GrabBuffer(0) len = %d", len(z))
+	}
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	b := GrabBuffer(1024)
+	b[0] = 0xAB
+	ptr := &b[0]
+	ReleaseBuffer(b)
+	g := GrabBuffer(1024)
+	if &g[0] != ptr {
+		t.Skip("pool did not return the donated buffer (GC or scheduling); nothing to assert")
+	}
+	if len(g) != 1024 {
+		t.Errorf("len = %d after round trip", len(g))
+	}
+}
+
+// TestArenaFloorsDonatedCapacity: a donated buffer whose capacity is not a
+// power of two lands in the largest class it fully covers, so a Grab from
+// that class can reslice to the nominal class size safely.
+func TestArenaFloorsDonatedCapacity(t *testing.T) {
+	raw := make([]byte, 100) // cap 100: covers class 6 (64), not class 7 (128)
+	ptr := &raw[0]
+	ReleaseBuffer(raw)
+	g := GrabBuffer(64)
+	if &g[0] != ptr {
+		t.Skip("pool did not return the donated buffer; nothing to assert")
+	}
+	if cap(g) < 64 {
+		t.Errorf("cap = %d, want >= 64", cap(g))
+	}
+}
+
+func TestReleaseBufferIgnoresOutOfRange(t *testing.T) {
+	ReleaseBuffer(nil)              // must not panic
+	ReleaseBuffer(make([]byte, 0))  // zero capacity
+	ReleaseBuffer(make([]byte, 10)) // below the minimum class
+}

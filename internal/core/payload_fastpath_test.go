@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+)
+
+// countingBlob counts Serialize calls; each call returns a fresh owned
+// buffer, per the Serializable contract.
+type countingBlob struct {
+	data  []byte
+	calls *atomic.Int32
+}
+
+func (b countingBlob) Serialize() []byte {
+	b.calls.Add(1)
+	cp := make([]byte, len(b.data))
+	copy(cp, b.data)
+	return cp
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestWireFormZeroCopyForData(t *testing.T) {
+	data := pattern(64)
+	w, err := Buffer(data).WireForm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w.Data[0] != &data[0] {
+		t.Error("WireForm of a Data payload must forward the buffer without copying")
+	}
+	if w.Object != nil || w.Shared() {
+		t.Error("WireForm must carry only the binary form")
+	}
+}
+
+func TestCloneForWireObjectSkipsSecondCopy(t *testing.T) {
+	var calls atomic.Int32
+	p := Object(countingBlob{data: pattern(256), calls: &calls})
+	// Warm up any lazy state, then measure: the object path must cost
+	// exactly the one allocation Serialize itself performs.
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.CloneForWire(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("CloneForWire(object) = %.1f allocs/op, want 1 (Serialize only, no second copy)", allocs)
+	}
+}
+
+func TestCloneForWirePreservesEmptySemantics(t *testing.T) {
+	c, err := Payload{}.CloneForWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Data == nil || len(c.Data) != 0 {
+		t.Errorf("empty payload clone = %#v, want non-nil empty Data", c.Data)
+	}
+}
+
+// TestSharedPayloadIsolation is the API-level aliasing conformance check:
+// every consumer's Own() copy is private — mutating one copy must not be
+// observable through any other copy or through the shared buffer.
+func TestSharedPayloadIsolation(t *testing.T) {
+	data := pattern(256)
+	orig := append([]byte(nil), data...)
+	sp, err := SharedPayload(Buffer(data), 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Shared() {
+		t.Fatal("SharedPayload result must report Shared")
+	}
+	copies := make([]Payload, 3)
+	for i := range copies {
+		copies[i] = sp.Own()
+		if copies[i].Shared() {
+			t.Fatal("Own result must not remain shared")
+		}
+	}
+	for i := range copies {
+		for j := range copies[i].Data {
+			copies[i].Data[j] = byte(0xF0 + i)
+		}
+	}
+	for i := range copies {
+		for j := range copies[i].Data {
+			if copies[i].Data[j] != byte(0xF0+i) {
+				t.Fatalf("copy %d observed another consumer's mutation at byte %d", i, j)
+			}
+		}
+	}
+	// The producer relinquished `data`, so the LAST consumer to detach may
+	// legitimately receive the original buffer as a hand-off — but at most
+	// one consumer may alias it.
+	aliasing := 0
+	for i := range copies {
+		if &copies[i].Data[0] == &orig[0] {
+			t.Fatal("a consumer copy aliases the pristine snapshot") // impossible; snapshot is private
+		}
+		if &copies[i].Data[0] == &data[0] {
+			aliasing++
+		}
+	}
+	if aliasing > 1 {
+		t.Errorf("%d consumers alias the shared wire buffer; at most the final hand-off may", aliasing)
+	}
+}
+
+// TestSharedPayloadFinalOwnHandsOff: once every other consumer has detached,
+// the last Own takes the shared buffer itself instead of copying.
+func TestSharedPayloadFinalOwnHandsOff(t *testing.T) {
+	var calls atomic.Int32
+	sp, err := SharedPayload(Object(countingBlob{data: pattern(512), calls: &calls}), 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := &sp.Data[0]
+	a, b, c := sp.Own(), sp.Own(), sp.Own()
+	if &a.Data[0] == ptr || &b.Data[0] == ptr {
+		t.Error("a non-final consumer received the shared buffer without a copy")
+	}
+	if &c.Data[0] != ptr {
+		t.Error("the final consumer should receive the shared buffer as a hand-off")
+	}
+}
+
+// TestSharedPayloadAliasedForcesCopy: when the producer's buffer is also
+// pointer-passed locally (aliased=true), the wire form must be detached up
+// front so the local consumer's mutations cannot reach fan-out readers.
+func TestSharedPayloadAliasedForcesCopy(t *testing.T) {
+	data := pattern(128)
+	orig := append([]byte(nil), data...)
+	sp, err := SharedPayload(Buffer(data), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sp.Data[0] == &data[0] {
+		t.Fatal("aliased SharedPayload must copy the buffer")
+	}
+	// Simulate the pointer-passed local consumer mutating its input.
+	for i := range data {
+		data[i] = 0xEE
+	}
+	a, b := sp.Own(), sp.Own()
+	if !bytes.Equal(a.Data, orig) || !bytes.Equal(b.Data, orig) {
+		t.Error("fan-out consumers observed the local consumer's mutation")
+	}
+}
+
+func TestSharedPayloadSerializesOnce(t *testing.T) {
+	var calls atomic.Int32
+	blob := countingBlob{data: pattern(512), calls: &calls}
+	sp, err := SharedPayload(Object(blob), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c := sp.Own()
+		if !bytes.Equal(c.Data, blob.data) {
+			t.Fatalf("copy %d content mismatch", i)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("Serialize called %d times for 4 consumers, want 1", n)
+	}
+}
+
+// TestSharedPayloadLastReleaseDonates: a freshly serialized shared wire
+// buffer returns to the arena once the last reference drops, whether via Own
+// or Release.
+func TestSharedPayloadLastReleaseDonates(t *testing.T) {
+	var calls atomic.Int32
+	sp, err := SharedPayload(Object(countingBlob{data: pattern(1024), calls: &calls}), 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := &sp.Data[0]
+	_ = sp.Own() // consumer 1 detaches
+	sp.Release() // consumer 2 dropped (e.g. cancelled run)
+	g := GrabBuffer(1024)
+	if &g[0] != ptr {
+		t.Skip("pool did not return the donated buffer; nothing to assert")
+	}
+}
+
+// TestSharedPayloadRelinquishedDataNotDonated: wrapping a producer's raw
+// Data buffer (non-aliased) must NOT donate it to the arena — the caller
+// that built the payload may legitimately still hold the slice (e.g. an
+// initial input passed through by an identity callback).
+func TestSharedPayloadRelinquishedDataNotDonated(t *testing.T) {
+	data := pattern(2048)
+	sp, err := SharedPayload(Buffer(data), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sp.Own()
+	g := GrabBuffer(2048)
+	if len(data) > 0 && len(g) > 0 && &g[0] == &data[0] {
+		t.Error("relinquished Data buffer was donated to the arena; external holders could see it recycled")
+	}
+}
+
+func TestOwnAndReleaseIdentityForPlainPayloads(t *testing.T) {
+	data := pattern(32)
+	p := Buffer(data)
+	o := p.Own()
+	if &o.Data[0] != &data[0] {
+		t.Error("Own of a plain payload must be the identity")
+	}
+	p.Release() // must be a no-op, not a panic
+	obj := Object("hello")
+	if got := obj.Own(); got.Object != "hello" {
+		t.Error("Own of an object payload must be the identity")
+	}
+}
+
+func TestSharedPayloadNotSerializable(t *testing.T) {
+	if _, err := SharedPayload(Object(struct{}{}), 2, false); err == nil {
+		t.Error("SharedPayload of an opaque object should fail")
+	}
+}

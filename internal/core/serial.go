@@ -204,6 +204,11 @@ func (st *DataflowState) entry(id TaskId) (*taskInputs, error) {
 // deliveries fill successive slots; producers emit output slots in order and
 // transports preserve pairwise FIFO, so slot assignment is deterministic.
 // It returns the readiness of the task after the delivery via Ready.
+//
+// A shared fan-out wire form is stored as-is: whoever hands the assembled
+// inputs (Take) to a task callback must detach private copies first
+// (Payload.Own), so the detach cost lands on the executing worker rather
+// than on the delivery loop.
 func (st *DataflowState) Deliver(id, from TaskId, p Payload) error {
 	ti, err := st.entry(id)
 	if err != nil {

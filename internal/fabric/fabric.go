@@ -8,6 +8,12 @@
 // accounting message and byte counts for the performance studies. A
 // blocking (rendezvous) mode models the synchronous communication style of
 // the hand-tuned "Original MPI" baseline of Fig. 6.
+//
+// Mailboxes are growable ring buffers whose backing arrays are pooled
+// across mailbox lifetimes, and the batch entry points (SendN, RecvBatch)
+// move a whole fan-out or drain a whole queue under a single lock
+// acquisition, so the steady-state message path performs no allocation and
+// one lock operation per batch rather than per message.
 package fabric
 
 import (
@@ -71,17 +77,22 @@ func NewBlocking(n int) *Fabric {
 // Ranks returns the number of ranks.
 func (f *Fabric) Ranks() int { return len(f.boxes) }
 
+// account records the traffic of one message. Self-sends are in-memory
+// hand-offs and do not count as traffic.
+func (f *Fabric) account(m Message) {
+	if m.From != m.To {
+		f.messages.Add(1)
+		f.bytes.Add(uint64(m.Payload.Size()))
+	}
+}
+
 // Send delivers m to rank m.To. In asynchronous mode it never blocks; in
 // blocking mode it waits for the receiver to dequeue the message.
 func (f *Fabric) Send(m Message) error {
 	if m.To < 0 || m.To >= len(f.boxes) {
 		return fmt.Errorf("fabric: send to unknown rank %d", m.To)
 	}
-	if m.From != m.To {
-		// Self-sends are in-memory hand-offs and do not count as traffic.
-		f.messages.Add(1)
-		f.bytes.Add(uint64(m.Payload.Size()))
-	}
+	f.account(m)
 	if f.blocking && m.From != m.To {
 		// Rendezvous, except for self-sends: local delivery is a memory
 		// hand-off, not a network transfer, even in blocking mode.
@@ -94,6 +105,41 @@ func (f *Fabric) Send(m Message) error {
 	return nil
 }
 
+// SendN delivers a batch of messages, preserving their relative order for
+// every destination: runs of consecutive messages addressed to the same
+// rank are enqueued under one lock acquisition of that rank's mailbox. In
+// blocking mode each inter-rank message still performs an individual
+// rendezvous, as a real blocking send would.
+func (f *Fabric) SendN(ms []Message) error {
+	for i := range ms {
+		if ms[i].To < 0 || ms[i].To >= len(f.boxes) {
+			return fmt.Errorf("fabric: send to unknown rank %d", ms[i].To)
+		}
+		f.account(ms[i])
+	}
+	if f.blocking {
+		for _, m := range ms {
+			if m.From != m.To {
+				m.done = make(chan struct{})
+				f.boxes[m.To].Put(m)
+				<-m.done
+				continue
+			}
+			f.boxes[m.To].Put(m)
+		}
+		return nil
+	}
+	for i := 0; i < len(ms); {
+		j := i + 1
+		for j < len(ms) && ms[j].To == ms[i].To {
+			j++
+		}
+		f.boxes[ms[i].To].PutN(ms[i:j])
+		i = j
+	}
+	return nil
+}
+
 // Recv blocks until a message for the rank arrives or its mailbox is
 // closed; ok is false after close with an empty queue.
 func (f *Fabric) Recv(rank int) (Message, bool) {
@@ -102,6 +148,21 @@ func (f *Fabric) Recv(rank int) (Message, bool) {
 		close(m.done)
 	}
 	return m, ok
+}
+
+// RecvBatch blocks until at least one message for the rank is available (or
+// the mailbox is closed and drained) and dequeues up to len(dst) messages
+// under one lock acquisition. It returns the number dequeued; ok is false
+// after close with an empty queue.
+func (f *Fabric) RecvBatch(rank int, dst []Message) (int, bool) {
+	n, ok := f.boxes[rank].GetBatch(dst)
+	for i := 0; i < n; i++ {
+		if dst[i].done != nil {
+			close(dst[i].done)
+			dst[i].done = nil
+		}
+	}
+	return n, ok
 }
 
 // TryRecv dequeues a message if one is immediately available.
@@ -132,13 +193,31 @@ func (f *Fabric) Snapshot() Stats {
 	return Stats{Messages: f.messages.Load(), Bytes: f.bytes.Load()}
 }
 
-// Mailbox is an unbounded FIFO queue with blocking receive. A single lock
-// protects the queue, so delivery order is the order Put calls complete,
-// which preserves pairwise FIFO for any sender.
+// ringPool recycles mailbox backing arrays across mailbox lifetimes:
+// controllers create a fresh fabric per Run, so without pooling every run
+// re-grows every rank's queue from scratch. Pooled arrays are fully zeroed
+// before release, so they pin no payloads.
+var ringPool = sync.Pool{
+	New: func() any {
+		b := make([]Message, ringMinSize)
+		return &b
+	},
+}
+
+const ringMinSize = 64
+
+// Mailbox is an unbounded FIFO queue with blocking receive, backed by a
+// growable ring buffer. A single lock protects the ring, so delivery order
+// is the order Put calls complete, which preserves pairwise FIFO for any
+// sender. Dequeued slots are zeroed immediately: a delivered message's
+// payload is collectable as soon as its consumer drops it, regardless of
+// queue depth history.
 type Mailbox struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queue     []Message
+	buf       []Message // ring storage; nil until first Put and after teardown
+	head      int       // index of the oldest message
+	count     int       // queued messages
 	closed    bool
 	cancelled bool
 }
@@ -150,23 +229,117 @@ func NewMailbox() *Mailbox {
 	return mb
 }
 
+// reserveLocked makes room for n more messages.
+func (mb *Mailbox) reserveLocked(n int) {
+	if mb.buf == nil {
+		if n <= ringMinSize {
+			mb.buf = *ringPool.Get().(*[]Message)
+		} else {
+			mb.buf = make([]Message, nextPow2(n))
+		}
+		return
+	}
+	need := mb.count + n
+	if need <= len(mb.buf) {
+		return
+	}
+	nb := make([]Message, nextPow2(need))
+	for i := 0; i < mb.count; i++ {
+		nb[i] = mb.buf[(mb.head+i)%len(mb.buf)]
+	}
+	mb.releaseRing()
+	mb.buf, mb.head = nb, 0
+}
+
+func nextPow2(n int) int {
+	c := ringMinSize
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// releaseRing zeroes the current backing array and returns it to the pool.
+func (mb *Mailbox) releaseRing() {
+	if mb.buf == nil {
+		return
+	}
+	clear(mb.buf)
+	buf := mb.buf
+	mb.buf, mb.head = nil, 0
+	if len(buf) <= 1<<16 { // don't pin huge arrays
+		ringPool.Put(&buf)
+	}
+}
+
+func (mb *Mailbox) pushLocked(m Message) {
+	mb.buf[(mb.head+mb.count)%len(mb.buf)] = m
+	mb.count++
+}
+
+func (mb *Mailbox) popLocked() Message {
+	m := mb.buf[mb.head]
+	mb.buf[mb.head] = Message{} // release the delivered payload reference
+	mb.head = (mb.head + 1) % len(mb.buf)
+	mb.count--
+	if mb.count == 0 {
+		mb.head = 0
+		if mb.closed {
+			// Terminal drain: no further Put is legal, recycle the ring.
+			mb.releaseRing()
+		}
+	}
+	return m
+}
+
 // Put enqueues a message. Put on a closed mailbox panics: controllers close
 // a rank's mailbox only after every producer for that rank has finished.
 func (mb *Mailbox) Put(m Message) {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	if mb.cancelled {
-		// Drop silently, but release a rendezvous sender.
-		if m.done != nil {
-			close(m.done)
+		mb.mu.Unlock()
+		dropMessage(m)
+		return
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		panic("fabric: Put on closed mailbox")
+	}
+	mb.reserveLocked(1)
+	mb.pushLocked(m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// PutN enqueues a batch of messages in order under one lock acquisition.
+// Like Put, PutN on a closed mailbox panics and PutN on a cancelled mailbox
+// drops the batch.
+func (mb *Mailbox) PutN(ms []Message) {
+	if len(ms) == 0 {
+		return
+	}
+	mb.mu.Lock()
+	if mb.cancelled {
+		mb.mu.Unlock()
+		for _, m := range ms {
+			dropMessage(m)
 		}
 		return
 	}
 	if mb.closed {
+		mb.mu.Unlock()
 		panic("fabric: Put on closed mailbox")
 	}
-	mb.queue = append(mb.queue, m)
-	mb.cond.Signal()
+	mb.reserveLocked(len(ms))
+	for _, m := range ms {
+		mb.pushLocked(m)
+	}
+	mb.mu.Unlock()
+	if len(ms) == 1 {
+		mb.cond.Signal()
+	} else {
+		mb.cond.Broadcast()
+	}
 }
 
 // Get blocks until a message is available or the mailbox is closed and
@@ -174,56 +347,90 @@ func (mb *Mailbox) Put(m Message) {
 func (mb *Mailbox) Get() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queue) == 0 && !mb.closed && !mb.cancelled {
+	for mb.count == 0 && !mb.closed && !mb.cancelled {
 		mb.cond.Wait()
 	}
-	if mb.cancelled || len(mb.queue) == 0 {
+	if mb.cancelled || mb.count == 0 {
 		return Message{}, false
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
-	return m, true
+	return mb.popLocked(), true
+}
+
+// GetBatch blocks until at least one message is available (or the mailbox
+// is closed and drained) and dequeues up to len(dst) messages into dst
+// under one lock acquisition, returning the number dequeued.
+func (mb *Mailbox) GetBatch(dst []Message) (int, bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.count == 0 && !mb.closed && !mb.cancelled {
+		mb.cond.Wait()
+	}
+	if mb.cancelled || mb.count == 0 {
+		return 0, false
+	}
+	n := len(dst)
+	if n > mb.count {
+		n = mb.count
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = mb.popLocked()
+	}
+	return n, true
 }
 
 // TryGet dequeues a message if one is immediately available.
 func (mb *Mailbox) TryGet() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if mb.cancelled || len(mb.queue) == 0 {
+	if mb.cancelled || mb.count == 0 {
 		return Message{}, false
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
-	return m, true
+	return mb.popLocked(), true
 }
 
 // Len returns the number of queued messages.
 func (mb *Mailbox) Len() int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return len(mb.queue)
+	return mb.count
 }
 
 // Close marks the mailbox closed and wakes all blocked receivers. Queued
 // messages remain receivable.
 func (mb *Mailbox) Close() {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	mb.closed = true
+	if mb.count == 0 {
+		mb.releaseRing()
+	}
+	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
 
 // Cancel aborts the mailbox: queued messages are dropped (releasing any
-// rendezvous senders), further Puts are dropped, and receivers return !ok.
+// rendezvous senders and shared payload references), further Puts are
+// dropped, and receivers return !ok.
 func (mb *Mailbox) Cancel() {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	mb.cancelled = true
-	for _, m := range mb.queue {
-		if m.done != nil {
-			close(m.done)
-		}
+	for i := 0; i < mb.count; i++ {
+		dropMessage(mb.buf[(mb.head+i)%len(mb.buf)])
 	}
-	mb.queue = nil
+	mb.count = 0
+	mb.releaseRing()
+	mb.mu.Unlock()
 	mb.cond.Broadcast()
+}
+
+// dropMessage discards an undeliverable message: it releases a blocked
+// rendezvous sender and drops the payload's shared wire reference so pooled
+// fan-out buffers still return to the arena on a cancelled run.
+func dropMessage(m Message) {
+	if m.done != nil {
+		close(m.done)
+	}
+	m.Payload.Release()
 }

@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -174,6 +176,191 @@ func TestMailboxLenAndPutAfterClosePanics(t *testing.T) {
 		}
 	}()
 	mb.Put(Message{})
+}
+
+// TestMailboxRingWraparound drives the ring buffer through many
+// enqueue/dequeue cycles with a standing backlog, so head wraps repeatedly
+// and the ring grows at least once, and checks FIFO order throughout.
+func TestMailboxRingWraparound(t *testing.T) {
+	mb := NewMailbox()
+	next := 0 // next sequence number to enqueue
+	want := 0 // next sequence number expected out
+	put := func(n int) {
+		for i := 0; i < n; i++ {
+			mb.Put(Message{Src: core.TaskId(next)})
+			next++
+		}
+	}
+	get := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			m, ok := mb.TryGet()
+			if !ok {
+				t.Fatalf("TryGet failed at seq %d", want)
+			}
+			if m.Src != core.TaskId(want) {
+				t.Fatalf("out of order: got %d, want %d", m.Src, want)
+			}
+			want++
+		}
+	}
+	put(100) // backlog forces growth past the initial ring
+	for cycle := 0; cycle < 300; cycle++ {
+		put(3)
+		get(3)
+	}
+	get(100)
+	if mb.Len() != 0 {
+		t.Fatalf("Len = %d after drain", mb.Len())
+	}
+}
+
+func TestPutNGetBatchFIFO(t *testing.T) {
+	mb := NewMailbox()
+	batch := make([]Message, 10)
+	for i := range batch {
+		batch[i] = Message{Src: core.TaskId(i)}
+	}
+	mb.PutN(batch[:7])
+	mb.PutN(batch[7:])
+	if mb.Len() != 10 {
+		t.Fatalf("Len = %d", mb.Len())
+	}
+	dst := make([]Message, 4)
+	seq := 0
+	for seq < 10 {
+		n, ok := mb.GetBatch(dst)
+		if !ok || n == 0 {
+			t.Fatalf("GetBatch = %d, %v at seq %d", n, ok, seq)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i].Src != core.TaskId(seq) {
+				t.Fatalf("batch out of order: got %d, want %d", dst[i].Src, seq)
+			}
+			seq++
+		}
+	}
+}
+
+func TestSendNDeliversAndCounts(t *testing.T) {
+	f := New(3)
+	ms := []Message{
+		{From: 0, To: 1, Src: 1, Payload: core.Buffer(make([]byte, 10))},
+		{From: 0, To: 1, Src: 2, Payload: core.Buffer(make([]byte, 20))},
+		{From: 0, To: 2, Src: 3, Payload: core.Buffer(make([]byte, 30))},
+		{From: 0, To: 0, Src: 4, Payload: core.Buffer(make([]byte, 40))}, // self-send: not traffic
+	}
+	if err := f.SendN(ms); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []core.TaskId{1, 2} {
+		m, ok := f.TryRecv(1)
+		if !ok || m.Src != want {
+			t.Fatalf("rank 1 message %d = %v, %v", i, m, ok)
+		}
+	}
+	if m, ok := f.TryRecv(2); !ok || m.Src != 3 {
+		t.Fatalf("rank 2 = %v, %v", m, ok)
+	}
+	if m, ok := f.TryRecv(0); !ok || m.Src != 4 {
+		t.Fatalf("rank 0 = %v, %v", m, ok)
+	}
+	s := f.Snapshot()
+	if s.Messages != 3 || s.Bytes != 60 {
+		t.Errorf("stats = %+v, want 3 messages / 60 bytes", s)
+	}
+}
+
+func TestSendNUnknownRank(t *testing.T) {
+	f := New(2)
+	err := f.SendN([]Message{{To: 0}, {To: 7}})
+	if err == nil {
+		t.Error("SendN with an unknown rank should fail")
+	}
+}
+
+func TestRecvBatchBlocksThenDrains(t *testing.T) {
+	f := New(1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		f.SendN([]Message{{To: 0, Src: 1}, {To: 0, Src: 2}})
+	}()
+	dst := make([]Message, 8)
+	n, ok := f.RecvBatch(0, dst)
+	if !ok || n == 0 {
+		t.Fatalf("RecvBatch = %d, %v", n, ok)
+	}
+	got := n
+	for got < 2 {
+		n, ok = f.RecvBatch(0, dst)
+		if !ok {
+			t.Fatal("RecvBatch failed before draining")
+		}
+		got += n
+	}
+	f.Close(0)
+	if n, ok := f.RecvBatch(0, dst); ok || n != 0 {
+		t.Errorf("RecvBatch after close+drain = %d, %v", n, ok)
+	}
+}
+
+func TestBlockingSendNRendezvous(t *testing.T) {
+	f := NewBlocking(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.SendN([]Message{{From: 0, To: 1, Src: 1}, {From: 0, To: 1, Src: 2}})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("blocking SendN completed before receive")
+	default:
+	}
+	if m, ok := f.Recv(1); !ok || m.Src != 1 {
+		t.Fatalf("Recv = %v, %v", m, ok)
+	}
+	if m, ok := f.Recv(1); !ok || m.Src != 2 {
+		t.Fatalf("Recv = %v, %v", m, ok)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking SendN did not complete after receives")
+	}
+}
+
+// TestDeliveredMessagesCollectable is the regression test for the dequeue
+// leak: the old slice-shift mailbox (queue = queue[1:]) kept delivered
+// payloads reachable through the backing array. The ring buffer zeroes each
+// vacated slot, so a delivered message's payload must become collectable as
+// soon as the consumer drops it — while the mailbox is still alive and in
+// use.
+func TestDeliveredMessagesCollectable(t *testing.T) {
+	mb := NewMailbox()
+	const n = 8
+	var freed atomic.Int32
+	for i := 0; i < n; i++ {
+		buf := new([4096]byte)
+		runtime.SetFinalizer(buf, func(*[4096]byte) { freed.Add(1) })
+		mb.Put(Message{Src: core.TaskId(i), Payload: core.Buffer(buf[:])})
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := mb.TryGet(); !ok {
+			t.Fatal("lost message")
+		}
+	}
+	// Keep the mailbox alive and open: the payloads must be collectable
+	// anyway.
+	deadline := time.Now().Add(5 * time.Second)
+	for freed.Load() < n && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if got := freed.Load(); got < n {
+		t.Errorf("only %d of %d delivered payloads were collected; the mailbox retains delivered messages", got, n)
+	}
+	runtime.KeepAlive(mb)
 }
 
 func TestNewPanicsOnZeroRanks(t *testing.T) {

@@ -136,6 +136,9 @@ func (c *IndexLaunch) Run(initial map[core.TaskId][]core.Payload) (map[core.Task
 			}
 		}
 	}
+	// All rounds are complete and consumers hold copies of region data:
+	// return the staging buffers to the wire-buffer arena.
+	store.Release()
 
 	c.lastMetrics = met.snapshot()
 	return results, nil

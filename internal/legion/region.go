@@ -124,14 +124,17 @@ func (s *RegionStore) region(id RegionId) *physicalRegion {
 
 // Put stages a payload into the region: the payload is serialized (Legion
 // maps payloads to physical regions through the user's serialization
-// routines) and the region's phase barrier triggers.
+// routines) and the region's phase barrier triggers. Staging buffers come
+// from the core wire-buffer arena; Release returns them when the run is
+// over.
 func (s *RegionStore) Put(id RegionId, p core.Payload) error {
 	wire, err := p.Wire()
 	if err != nil {
 		return fmt.Errorf("legion: staging %v: %w", id, err)
 	}
 	r := s.region(id)
-	r.data = append([]byte(nil), wire...)
+	r.data = core.GrabBuffer(len(wire))
+	copy(r.data, wire)
 	r.barrier.Arrive()
 	return nil
 }
@@ -146,6 +149,21 @@ func (s *RegionStore) Get(id RegionId) (core.Payload, error) {
 	cp := make([]byte, len(r.data))
 	copy(cp, r.data)
 	return core.Buffer(cp), nil
+}
+
+// Release returns every staged region buffer to the wire-buffer arena. The
+// controller calls it once the run is complete: consumers only ever hold
+// copies of region data (Get), so no live reference can remain.
+func (s *RegionStore) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.regions {
+		if r.data != nil {
+			core.ReleaseBuffer(r.data)
+			r.data = nil
+		}
+	}
+	s.regions = make(map[RegionId]*physicalRegion)
 }
 
 // Cancel aborts every current and future region wait.

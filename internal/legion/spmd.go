@@ -141,6 +141,9 @@ func (c *SPMD) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]co
 		}(core.ShardId(s))
 	}
 	wg.Wait()
+	// Every shard has joined, so no region reader remains: return the
+	// staging buffers to the wire-buffer arena.
+	store.Release()
 
 	c.lastMetrics = met.snapshot()
 	errMu.Lock()

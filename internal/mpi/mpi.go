@@ -153,6 +153,12 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 	return results, nil
 }
 
+// workItem is one ready task handed to the rank's worker pool.
+type workItem struct {
+	task core.Task
+	in   []core.Payload
+}
+
 // runRank is the per-rank controller loop.
 func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
 	local, err := core.LocalGraph(c.graph, c.tmap, core.ShardId(rank))
@@ -170,35 +176,69 @@ func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), in
 	st := core.NewDataflowState(c.graph)
 	remaining := len(local)
 
-	// Worker pool: a semaphore bounds concurrent task execution; each task
-	// runs on its own goroutine, as in the paper's thread-per-ready-task
-	// model, and routes its outputs when done. A failing worker records the
-	// cause and cancels the fabric so every rank unwinds.
-	sem := make(chan struct{}, c.opt.Workers)
-	var workers sync.WaitGroup
-
-	execute := func(t core.Task, in []core.Payload) {
+	// Worker pool: a persistent pool of opt.Workers goroutines executes
+	// ready tasks and routes their outputs. The work queue's capacity is
+	// the local task count — the maximum that can ever be dispatched — so
+	// dispatch never blocks and the receive loop keeps draining messages
+	// and accounting inputs while every worker is busy (the "thread pool"
+	// of §IV-A: execution concurrency is bounded by the pool, message
+	// receipt is not). A failing worker records the cause and cancels the
+	// fabric so every rank unwinds.
+	execute := func(t core.Task, in []core.Payload, scratch []fabric.Message) []fabric.Message {
+		// Detach private copies of shared fan-out wire forms on the worker,
+		// so the copies of independent consumers proceed in parallel instead
+		// of serializing on the receive loop.
+		for i := range in {
+			in[i] = in[i].Own()
+		}
 		out, err := c.runTask(t, in)
 		if err != nil {
 			abort(err)
-			return
+			return scratch
 		}
-		if err := c.route(rank, fab, t, out, results, resMu); err != nil {
+		scratch, err = c.route(rank, fab, t, out, results, resMu, scratch)
+		if err != nil {
 			abort(err)
 		}
+		return scratch
 	}
+
+	var work chan workItem
+	var workers sync.WaitGroup
+	if !c.opt.Inline {
+		work = make(chan workItem, len(local))
+		n := c.opt.Workers
+		if n > len(local) {
+			n = len(local)
+		}
+		workers.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer workers.Done()
+				var scratch []fabric.Message
+				for item := range work {
+					scratch = execute(item.task, item.in, scratch)
+				}
+			}()
+		}
+	}
+	closeOnce := sync.OnceFunc(func() {
+		if work != nil {
+			close(work)
+		}
+	})
+	defer func() {
+		closeOnce()
+		workers.Wait()
+	}()
+
+	var inlineScratch []fabric.Message
 	dispatch := func(t core.Task, in []core.Payload) {
 		if c.opt.Inline {
-			execute(t, in)
+			inlineScratch = execute(t, in, inlineScratch)
 			return
 		}
-		workers.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer workers.Done()
-			defer func() { <-sem }()
-			execute(t, in)
-		}()
+		work <- workItem{task: t, in: in}
 	}
 
 	// Feed external inputs for local leaf tasks, then dispatch tasks that
@@ -218,30 +258,33 @@ func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), in
 	}
 
 	// Receive loop: every arriving message targets a local task. Tasks are
-	// scheduled greedily, in the order their last input arrives.
+	// scheduled greedily, in the order their last input arrives; messages
+	// are drained in batches so a burst costs one mailbox lock, not one
+	// per message.
+	batch := make([]fabric.Message, 64)
 	for remaining > 0 {
-		m, ok := fab.Recv(rank)
+		n, ok := fab.RecvBatch(rank, batch)
 		if !ok {
 			// The fabric was cancelled; the aborting goroutine recorded
 			// the cause.
-			workers.Wait()
 			return nil
 		}
-		t, ok := tasks[m.Dest]
-		if !ok {
-			workers.Wait()
-			return fmt.Errorf("mpi: rank %d received message for non-local task %d", rank, m.Dest)
-		}
-		if err := st.Deliver(m.Dest, m.Src, m.Payload); err != nil {
-			workers.Wait()
-			return err
-		}
-		if in, ok := st.Take(m.Dest); ok {
-			dispatch(t, in)
-			remaining--
+		for i := 0; i < n; i++ {
+			m := batch[i]
+			batch[i] = fabric.Message{} // drop the payload reference
+			t, ok := tasks[m.Dest]
+			if !ok {
+				return fmt.Errorf("mpi: rank %d received message for non-local task %d", rank, m.Dest)
+			}
+			if err := st.Deliver(m.Dest, m.Src, m.Payload); err != nil {
+				return err
+			}
+			if in, ok := st.Take(m.Dest); ok {
+				dispatch(t, in)
+				remaining--
+			}
 		}
 	}
-	workers.Wait()
 	return nil
 }
 
@@ -266,8 +309,19 @@ func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, er
 
 // route delivers a finished task's outputs: sink slots into the result map,
 // intra-rank single-consumer edges as in-memory messages, everything else
-// serialized over the fabric.
-func (c *Controller) route(rank int, fab *fabric.Fabric, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+// as wire forms over the fabric.
+//
+// Copy-on-fan-out: a slot with several wire consumers is serialized exactly
+// once and the immutable wire form is shared between them through a
+// refcounted wrapper (core.SharedPayload); each consumer detaches a private
+// copy at delivery. A slot with a single wire consumer hands the
+// relinquished buffer over without any copy. All of a task's messages are
+// collected into scratch and enqueued with one batched send per destination
+// run, so the whole fan-out costs one serialization and O(destinations)
+// lock acquisitions. The (possibly grown) scratch slice is returned for
+// reuse by the calling worker.
+func (c *Controller) route(rank int, fab *fabric.Fabric, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex, scratch []fabric.Message) ([]fabric.Message, error) {
+	batch := scratch[:0]
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
 			resMu.Lock()
@@ -275,25 +329,49 @@ func (c *Controller) route(rank int, fab *fabric.Fabric, t core.Task, out []core
 			resMu.Unlock()
 			continue
 		}
-		for i, dest := range consumers {
-			destRank := int(c.tmap.Shard(dest))
-			p := out[slot]
-			inMemory := destRank == rank && i == len(consumers)-1 && !c.opt.AlwaysSerialize
-			if !inMemory {
-				// Inter-rank transfer or fan-out: serialize a copy so the
-				// receiver owns its data.
-				cp, err := p.CloneForWire()
-				if err != nil {
-					return fmt.Errorf("mpi: task %d output slot %d: %w", t.Id, slot, err)
-				}
-				p = cp
-			}
-			if err := fab.Send(fabric.Message{From: rank, To: destRank, Src: t.Id, Dest: dest, Payload: p}); err != nil {
-				return err
+		p := out[slot]
+		// The last intra-rank consumer receives the payload pointer
+		// in-memory (§IV-A); every other consumer needs the wire form.
+		inMemoryIdx := -1
+		if !c.opt.AlwaysSerialize {
+			last := len(consumers) - 1
+			if int(c.tmap.Shard(consumers[last])) == rank {
+				inMemoryIdx = last
 			}
 		}
+		wireConsumers := len(consumers)
+		if inMemoryIdx >= 0 {
+			wireConsumers--
+		}
+		var wire core.Payload
+		var err error
+		switch {
+		case wireConsumers == 0:
+			// Single local consumer: pure pointer pass.
+		case wireConsumers == 1 && inMemoryIdx < 0:
+			// Single wire consumer and nothing else references the slot:
+			// the producer relinquished the buffer, hand it over as-is.
+			wire, err = p.WireForm()
+		default:
+			// Fan-out: serialize once, share the immutable wire form. If
+			// the raw payload is also pointer-passed locally, the shared
+			// form must not alias it (the local consumer may mutate).
+			wire, err = core.SharedPayload(p, wireConsumers, inMemoryIdx >= 0)
+		}
+		if err != nil {
+			return batch, fmt.Errorf("mpi: task %d output slot %d: %w", t.Id, slot, err)
+		}
+		for i, dest := range consumers {
+			mp := wire
+			if i == inMemoryIdx {
+				mp = p
+			}
+			batch = append(batch, fabric.Message{From: rank, To: int(c.tmap.Shard(dest)), Src: t.Id, Dest: dest, Payload: mp})
+		}
 	}
-	return nil
+	err := fab.SendN(batch)
+	clear(batch) // drop payload references until the next task reuses it
+	return batch, err
 }
 
 var _ core.Controller = (*Controller)(nil)
