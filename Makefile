@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath figures
+.PHONY: check build vet test race bench-fastpath bench-wire figures smoke-wire
 
 ## check: the CI gate — vet, build, and the full test suite under the race
 ## detector.
@@ -23,6 +23,19 @@ race:
 bench-fastpath:
 	$(GO) run ./cmd/bfbench -fastpath
 
+## bench-wire: regenerate the transport benchmark report — in-memory fabric
+## vs loopback TCP (BENCH_net.json; the baseline_seed section is preserved).
+bench-wire:
+	$(GO) run ./cmd/bfbench -wire
+
 ## figures: regenerate the paper's evaluation figures.
 figures:
 	$(GO) run ./cmd/bfbench
+
+## smoke-wire: run every use case across 4 real worker processes over the
+## TCP transport and verify the sinks against the serial reference.
+smoke-wire:
+	$(GO) build -o bin/bfrun ./cmd/bfrun
+	./bin/bfrun -case mergetree -runtime mpi -transport tcp -ranks 4
+	./bin/bfrun -case render   -runtime mpi -transport tcp -ranks 4
+	./bin/bfrun -case register -runtime mpi -transport tcp -ranks 4

@@ -9,6 +9,7 @@
 //	bfbench -figure fig6    # one figure
 //	bfbench -format csv     # machine-readable output
 //	bfbench -fastpath       # message fast-path microbenchmarks -> BENCH_fastpath.json
+//	bfbench -wire           # transport benchmarks (in-memory vs loopback TCP) -> BENCH_net.json
 package main
 
 import (
@@ -27,11 +28,19 @@ func main() {
 		format      = flag.String("format", "table", "table | csv")
 		fastpath    = flag.Bool("fastpath", false, "run the message fast-path microbenchmarks instead of the figures")
 		fastpathOut = flag.String("fastpath-out", "BENCH_fastpath.json", "report path for -fastpath (baseline_seed is preserved)")
+		wireBench   = flag.Bool("wire", false, "run the transport benchmarks (in-memory vs loopback TCP) instead of the figures")
+		wireOut     = flag.String("wire-out", "BENCH_net.json", "report path for -wire (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
 	if *fastpath {
 		if err := runFastpath(*fastpathOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *wireBench {
+		if err := runWire(*wireOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/wire"
+)
+
+// The wire mode benchmarks the transport layer head to head: the same
+// message patterns over the in-memory fabric and over real loopback TCP
+// (internal/wire), recording round-trip latency, streaming throughput and
+// steady-state allocation counts in BENCH_net.json. The baseline_seed
+// section of an existing report is preserved so the first measurements
+// survive regeneration.
+
+// tcpPair bootstraps a 2-rank wire mesh over loopback and returns the two
+// per-rank fabrics plus a teardown.
+func tcpPair() (send, recv *wire.Fabric, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fabrics := make([]*wire.Fabric, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		o := wire.Options{Rank: r, Ranks: 2, Addr: ln.Addr().String()}
+		if r == 0 {
+			o.Listener = ln
+		}
+		wg.Add(1)
+		go func(r int, o wire.Options) {
+			defer wg.Done()
+			fabrics[r], errs[r] = wire.Connect(o)
+		}(r, o)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	stop = func() {
+		for _, f := range fabrics {
+			f.Kill()
+		}
+	}
+	return fabrics[0], fabrics[1], stop, nil
+}
+
+// benchLatency measures one round trip of a 64-byte message: rank 0 sends,
+// rank 1 echoes, rank 0 receives.
+func benchLatency(mkPair func() (send, recv fabric.Transport, stop func())) func(*testing.B) {
+	return func(b *testing.B) {
+		send, recv, stop := mkPair()
+		defer stop()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := recv.Recv(1)
+				if !ok {
+					return
+				}
+				if err := recv.Send(fabric.Message{From: 1, To: 0, Payload: m.Payload}); err != nil {
+					return
+				}
+			}
+		}()
+		payload := core.Buffer(make([]byte, 64))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := send.Send(fabric.Message{From: 0, To: 1, Payload: payload}); err != nil {
+				panic(err)
+			}
+			if _, ok := send.Recv(0); !ok {
+				panic("lost pong")
+			}
+		}
+		b.StopTimer()
+		recv.Cancel()
+		wg.Wait()
+	}
+}
+
+// benchThroughput streams b.N size-byte messages rank 0 -> rank 1 in
+// credit-windowed batches of 64. releaseRx returns received arena buffers
+// to the pool, as a real consumer that finished with a message would —
+// with it, the steady-state TCP message path allocates nothing beyond the
+// pooled arena.
+func benchThroughput(mkPair func() (send, recv fabric.Transport, stop func()), size int, releaseRx bool) func(*testing.B) {
+	return func(b *testing.B) {
+		const (
+			batchSize = 64
+			window    = 8
+		)
+		send, recv, stop := mkPair()
+		defer stop()
+		payload := core.Buffer(make([]byte, size))
+		credits := make(chan struct{}, window)
+		for i := 0; i < window; i++ {
+			credits <- struct{}{}
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		b.ResetTimer()
+		go func() {
+			defer wg.Done()
+			dst := make([]fabric.Message, batchSize)
+			received, sinceCredit := 0, 0
+			for received < b.N {
+				n, ok := recv.RecvBatch(1, dst)
+				if !ok {
+					return
+				}
+				if releaseRx {
+					for i := 0; i < n; i++ {
+						core.ReleaseBuffer(dst[i].Payload.Data)
+						dst[i] = fabric.Message{}
+					}
+				}
+				received += n
+				sinceCredit += n
+				for sinceCredit >= batchSize {
+					sinceCredit -= batchSize
+					credits <- struct{}{}
+				}
+			}
+		}()
+		batch := make([]fabric.Message, 0, batchSize)
+		for i := 0; i < b.N; i++ {
+			batch = append(batch, fabric.Message{From: 0, To: 1, Src: 0, Dest: 1, Payload: payload})
+			if len(batch) == batchSize || i == b.N-1 {
+				if len(batch) == batchSize {
+					<-credits
+				}
+				if err := send.SendN(batch); err != nil {
+					panic(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		wg.Wait()
+		b.StopTimer()
+	}
+}
+
+func memPair() (fabric.Transport, fabric.Transport, func()) {
+	f := fabric.New(2)
+	return f, f, func() {}
+}
+
+func loopbackPair() (fabric.Transport, fabric.Transport, func()) {
+	send, recv, stop, err := tcpPair()
+	if err != nil {
+		panic(err)
+	}
+	return send, recv, stop
+}
+
+// runWire measures the transport benchmarks and rewrites the JSON report at
+// path, preserving an existing baseline_seed section.
+func runWire(path string) error {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkWireLatency/mem-64B", benchLatency(memPair)},
+		{"BenchmarkWireLatency/tcp-64B", benchLatency(loopbackPair)},
+		{"BenchmarkWireThroughput/mem-64B", benchThroughput(memPair, 64, false)},
+		{"BenchmarkWireThroughput/tcp-64B", benchThroughput(loopbackPair, 64, true)},
+		{"BenchmarkWireThroughput/mem-4KiB", benchThroughput(memPair, 4096, false)},
+		{"BenchmarkWireThroughput/tcp-4KiB", benchThroughput(loopbackPair, 4096, true)},
+	}
+	current := make(map[string]benchResult, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		res := record(r)
+		current[bm.name] = res
+		mbps := ""
+		if r.Bytes > 0 {
+			mbps = fmt.Sprintf(" %8.1f MB/s", float64(r.Bytes)*float64(r.N)/r.T.Seconds()/1e6)
+		}
+		fmt.Printf("%-40s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
+			bm.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, mbps)
+	}
+
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bfbench: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	cur, err := json.Marshal(current)
+	if err != nil {
+		return err
+	}
+	report["current"] = cur
+	if _, ok := report["baseline_seed"]; !ok {
+		report["baseline_seed"] = cur
+	}
+	if _, ok := report["note"]; !ok {
+		note, _ := json.Marshal(fmt.Sprintf(
+			"Transport benchmarks: in-memory fabric vs loopback TCP (internal/wire), measured %s. Latency is one 64B round trip; throughput streams credit-windowed 64-message batches. Regenerate current with: go run ./cmd/bfbench -wire",
+			time.Now().Format("2006-01-02")))
+		report["note"] = note
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

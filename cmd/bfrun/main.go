@@ -28,17 +28,33 @@ import (
 
 func main() {
 	var (
-		useCase = flag.String("case", "mergetree", "mergetree | render | register")
-		runtime = flag.String("runtime", "mpi", "serial | mpi | original-mpi | charm | legion-spmd | legion-il")
-		shards  = flag.Int("shards", 4, "ranks / PEs / shards")
-		n       = flag.Int("n", 32, "domain edge length")
-		blocks  = flag.Int("blocks", 8, "blocks (power of two)")
-		traceTo = flag.String("trace", "", "write a per-task execution trace (CSV) here")
-		whatIfC = flag.Int("whatif", 0, "with -trace: replay the measured trace on all simulated runtime models at this core count")
+		useCase   = flag.String("case", "mergetree", "mergetree | render | register")
+		runtime   = flag.String("runtime", "mpi", "serial | mpi | original-mpi | charm | legion-spmd | legion-il")
+		shards    = flag.Int("shards", 4, "ranks / PEs / shards")
+		n         = flag.Int("n", 32, "domain edge length")
+		blocks    = flag.Int("blocks", 8, "blocks (power of two)")
+		traceTo   = flag.String("trace", "", "write a per-task execution trace (CSV) here")
+		whatIfC   = flag.Int("whatif", 0, "with -trace: replay the measured trace on all simulated runtime models at this core count")
+		transport = flag.String("transport", "mem", "mem | tcp (tcp forks one worker process per rank)")
+		ranks     = flag.Int("ranks", 4, "worker processes for -transport tcp")
+		wireRank  = flag.Int("wire-rank", -1, "internal: run as TCP worker for this rank")
+		wireAddr  = flag.String("wire-addr", "", "internal: rendezvous address for -wire-rank")
 	)
 	flag.Parse()
 	traceCSV = *traceTo
 	whatIfCores = *whatIfC
+
+	if *wireRank >= 0 {
+		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *n, *blocks)
+		return
+	}
+	if *transport == "tcp" {
+		runWireParent(*useCase, *runtime, *ranks, *n, *blocks)
+		return
+	}
+	if *transport != "mem" {
+		log.Fatalf("bfrun: unknown transport %q", *transport)
+	}
 
 	switch *useCase {
 	case "mergetree":

@@ -1,0 +1,275 @@
+// Multi-process execution: -transport tcp runs the MPI controller across
+// real OS processes connected by the TCP fabric (internal/wire). The parent
+// process computes the serial reference, forks one worker per rank with the
+// same case parameters, and verifies the workers' sink digests against the
+// reference — the paper's byte-identical-output guarantee, checked across
+// process boundaries.
+//
+//	bfrun -case mergetree -runtime mpi -transport tcp -ranks 4
+//
+// Workers are ordinary bfrun invocations with the internal -wire-rank and
+// -wire-addr flags set; every process rebuilds the same graph and callback
+// registry, so the rendezvous handshake verifies that all ranks agree on
+// the dataflow before any payload moves.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/mergetree"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+	"github.com/babelflow/babelflow-go/internal/register"
+	"github.com/babelflow/babelflow-go/internal/render"
+	"github.com/babelflow/babelflow-go/internal/wire"
+)
+
+// wireCase is everything a process needs to run one use case: the graph,
+// its distribution over ranks, the callback registration and the global
+// external inputs. Parent and workers construct it identically from the
+// command line, so every process derives the same graph fingerprint.
+type wireCase struct {
+	graph   core.TaskGraph
+	tmap    core.TaskMap
+	reg     func(core.CallbackRegistrar) error
+	initial map[core.TaskId][]core.Payload
+}
+
+func setupWireCase(useCase string, ranks, n, blocks int) (wireCase, error) {
+	switch useCase {
+	case "mergetree":
+		field := data.SyntheticHCCI(n, n, n, 8, 2026)
+		decomp, err := data.NewDecomposition(n, n, n, 2, 2, blocks/4)
+		if err != nil {
+			return wireCase{}, err
+		}
+		graph, err := mergetree.NewGraph(blocks, 2)
+		if err != nil {
+			return wireCase{}, err
+		}
+		cfg := mergetree.Config{Decomp: decomp, Threshold: 0.3}
+		initial, err := cfg.InitialInputs(field, graph)
+		if err != nil {
+			return wireCase{}, err
+		}
+		return wireCase{
+			graph:   graph,
+			tmap:    core.NewGraphMap(ranks, graph),
+			reg:     func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
+			initial: initial,
+		}, nil
+	case "render":
+		field := data.SyntheticHCCI(n, n, n, 6, 7)
+		decomp, err := data.NewDecomposition(n, n, n, 2, 2, blocks/4)
+		if err != nil {
+			return wireCase{}, err
+		}
+		cfg := render.Config{
+			Decomp: decomp,
+			Camera: render.Camera{Width: n, Height: n},
+			TF:     render.TransferFunction{Lo: 0.25, Hi: 1.5, Opacity: 0.4},
+		}
+		graph, err := graphs.NewReduction(blocks, 2)
+		if err != nil {
+			return wireCase{}, err
+		}
+		initial, err := cfg.InitialInputs(field, graph.LeafIds())
+		if err != nil {
+			return wireCase{}, err
+		}
+		return wireCase{
+			graph:   graph,
+			tmap:    core.NewModuloMap(ranks, graph.Size()),
+			reg:     func(c core.CallbackRegistrar) error { return cfg.RegisterReduction(c, graph) },
+			initial: initial,
+		}, nil
+	case "register":
+		cfg := register.Config{GridW: 3, GridH: 3, Tile: 24, Overlap: 0.2, Jitter: 2}
+		tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 5)
+		graph, err := cfg.Graph()
+		if err != nil {
+			return wireCase{}, err
+		}
+		initial, err := cfg.InitialInputs(graph, tiles)
+		if err != nil {
+			return wireCase{}, err
+		}
+		return wireCase{
+			graph:   graph,
+			tmap:    core.NewModuloMap(ranks, graph.Size()),
+			reg:     func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
+			initial: initial,
+		}, nil
+	}
+	return wireCase{}, fmt.Errorf("bfrun: use case %q has no wire setup", useCase)
+}
+
+// runWireWorker is one rank of a multi-process run: it connects the TCP
+// fabric, executes its sub-graph and prints one digest line per local sink
+// payload for the parent to verify.
+func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int) {
+	wc, err := setupWireCase(useCase, ranks, n, blocks)
+	if err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	ctrl := mpi.New(mpi.Options{})
+	if err := ctrl.Initialize(wc.graph, wc.tmap); err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	if err := wc.reg(ctrl); err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	fab, err := wire.Connect(wire.Options{
+		Rank: rank, Ranks: ranks, Addr: addr, Fingerprint: ctrl.Fingerprint(),
+	})
+	if err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	local := make(map[core.TaskId][]core.Payload)
+	for id, ps := range wc.initial {
+		if wc.tmap.Shard(id) == core.ShardId(rank) {
+			local[id] = ps
+		}
+	}
+	start := time.Now()
+	out, err := ctrl.RunRank(rank, fab, local)
+	if err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	if err := fab.Shutdown(30 * time.Second); err != nil {
+		log.Fatalf("bfrun: rank %d: shutdown: %v", rank, err)
+	}
+	for _, line := range digestLines(out) {
+		fmt.Println(line)
+	}
+	st := fab.Snapshot()
+	fmt.Printf("BFWIRE done rank=%d elapsed=%s sent=%d bytes=%d\n",
+		rank, time.Since(start).Round(time.Microsecond), st.Messages, st.Bytes)
+}
+
+// digestLines renders sink outputs as sorted, parseable digest lines.
+func digestLines(out map[core.TaskId][]core.Payload) []string {
+	var lines []string
+	for id, ps := range out {
+		for slot, p := range ps {
+			w, err := p.Wire()
+			if err != nil {
+				log.Fatalf("bfrun: sink %d/%d: %v", id, slot, err)
+			}
+			lines = append(lines, fmt.Sprintf("BFWIRE sink %d %d %x", id, slot, sha256.Sum256(w)))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// runWireParent launches one worker process per rank, aggregates their exit
+// status and timing, and verifies the combined sink digests against an
+// in-parent serial reference run.
+func runWireParent(useCase, rt string, ranks, n, blocks int) {
+	if rt != "mpi" {
+		log.Fatalf("bfrun: -transport tcp supports -runtime mpi, got %q", rt)
+	}
+	if ranks < 1 {
+		log.Fatalf("bfrun: -ranks must be positive, got %d", ranks)
+	}
+	wc, err := setupWireCase(useCase, ranks, n, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial reference digests.
+	ser := core.NewSerial()
+	if err := ser.Initialize(wc.graph, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := wc.reg(ser); err != nil {
+		log.Fatal(err)
+	}
+	ref, err := ser.Run(wc.initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := make(map[string]bool)
+	for _, line := range digestLines(ref) {
+		want[line] = true
+	}
+
+	// Rendezvous address: bind an ephemeral port, release it to rank 0.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	type worker struct {
+		cmd *exec.Cmd
+		out bytes.Buffer
+	}
+	workers := make([]*worker, ranks)
+	start := time.Now()
+	for r := 0; r < ranks; r++ {
+		w := &worker{cmd: exec.Command(exe,
+			"-case", useCase,
+			"-n", strconv.Itoa(n),
+			"-blocks", strconv.Itoa(blocks),
+			"-ranks", strconv.Itoa(ranks),
+			"-wire-rank", strconv.Itoa(r),
+			"-wire-addr", addr,
+		)}
+		w.cmd.Stdout = &w.out
+		w.cmd.Stderr = os.Stderr
+		if err := w.cmd.Start(); err != nil {
+			log.Fatalf("bfrun: starting rank %d: %v", r, err)
+		}
+		workers[r] = w
+	}
+	failed := 0
+	got := make(map[string]bool)
+	for r, w := range workers {
+		if err := w.cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "bfrun: rank %d exited: %v\n", r, err)
+			failed++
+		}
+		sc := bufio.NewScanner(&w.out)
+		for sc.Scan() {
+			line := sc.Text()
+			if len(line) >= 11 && line[:11] == "BFWIRE sink" {
+				got[line] = true
+			} else if len(line) >= 11 && line[:11] == "BFWIRE done" {
+				fmt.Println(line)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	matches := 0
+	for line := range got {
+		if want[line] {
+			matches++
+		}
+	}
+	ok := failed == 0 && matches == len(want) && len(got) == len(want)
+	fmt.Printf("wire %-10s %d tasks over %d processes: %v  sinks=%d/%d match-serial=%v\n",
+		useCase, wc.graph.Size(), ranks, elapsed.Round(time.Millisecond), matches, len(want), ok)
+	if !ok {
+		os.Exit(1)
+	}
+}

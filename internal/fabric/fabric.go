@@ -17,12 +17,63 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"github.com/babelflow/babelflow-go/internal/core"
 )
+
+// ErrClosed is returned by Send and SendN when the destination mailbox is
+// closed or the fabric has been cancelled. The message was not (and will not
+// be) delivered; the fabric has already released its payload reference, so
+// pooled fan-out buffers still return to the arena. Network transports map
+// peer disconnects onto the same error surface.
+var ErrClosed = errors.New("fabric: mailbox closed")
+
+// Transport is the interconnect a runtime controller executes on: n ranks
+// exchanging point-to-point messages with reliable delivery and pairwise
+// FIFO ordering between any sender/receiver pair. The in-memory Fabric is
+// one implementation; the TCP fabric (internal/wire) implements the same
+// contract across OS processes.
+//
+// Semantics every implementation must provide:
+//
+//   - Send/SendN never deliver partially: a message is either enqueued for
+//     its destination or an error is returned and the transport has released
+//     the payload references of every undelivered message.
+//   - SendN preserves the relative order of its messages per destination.
+//   - Recv/RecvBatch block until a message arrives or delivery becomes
+//     impossible (mailbox closed and drained, transport cancelled or failed),
+//     then report !ok.
+//   - Cancel aborts all communication: queued messages are dropped (their
+//     payload references released), blocked receivers return !ok.
+//   - Err reports the first transport-level failure (nil for controller-
+//     initiated cancellation; the in-memory fabric never fails).
+type Transport interface {
+	// Ranks returns the number of ranks the transport connects.
+	Ranks() int
+	// Send delivers one message to rank m.To.
+	Send(m Message) error
+	// SendN delivers a batch, preserving per-destination order.
+	SendN(ms []Message) error
+	// Recv blocks until a message for the rank arrives; ok is false when
+	// delivery has become impossible.
+	Recv(rank int) (Message, bool)
+	// RecvBatch blocks for the first message, then dequeues up to len(dst)
+	// messages, returning the number dequeued.
+	RecvBatch(rank int, dst []Message) (int, bool)
+	// Close marks the rank's mailbox closed; queued messages remain
+	// receivable, further sends to it fail with ErrClosed.
+	Close(rank int)
+	// Cancel aborts all communication.
+	Cancel()
+	// Err returns the first transport-level failure, if any.
+	Err() error
+	// Snapshot returns the traffic totals so far.
+	Snapshot() Stats
+}
 
 // Message is one point-to-point transfer between ranks: a payload travelling
 // from producing task Src toward consuming task Dest.
@@ -87,21 +138,29 @@ func (f *Fabric) account(m Message) {
 }
 
 // Send delivers m to rank m.To. In asynchronous mode it never blocks; in
-// blocking mode it waits for the receiver to dequeue the message.
+// blocking mode it waits for the receiver to dequeue the message. When the
+// destination mailbox is closed or cancelled, Send releases the payload and
+// returns an error wrapping ErrClosed.
 func (f *Fabric) Send(m Message) error {
 	if m.To < 0 || m.To >= len(f.boxes) {
+		m.Payload.Release()
 		return fmt.Errorf("fabric: send to unknown rank %d", m.To)
 	}
-	f.account(m)
 	if f.blocking && m.From != m.To {
 		// Rendezvous, except for self-sends: local delivery is a memory
 		// hand-off, not a network transfer, even in blocking mode.
 		m.done = make(chan struct{})
-		f.boxes[m.To].Put(m)
+		if err := f.boxes[m.To].Put(m); err != nil {
+			return fmt.Errorf("fabric: rank %d: %w", m.To, err)
+		}
+		f.account(m)
 		<-m.done
 		return nil
 	}
-	f.boxes[m.To].Put(m)
+	if err := f.boxes[m.To].Put(m); err != nil {
+		return fmt.Errorf("fabric: rank %d: %w", m.To, err)
+	}
+	f.account(m)
 	return nil
 }
 
@@ -110,22 +169,33 @@ func (f *Fabric) Send(m Message) error {
 // rank are enqueued under one lock acquisition of that rank's mailbox. In
 // blocking mode each inter-rank message still performs an individual
 // rendezvous, as a real blocking send would.
+//
+// On error, messages preceding the failure may already have been delivered;
+// the payload references of every undelivered message (including the failed
+// one) have been released.
 func (f *Fabric) SendN(ms []Message) error {
 	for i := range ms {
 		if ms[i].To < 0 || ms[i].To >= len(f.boxes) {
+			dropMessages(ms)
 			return fmt.Errorf("fabric: send to unknown rank %d", ms[i].To)
 		}
-		f.account(ms[i])
 	}
 	if f.blocking {
-		for _, m := range ms {
+		for i, m := range ms {
 			if m.From != m.To {
 				m.done = make(chan struct{})
-				f.boxes[m.To].Put(m)
+				if err := f.boxes[m.To].Put(m); err != nil {
+					dropMessages(ms[i+1:])
+					return fmt.Errorf("fabric: rank %d: %w", m.To, err)
+				}
+				f.account(m)
 				<-m.done
 				continue
 			}
-			f.boxes[m.To].Put(m)
+			if err := f.boxes[m.To].Put(m); err != nil {
+				dropMessages(ms[i+1:])
+				return fmt.Errorf("fabric: rank %d: %w", m.To, err)
+			}
 		}
 		return nil
 	}
@@ -134,7 +204,13 @@ func (f *Fabric) SendN(ms []Message) error {
 		for j < len(ms) && ms[j].To == ms[i].To {
 			j++
 		}
-		f.boxes[ms[i].To].PutN(ms[i:j])
+		if err := f.boxes[ms[i].To].PutN(ms[i:j]); err != nil {
+			dropMessages(ms[j:])
+			return fmt.Errorf("fabric: rank %d: %w", ms[i].To, err)
+		}
+		for k := i; k < j; k++ {
+			f.account(ms[k])
+		}
 		i = j
 	}
 	return nil
@@ -188,10 +264,17 @@ func (f *Fabric) Cancel() {
 	}
 }
 
+// Err implements Transport. The in-memory fabric has no transport-level
+// failure modes, so Err is always nil; controllers track abort causes
+// themselves.
+func (f *Fabric) Err() error { return nil }
+
 // Snapshot returns the traffic totals so far.
 func (f *Fabric) Snapshot() Stats {
 	return Stats{Messages: f.messages.Load(), Bytes: f.bytes.Load()}
 }
+
+var _ Transport = (*Fabric)(nil)
 
 // ringPool recycles mailbox backing arrays across mailbox lifetimes:
 // controllers create a fresh fabric per Run, so without pooling every run
@@ -292,43 +375,35 @@ func (mb *Mailbox) popLocked() Message {
 	return m
 }
 
-// Put enqueues a message. Put on a closed mailbox panics: controllers close
-// a rank's mailbox only after every producer for that rank has finished.
-func (mb *Mailbox) Put(m Message) {
+// Put enqueues a message. Put on a closed or cancelled mailbox drops the
+// message — releasing a blocked rendezvous sender and the payload's shared
+// wire reference — and returns ErrClosed.
+func (mb *Mailbox) Put(m Message) error {
 	mb.mu.Lock()
-	if mb.cancelled {
+	if mb.closed || mb.cancelled {
 		mb.mu.Unlock()
 		dropMessage(m)
-		return
-	}
-	if mb.closed {
-		mb.mu.Unlock()
-		panic("fabric: Put on closed mailbox")
+		return ErrClosed
 	}
 	mb.reserveLocked(1)
 	mb.pushLocked(m)
 	mb.mu.Unlock()
 	mb.cond.Signal()
+	return nil
 }
 
 // PutN enqueues a batch of messages in order under one lock acquisition.
-// Like Put, PutN on a closed mailbox panics and PutN on a cancelled mailbox
-// drops the batch.
-func (mb *Mailbox) PutN(ms []Message) {
+// Like Put, PutN on a closed or cancelled mailbox drops the whole batch and
+// returns ErrClosed.
+func (mb *Mailbox) PutN(ms []Message) error {
 	if len(ms) == 0 {
-		return
+		return nil
 	}
 	mb.mu.Lock()
-	if mb.cancelled {
+	if mb.closed || mb.cancelled {
 		mb.mu.Unlock()
-		for _, m := range ms {
-			dropMessage(m)
-		}
-		return
-	}
-	if mb.closed {
-		mb.mu.Unlock()
-		panic("fabric: Put on closed mailbox")
+		dropMessages(ms)
+		return ErrClosed
 	}
 	mb.reserveLocked(len(ms))
 	for _, m := range ms {
@@ -340,6 +415,7 @@ func (mb *Mailbox) PutN(ms []Message) {
 	} else {
 		mb.cond.Broadcast()
 	}
+	return nil
 }
 
 // Get blocks until a message is available or the mailbox is closed and
@@ -433,4 +509,11 @@ func dropMessage(m Message) {
 		close(m.done)
 	}
 	m.Payload.Release()
+}
+
+// dropMessages discards a slice of undeliverable messages.
+func dropMessages(ms []Message) {
+	for _, m := range ms {
+		dropMessage(m)
+	}
 }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -163,20 +164,99 @@ func TestConcurrentSendersAllDelivered(t *testing.T) {
 	}
 }
 
-func TestMailboxLenAndPutAfterClosePanics(t *testing.T) {
+func TestMailboxLenAndPutAfterCloseErrClosed(t *testing.T) {
 	mb := NewMailbox()
-	mb.Put(Message{})
+	if err := mb.Put(Message{}); err != nil {
+		t.Fatal(err)
+	}
 	if mb.Len() != 1 {
 		t.Errorf("Len = %d", mb.Len())
 	}
 	mb.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("Put after Close should panic")
-		}
-	}()
-	mb.Put(Message{})
+	if err := mb.Put(Message{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := mb.PutN([]Message{{}, {}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutN after Close = %v, want ErrClosed", err)
+	}
+	// The queued message survives the close; only new Puts are rejected.
+	if _, ok := mb.TryGet(); !ok {
+		t.Error("queued message lost on close")
+	}
 }
+
+// TestSendClosedRankErrClosed locks in the error surface the TCP transport
+// maps peer disconnects onto: Send/SendN to a closed rank return a typed
+// ErrClosed instead of panicking or silently enqueueing, and the payloads of
+// undelivered messages are released (their shared wire references dropped).
+func TestSendClosedRankErrClosed(t *testing.T) {
+	f := New(3)
+	f.Close(1)
+	if err := f.Send(Message{From: 0, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send to closed rank = %v, want ErrClosed", err)
+	}
+
+	// SendN: the run to the open rank before the failure is delivered; the
+	// failed run and everything after it is dropped with its payloads
+	// released.
+	shared, err := core.SharedPayload(core.Object(serialLoop{}), 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []Message{
+		{From: 0, To: 2, Src: 1},
+		{From: 0, To: 1, Src: 2, Payload: shared},
+		{From: 0, To: 2, Src: 3, Payload: shared},
+	}
+	if err := f.SendN(ms); !errors.Is(err, ErrClosed) {
+		t.Errorf("SendN with closed run = %v, want ErrClosed", err)
+	}
+	if m, ok := f.TryRecv(2); !ok || m.Src != 1 {
+		t.Errorf("pre-failure run = %v, %v, want delivered Src=1", m, ok)
+	}
+	if _, ok := f.TryRecv(2); ok {
+		t.Error("post-failure run must not be delivered")
+	}
+	// Only the delivered pre-failure message counts as traffic.
+	s := f.Snapshot()
+	if s.Messages != 1 {
+		t.Errorf("stats count undelivered messages: %+v", s)
+	}
+}
+
+func TestSendCancelledFabricErrClosed(t *testing.T) {
+	f := New(2)
+	f.Cancel()
+	if err := f.Send(Message{From: 0, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on cancelled fabric = %v, want ErrClosed", err)
+	}
+	if err := f.SendN([]Message{{From: 0, To: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SendN on cancelled fabric = %v, want ErrClosed", err)
+	}
+}
+
+// TestBlockingSendCancelledDoesNotHang: a rendezvous send racing a Cancel
+// must not deadlock — either the message is dropped with ErrClosed before
+// the wait, or the cancel releases the blocked sender.
+func TestBlockingSendCancelledDoesNotHang(t *testing.T) {
+	f := NewBlocking(2)
+	done := make(chan error, 1)
+	go func() {
+		done <- f.Send(Message{From: 0, To: 1})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking send hung across Cancel")
+	}
+}
+
+// serialLoop is a Serializable test object.
+type serialLoop struct{}
+
+func (serialLoop) Serialize() []byte { return []byte{0xAB} }
 
 // TestMailboxRingWraparound drives the ring buffer through many
 // enqueue/dequeue cycles with a standing backlog, so head wraps repeatedly
@@ -327,6 +407,77 @@ func TestBlockingSendNRendezvous(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("blocking SendN did not complete after receives")
+	}
+}
+
+// TestBlockingSendNPerDestinationFIFO locks in the ordering contract the
+// TCP transport must reproduce: a blocking SendN interleaving two
+// destinations performs one rendezvous per inter-rank message, and each
+// destination observes its messages in batch order.
+func TestBlockingSendNPerDestinationFIFO(t *testing.T) {
+	f := NewBlocking(3)
+	const perDest = 20
+	var ms []Message
+	for i := 0; i < perDest; i++ {
+		ms = append(ms,
+			Message{From: 0, To: 1, Src: core.TaskId(i)},
+			Message{From: 0, To: 2, Src: core.TaskId(i)})
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.SendN(ms) }()
+
+	var wg sync.WaitGroup
+	for _, rank := range []int{1, 2} {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < perDest; i++ {
+				m, ok := f.Recv(rank)
+				if !ok {
+					t.Errorf("rank %d: mailbox closed at %d", rank, i)
+					return
+				}
+				if m.Src != core.TaskId(i) {
+					t.Errorf("rank %d: message %d out of order: src=%d", rank, i, m.Src)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockingSendNSelfSendNoRendezvous: self-sends are in-memory hand-offs
+// even in blocking mode — a batch of them completes without any concurrent
+// receiver.
+func TestBlockingSendNSelfSendNoRendezvous(t *testing.T) {
+	f := NewBlocking(2)
+	ms := []Message{
+		{From: 0, To: 0, Src: 1},
+		{From: 0, To: 0, Src: 2},
+		{From: 0, To: 0, Src: 3},
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.SendN(ms) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking self-send batch rendezvoused: SendN did not return without a receiver")
+	}
+	for _, want := range []core.TaskId{1, 2, 3} {
+		if m, ok := f.TryRecv(0); !ok || m.Src != want {
+			t.Fatalf("self-send delivery = %v, %v, want Src=%d", m, ok, want)
+		}
+	}
+	// Self-sends are not traffic.
+	if s := f.Snapshot(); s.Messages != 0 {
+		t.Errorf("self-sends counted as traffic: %+v", s)
 	}
 }
 

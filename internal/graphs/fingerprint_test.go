@@ -1,0 +1,54 @@
+package graphs
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// composed builds reduction->broadcast under prefixes p1/p2 with the
+// reduction root feeding the broadcast input.
+func composed(t *testing.T, p1, p2 uint16) *core.ExplicitGraph {
+	t.Helper()
+	red, err := NewReduction(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBroadcast(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewBuilder().
+		Add(p1, red, map[core.CallbackId]core.CallbackId{0: 0, 1: 1, 2: 2}).
+		Add(p2, bc, map[core.CallbackId]core.CallbackId{0: 3, 1: 4, 2: 5}).
+		Connect(Pid(p1, red.Root()), 0, Pid(p2, bc.Root()), 0).
+		Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFingerprintComposedGraphs covers the wire-handshake use of
+// core.GraphFingerprint on prefixed compositions: identical compositions
+// agree, and moving a sub-graph to a different prefix — same shape, shifted
+// id space — is a different dataflow and must not collide.
+func TestFingerprintComposedGraphs(t *testing.T) {
+	a := core.GraphFingerprint(composed(t, 1, 2), nil)
+	b := core.GraphFingerprint(composed(t, 1, 2), nil)
+	if a != b {
+		t.Errorf("identical compositions fingerprint differently: %s vs %s", a, b)
+	}
+	if c := core.GraphFingerprint(composed(t, 1, 3), nil); c == a {
+		t.Error("prefix change not reflected in fingerprint")
+	}
+
+	// A lone sub-graph must differ from the composition containing it.
+	red, err := NewReduction(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.GraphFingerprint(red, nil) == a {
+		t.Error("sub-graph collides with its composition")
+	}
+}

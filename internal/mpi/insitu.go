@@ -17,7 +17,7 @@ import (
 // application's per-rank control flow.
 type Group struct {
 	ctrl *Controller
-	fab  *fabric.Fabric
+	fab  fabric.Transport
 
 	mu       sync.Mutex
 	firstErr error
@@ -31,7 +31,7 @@ func NewGroup(g core.TaskGraph, m core.TaskMap, opt Options) (*Group, error) {
 	if err := c.Initialize(g, m); err != nil {
 		return nil, err
 	}
-	var fab *fabric.Fabric
+	var fab fabric.Transport
 	if c.opt.Blocking {
 		fab = fabric.NewBlocking(m.ShardCount())
 	} else {
@@ -89,41 +89,6 @@ func (s *Shard) LocalTasks() ([]core.Task, error) {
 	return core.LocalGraph(s.group.ctrl.graph, s.group.ctrl.tmap, core.ShardId(s.rank))
 }
 
-// checkLocalInitial verifies the rank-local external inputs: exactly the
-// ExternalInput slots of this rank's tasks must be covered.
-func (s *Shard) checkLocalInitial(initial map[core.TaskId][]core.Payload) error {
-	local, err := s.LocalTasks()
-	if err != nil {
-		return err
-	}
-	want := make(map[core.TaskId]int)
-	for _, t := range local {
-		n := 0
-		for _, in := range t.Incoming {
-			if in == core.ExternalInput {
-				n++
-			}
-		}
-		if n > 0 {
-			want[t.Id] = n
-		}
-	}
-	for id, ps := range initial {
-		n, ok := want[id]
-		if !ok {
-			return fmt.Errorf("mpi: rank %d received inputs for task %d, which expects none (or is not local)", s.rank, id)
-		}
-		if len(ps) != n {
-			return fmt.Errorf("mpi: rank %d task %d expects %d external inputs, got %d", s.rank, id, n, len(ps))
-		}
-		delete(want, id)
-	}
-	for id := range want {
-		return fmt.Errorf("mpi: rank %d task %d is missing its external inputs", s.rank, id)
-	}
-	return nil
-}
-
 // Run executes this rank's sub-graph: it consumes the rank-local external
 // inputs, exchanges messages with the other shards through the group's
 // fabric, and returns the sink outputs produced by tasks of this rank. It
@@ -143,7 +108,7 @@ func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]c
 		gr.abort(err)
 		return nil, err
 	}
-	if err := s.checkLocalInitial(initial); err != nil {
+	if err := checkLocalInitial(gr.ctrl.graph, gr.ctrl.tmap, s.rank, initial); err != nil {
 		gr.abort(err)
 		return nil, err
 	}

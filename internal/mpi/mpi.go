@@ -112,7 +112,7 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 	}
 
 	ranks := c.tmap.ShardCount()
-	var fab *fabric.Fabric
+	var fab fabric.Transport
 	if c.opt.Blocking {
 		fab = fabric.NewBlocking(ranks)
 	} else {
@@ -153,6 +153,106 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 	return results, nil
 }
 
+// Fingerprint returns the canonical fingerprint of the controller's graph
+// and registered callbacks — what a rank presents during the wire
+// rendezvous handshake so mismatched binaries are rejected before any
+// message flows. It is zero before Initialize.
+func (c *Controller) Fingerprint() core.Fingerprint {
+	if c.graph == nil {
+		return core.Fingerprint{}
+	}
+	return core.GraphFingerprint(c.graph, c.reg.Ids())
+}
+
+// RunRank executes exactly one rank of the dataflow over the provided
+// transport — the multi-process entry point. Where Run spawns every rank as
+// a goroutine over an in-memory fabric, RunRank drives a single rank whose
+// peers live behind the transport (other OS processes over the TCP fabric,
+// or other in-process RunRank calls sharing a transport per rank).
+//
+// initial must contain exactly the external inputs of this rank's tasks.
+// RunRank returns the sink outputs produced by local tasks. On any local
+// failure the transport is cancelled so every peer unwinds; a peer or
+// transport failure surfaces as the transport's typed error.
+//
+// RunRank is safe to call concurrently for different ranks on one shared
+// controller (it does not update Stats — consult the transport's Snapshot).
+func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	if c.graph == nil {
+		return nil, core.ErrNotInitialized
+	}
+	if err := c.reg.Covers(c.graph); err != nil {
+		return nil, err
+	}
+	if got, want := tr.Ranks(), c.tmap.ShardCount(); got != want {
+		return nil, fmt.Errorf("mpi: transport has %d ranks, task map shards over %d", got, want)
+	}
+	if rank < 0 || rank >= tr.Ranks() {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, tr.Ranks())
+	}
+	if err := checkLocalInitial(c.graph, c.tmap, rank, initial); err != nil {
+		tr.Cancel()
+		return nil, err
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	abort := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		tr.Cancel()
+	}
+	results := make(map[core.TaskId][]core.Payload)
+	var resMu sync.Mutex
+	if err := c.runRank(rank, tr, abort, initial, results, &resMu); err != nil {
+		abort(err)
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// checkLocalInitial verifies rank-local external inputs: exactly the
+// ExternalInput slots of the rank's tasks must be covered, no more, no less.
+func checkLocalInitial(g core.TaskGraph, m core.TaskMap, rank int, initial map[core.TaskId][]core.Payload) error {
+	local, err := core.LocalGraph(g, m, core.ShardId(rank))
+	if err != nil {
+		return err
+	}
+	want := make(map[core.TaskId]int)
+	for _, t := range local {
+		n := 0
+		for _, in := range t.Incoming {
+			if in == core.ExternalInput {
+				n++
+			}
+		}
+		if n > 0 {
+			want[t.Id] = n
+		}
+	}
+	for id, ps := range initial {
+		n, ok := want[id]
+		if !ok {
+			return fmt.Errorf("mpi: rank %d received inputs for task %d, which expects none (or is not local)", rank, id)
+		}
+		if len(ps) != n {
+			return fmt.Errorf("mpi: rank %d task %d expects %d external inputs, got %d", rank, id, n, len(ps))
+		}
+		delete(want, id)
+	}
+	for id := range want {
+		return fmt.Errorf("mpi: rank %d task %d is missing its external inputs", rank, id)
+	}
+	return nil
+}
+
 // workItem is one ready task handed to the rank's worker pool.
 type workItem struct {
 	task core.Task
@@ -160,7 +260,7 @@ type workItem struct {
 }
 
 // runRank is the per-rank controller loop.
-func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
 	local, err := core.LocalGraph(c.graph, c.tmap, core.ShardId(rank))
 	if err != nil {
 		return err
@@ -265,9 +365,11 @@ func (c *Controller) runRank(rank int, fab *fabric.Fabric, abort func(error), in
 	for remaining > 0 {
 		n, ok := fab.RecvBatch(rank, batch)
 		if !ok {
-			// The fabric was cancelled; the aborting goroutine recorded
-			// the cause.
-			return nil
+			// Delivery became impossible. For a controller-initiated abort
+			// the aborting goroutine recorded the cause and Err() is nil;
+			// a transport-level failure (lost peer, broken wire) surfaces
+			// here as the typed transport error.
+			return fab.Err()
 		}
 		for i := 0; i < n; i++ {
 			m := batch[i]
@@ -320,7 +422,7 @@ func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, er
 // run, so the whole fan-out costs one serialization and O(destinations)
 // lock acquisitions. The (possibly grown) scratch slice is returned for
 // reuse by the calling worker.
-func (c *Controller) route(rank int, fab *fabric.Fabric, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex, scratch []fabric.Message) ([]fabric.Message, error) {
+func (c *Controller) route(rank int, fab fabric.Transport, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex, scratch []fabric.Message) ([]fabric.Message, error) {
 	batch := scratch[:0]
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {

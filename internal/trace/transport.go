@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sync"
+
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// Link identifies one directed rank pair of the traffic matrix.
+type Link struct {
+	From, To int
+}
+
+// TransportRecorder decorates any fabric.Transport with a per-link traffic
+// matrix: every successfully sent inter-rank message is attributed to its
+// (From, To) pair. Because it consumes the Transport interface rather than a
+// concrete fabric, the same recorder observes in-memory runs and TCP runs
+// alike, making their communication patterns directly comparable — the
+// paper's premise applied to the network layer.
+//
+// The recorder delegates every Transport method to the wrapped transport;
+// receive paths are not instrumented (messages are counted once, on send).
+type TransportRecorder struct {
+	tr fabric.Transport
+
+	mu    sync.Mutex
+	msgs  map[Link]uint64
+	bytes map[Link]uint64
+}
+
+// InstrumentTransport wraps tr with a traffic recorder.
+func InstrumentTransport(tr fabric.Transport) *TransportRecorder {
+	return &TransportRecorder{tr: tr, msgs: make(map[Link]uint64), bytes: make(map[Link]uint64)}
+}
+
+// accounted is the pre-captured description of one message: payload sizes
+// must be read before the transport takes over, while the sender still owns
+// the payload (afterwards a receiver may concurrently own and mutate it).
+type accounted struct {
+	link Link
+	size uint64
+}
+
+func capture(ms []fabric.Message, scratch []accounted) []accounted {
+	for _, m := range ms {
+		if m.From == m.To {
+			continue // self-sends are memory hand-offs, not traffic
+		}
+		scratch = append(scratch, accounted{Link{From: m.From, To: m.To}, uint64(m.Payload.Size())})
+	}
+	return scratch
+}
+
+func (r *TransportRecorder) account(as []accounted) {
+	r.mu.Lock()
+	for _, a := range as {
+		r.msgs[a.link]++
+		r.bytes[a.link] += a.size
+	}
+	r.mu.Unlock()
+}
+
+// Matrix returns a copy of the per-link message and byte counts.
+func (r *TransportRecorder) Matrix() (msgs, bytes map[Link]uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	msgs = make(map[Link]uint64, len(r.msgs))
+	bytes = make(map[Link]uint64, len(r.bytes))
+	for l, n := range r.msgs {
+		msgs[l] = n
+	}
+	for l, n := range r.bytes {
+		bytes[l] = n
+	}
+	return msgs, bytes
+}
+
+// Ranks implements fabric.Transport.
+func (r *TransportRecorder) Ranks() int { return r.tr.Ranks() }
+
+// Send implements fabric.Transport.
+func (r *TransportRecorder) Send(m fabric.Message) error {
+	var scratch [1]accounted
+	as := capture([]fabric.Message{m}, scratch[:0])
+	if err := r.tr.Send(m); err != nil {
+		return err
+	}
+	r.account(as)
+	return nil
+}
+
+// SendN implements fabric.Transport. A batch that fails mid-way is
+// conservatively accounted in full — the transport does not report which
+// prefix was delivered, and a failing run is being torn down anyway.
+func (r *TransportRecorder) SendN(ms []fabric.Message) error {
+	as := capture(ms, nil)
+	err := r.tr.SendN(ms)
+	r.account(as)
+	return err
+}
+
+// Recv implements fabric.Transport.
+func (r *TransportRecorder) Recv(rank int) (fabric.Message, bool) { return r.tr.Recv(rank) }
+
+// RecvBatch implements fabric.Transport.
+func (r *TransportRecorder) RecvBatch(rank int, dst []fabric.Message) (int, bool) {
+	return r.tr.RecvBatch(rank, dst)
+}
+
+// Close implements fabric.Transport.
+func (r *TransportRecorder) Close(rank int) { r.tr.Close(rank) }
+
+// Cancel implements fabric.Transport.
+func (r *TransportRecorder) Cancel() { r.tr.Cancel() }
+
+// Err implements fabric.Transport.
+func (r *TransportRecorder) Err() error { return r.tr.Err() }
+
+// Snapshot implements fabric.Transport.
+func (r *TransportRecorder) Snapshot() fabric.Stats { return r.tr.Snapshot() }
+
+var _ fabric.Transport = (*TransportRecorder)(nil)

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+func TestTransportRecorderMatrix(t *testing.T) {
+	rec := InstrumentTransport(fabric.New(3))
+	if err := rec.Send(fabric.Message{From: 0, To: 1, Payload: core.Buffer(make([]byte, 10))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SendN([]fabric.Message{
+		{From: 0, To: 1, Payload: core.Buffer(make([]byte, 20))},
+		{From: 1, To: 2, Payload: core.Buffer(make([]byte, 30))},
+		{From: 2, To: 2, Payload: core.Buffer(make([]byte, 99))}, // self-send: not traffic
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := rec.Matrix()
+	if msgs[Link{0, 1}] != 2 || bytes[Link{0, 1}] != 30 {
+		t.Errorf("link 0->1 = %d msgs / %d bytes, want 2 / 30", msgs[Link{0, 1}], bytes[Link{0, 1}])
+	}
+	if msgs[Link{1, 2}] != 1 || bytes[Link{1, 2}] != 30 {
+		t.Errorf("link 1->2 = %d msgs / %d bytes, want 1 / 30", msgs[Link{1, 2}], bytes[Link{1, 2}])
+	}
+	if _, ok := msgs[Link{2, 2}]; ok {
+		t.Error("self-send recorded as traffic")
+	}
+	// The decorator must not disturb delivery.
+	got := 0
+	for {
+		if _, ok := rec.tr.(*fabric.Fabric).TryRecv(1); !ok {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Errorf("rank 1 received %d messages, want 2", got)
+	}
+}
+
+func TestTransportRecorderFailedSendNotCounted(t *testing.T) {
+	f := fabric.New(2)
+	f.Close(1)
+	rec := InstrumentTransport(f)
+	if err := rec.Send(fabric.Message{From: 0, To: 1, Payload: core.Buffer(make([]byte, 8))}); err == nil {
+		t.Fatal("send to closed rank should fail")
+	}
+	if msgs, _ := rec.Matrix(); len(msgs) != 0 {
+		t.Errorf("failed Send accounted: %v", msgs)
+	}
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// bootstrap establishes the full connection mesh for one rank and returns
+// the per-rank connections (nil at the local rank). Rank 0 plays
+// rendezvous server: it accepts a registration from every other rank,
+// verifies the fingerprint and replies with the address table. The
+// registration connections double as rank 0's data connections; the
+// remaining pairs are completed by every rank dialing all lower ranks.
+func bootstrap(opt Options) ([]net.Conn, error) {
+	conns := make([]net.Conn, opt.Ranks)
+	if opt.Ranks == 1 {
+		if opt.Listener != nil {
+			opt.Listener.Close()
+		}
+		return conns, nil
+	}
+	deadline := time.Now().Add(opt.DialTimeout)
+	if opt.Rank == 0 {
+		return bootstrapRoot(opt, conns, deadline)
+	}
+	return bootstrapPeer(opt, conns, deadline)
+}
+
+func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Conn, error) {
+	ln := opt.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", opt.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: rendezvous listen: %w", err)
+		}
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	addrs := make([]string, opt.Ranks)
+	registered := 0
+	for registered < opt.Ranks-1 {
+		c, err := ln.Accept()
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rendezvous: waiting for %d more rank(s): %w",
+				opt.Ranks-1-registered, err)
+		}
+		h, err := readHello(c, deadline)
+		if err != nil {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rendezvous: %w", err)
+		}
+		if reason := vetHello(opt, h, 1, conns); reason != "" {
+			writeConn(c, deadline, encodeReject(reason))
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+		}
+		conns[h.Rank] = c
+		addrs[h.Rank] = h.Addr
+		registered++
+	}
+
+	welcome, err := encodeWelcome(addrs)
+	if err != nil {
+		closeAll(conns)
+		return nil, err
+	}
+	for r := 1; r < opt.Ranks; r++ {
+		if err := writeConn(conns[r], deadline, welcome); err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rendezvous: welcome to rank %d: %w", r, err)
+		}
+	}
+	return conns, nil
+}
+
+func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Conn, error) {
+	// The rank's own data listener, dialed by every higher rank. It lives on
+	// the same host family as the rendezvous address with an ephemeral port.
+	host, _, err := net.SplitHostPort(opt.Addr)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("wire: rank %d data listen: %w", opt.Rank, err)
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	// Register with rank 0 and receive the address table.
+	c0, err := dialRetry(opt.Addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("wire: rank %d: rendezvous %s: %w", opt.Rank, opt.Addr, err)
+	}
+	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Fingerprint: opt.Fingerprint, Addr: ln.Addr().String()}
+	if err := writeConn(c0, deadline, encodeHello(h)); err != nil {
+		c0.Close()
+		return nil, fmt.Errorf("wire: rank %d: register: %w", opt.Rank, err)
+	}
+	typ, body, err := readControl(c0, deadline)
+	if err != nil {
+		c0.Close()
+		return nil, fmt.Errorf("wire: rank %d: rendezvous reply: %w", opt.Rank, err)
+	}
+	if typ == frameReject {
+		c0.Close()
+		return nil, fmt.Errorf("%w: %s", ErrHandshake, body)
+	}
+	if typ != frameWelcome {
+		c0.Close()
+		return nil, fmt.Errorf("wire: rank %d: unexpected frame %d from rendezvous", opt.Rank, typ)
+	}
+	addrs, err := decodeWelcome(body)
+	if err != nil || len(addrs) != opt.Ranks {
+		c0.Close()
+		return nil, fmt.Errorf("wire: rank %d: bad welcome: %v", opt.Rank, err)
+	}
+	conns[0] = c0
+
+	// Dial every lower rank's data listener; higher ranks dial us.
+	for j := 1; j < opt.Rank; j++ {
+		c, err := dialRetry(addrs[j], deadline)
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addrs[j], err)
+		}
+		hj := hello{Rank: opt.Rank, Ranks: opt.Ranks, Fingerprint: opt.Fingerprint}
+		if err := writeConn(c, deadline, encodeHello(hj)); err != nil {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: hello to rank %d: %w", opt.Rank, j, err)
+		}
+		typ, body, err := readControl(c, deadline)
+		if err != nil {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: reply from rank %d: %w", opt.Rank, j, err)
+		}
+		if typ == frameReject {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, j, body)
+		}
+		if typ != frameAccept {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: unexpected frame %d from rank %d", opt.Rank, typ, j)
+		}
+		conns[j] = c
+	}
+
+	// Accept every higher rank.
+	for need := opt.Ranks - 1 - opt.Rank; need > 0; {
+		c, err := ln.Accept()
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: waiting for %d higher rank(s): %w", opt.Rank, need, err)
+		}
+		h, err := readHello(c, deadline)
+		if err != nil {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: %w", opt.Rank, err)
+		}
+		if reason := vetHello(opt, h, opt.Rank+1, conns); reason != "" {
+			writeConn(c, deadline, encodeReject(reason))
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+		}
+		if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
+			c.Close()
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: accept to rank %d: %w", opt.Rank, h.Rank, err)
+		}
+		conns[h.Rank] = c
+		need--
+	}
+	return conns, nil
+}
+
+// vetHello validates a peer's handshake announcement: rank in [minRank,
+// Ranks), not yet connected, agreeing rank count and matching graph
+// fingerprint. It returns a refusal reason, or "" when the peer is sound.
+func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
+	if h.Rank < minRank || h.Rank >= opt.Ranks {
+		return fmt.Sprintf("rank %d out of range [%d,%d)", h.Rank, minRank, opt.Ranks)
+	}
+	if conns[h.Rank] != nil {
+		return fmt.Sprintf("rank %d already connected", h.Rank)
+	}
+	if h.Ranks != opt.Ranks {
+		return fmt.Sprintf("rank count mismatch: peer says %d, local says %d", h.Ranks, opt.Ranks)
+	}
+	if h.Fingerprint != opt.Fingerprint {
+		return fmt.Sprintf("graph fingerprint mismatch: peer %s, local %s", h.Fingerprint, opt.Fingerprint)
+	}
+	return ""
+}
+
+// dialRetry dials addr with exponential backoff until the deadline —
+// peers come up in arbitrary order, so refused connections are expected
+// during bootstrap.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		d := net.Dialer{Deadline: deadline}
+		c, err := d.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if !time.Now().Add(backoff).Before(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// readControl reads one whole (small) handshake frame from a raw
+// connection.
+func readControl(c net.Conn, deadline time.Time) (byte, []byte, error) {
+	c.SetReadDeadline(deadline)
+	typ, n, err := readFrame(c)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 1<<20 {
+		return 0, nil, fmt.Errorf("wire: oversized handshake frame (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		return 0, nil, err
+	}
+	return typ, body, nil
+}
+
+func readHello(c net.Conn, deadline time.Time) (hello, error) {
+	typ, body, err := readControl(c, deadline)
+	if err != nil {
+		return hello{}, err
+	}
+	if typ != frameHello {
+		return hello{}, fmt.Errorf("wire: expected hello, got frame type %d", typ)
+	}
+	return decodeHello(body)
+}
+
+func writeConn(c net.Conn, deadline time.Time, b []byte) error {
+	c.SetWriteDeadline(deadline)
+	_, err := c.Write(b)
+	return err
+}
+
+func closeAll(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// Wire frame format. Every frame is length-prefixed:
+//
+//	u32  length of the rest of the frame (type byte + body)
+//	u8   frame type
+//	...  body
+//
+// Bodies by type:
+//
+//	frameData:      u64 src task id | u64 dest task id | payload bytes
+//	frameHeartbeat: empty
+//	frameGoodbye:   empty — the peer has flushed everything it will ever
+//	                send; a subsequent EOF on the connection is clean
+//	frameHello:     u32 rank | u32 ranks | 32-byte fingerprint |
+//	                u16 addr length | advertised data address (dialer side)
+//	frameWelcome:   u32 n | n × (u16 addr length | address), the data
+//	                address table indexed by rank (rendezvous reply)
+//	frameReject:    reason string (handshake refusal)
+//	frameAccept:    empty (handshake confirmation)
+//
+// All integers are little-endian. The length prefix never exceeds
+// maxFrameSize; larger frames poison the connection.
+const (
+	frameData byte = iota + 1
+	frameHeartbeat
+	frameGoodbye
+	frameHello
+	frameWelcome
+	frameReject
+	frameAccept
+)
+
+const (
+	frameHeaderSize = 5            // u32 length + u8 type
+	dataHeaderSize  = 16           // u64 src + u64 dest
+	maxFrameSize    = 1 << 30      // hard ceiling on a single frame
+	fingerprintSize = 32           // sha256
+	maxAddrLen      = 1<<16 - 1    // address strings are u16-length-prefixed
+)
+
+// putFrameHeader writes the 5-byte frame header for a body of n bytes.
+func putFrameHeader(dst []byte, typ byte, n int) {
+	binary.LittleEndian.PutUint32(dst, uint32(n+1))
+	dst[4] = typ
+}
+
+// encodeDataFrame appends one data frame carrying payload to dst.
+func encodeDataFrame(dst []byte, src, dest core.TaskId, payload []byte) []byte {
+	var hdr [frameHeaderSize + dataHeaderSize]byte
+	putFrameHeader(hdr[:], frameData, dataHeaderSize+len(payload))
+	binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], uint64(src))
+	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+8:], uint64(dest))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// dataFrameSize returns the encoded size of a data frame with an n-byte
+// payload.
+func dataFrameSize(n int) int { return frameHeaderSize + dataHeaderSize + n }
+
+// controlFrame returns an encoded empty-body frame.
+func controlFrame(typ byte) []byte {
+	var b [frameHeaderSize]byte
+	putFrameHeader(b[:], typ, 0)
+	return b[:]
+}
+
+// readFrame reads one frame header and returns its type and body length.
+func readFrame(r io.Reader) (typ byte, n int, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	l := binary.LittleEndian.Uint32(hdr[:4])
+	if l < 1 || l > maxFrameSize {
+		return 0, 0, fmt.Errorf("wire: frame length %d out of range", l)
+	}
+	return hdr[4], int(l) - 1, nil
+}
+
+// hello is the handshake announcement either side of a connection sends
+// first.
+type hello struct {
+	Rank        int
+	Ranks       int
+	Fingerprint core.Fingerprint
+	Addr        string // advertised data listener address ("" on peer dials)
+}
+
+func encodeHello(h hello) []byte {
+	body := 4 + 4 + fingerprintSize + 2 + len(h.Addr)
+	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
+	putFrameHeader(b, frameHello, body)
+	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
+	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
+	b = append(b, h.Fingerprint[:]...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Addr)))
+	return append(b, h.Addr...)
+}
+
+func decodeHello(body []byte) (hello, error) {
+	var h hello
+	if len(body) < 4+4+fingerprintSize+2 {
+		return h, fmt.Errorf("wire: hello frame truncated (%d bytes)", len(body))
+	}
+	h.Rank = int(binary.LittleEndian.Uint32(body))
+	h.Ranks = int(binary.LittleEndian.Uint32(body[4:]))
+	copy(h.Fingerprint[:], body[8:8+fingerprintSize])
+	off := 8 + fingerprintSize
+	n := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if len(body) != off+n {
+		return h, fmt.Errorf("wire: hello frame length mismatch")
+	}
+	h.Addr = string(body[off:])
+	return h, nil
+}
+
+func encodeWelcome(addrs []string) ([]byte, error) {
+	body := 4
+	for _, a := range addrs {
+		if len(a) > maxAddrLen {
+			return nil, fmt.Errorf("wire: address too long: %q", a)
+		}
+		body += 2 + len(a)
+	}
+	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
+	putFrameHeader(b, frameWelcome, body)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(addrs)))
+	for _, a := range addrs {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(a)))
+		b = append(b, a...)
+	}
+	return b, nil
+}
+
+func decodeWelcome(body []byte) ([]string, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("wire: welcome frame truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n > 1<<20 {
+		return nil, fmt.Errorf("wire: welcome table of %d entries", n)
+	}
+	addrs := make([]string, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if len(body) < off+2 {
+			return nil, fmt.Errorf("wire: welcome frame truncated at entry %d", i)
+		}
+		l := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if len(body) < off+l {
+			return nil, fmt.Errorf("wire: welcome frame truncated at entry %d", i)
+		}
+		addrs = append(addrs, string(body[off:off+l]))
+		off += l
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("wire: welcome frame length mismatch")
+	}
+	return addrs, nil
+}
+
+func encodeReject(reason string) []byte {
+	b := make([]byte, frameHeaderSize, frameHeaderSize+len(reason))
+	putFrameHeader(b, frameReject, len(reason))
+	return append(b, reason...)
+}

@@ -1,0 +1,621 @@
+// Package wire is the TCP transport of the runtime: a fabric.Transport
+// implementation whose ranks are OS processes (or in-process listeners)
+// connected by a full mesh of TCP connections, so the same task graphs,
+// controllers and conformance suite that run over the in-memory fabric run
+// unchanged across machine boundaries.
+//
+// Topology and bootstrap: rank 0 listens on a well-known rendezvous
+// address; every other rank opens its own data listener, dials rank 0 and
+// registers (rank id, rank count, graph fingerprint, data address). Once
+// all ranks have registered, rank 0 answers each with the address table and
+// the peers dial each other — rank i dials every rank j < i — completing
+// one duplex connection per rank pair. Every connection begins with a hello
+// carrying the canonical graph fingerprint (core.GraphFingerprint); a
+// mismatch is rejected with ErrHandshake, catching mismatched binaries at
+// connection time instead of as a hang or a corrupted dataflow.
+//
+// Data path: frames are length-prefixed (frame.go). Each peer has an
+// unbounded outbox (the same pooled ring-buffer mailbox the in-memory
+// fabric uses) drained by one writer goroutine that coalesces whole
+// batches into a single arena-backed buffer and one conn.Write — SendN's
+// fan-out costs one syscall, not one per message. Payload bytes are read
+// into arena buffers (core.GrabBuffer) on receive. One outbox + one writer
+// + one reader per pair preserves the in-memory fabric's pairwise FIFO
+// delivery order.
+//
+// Robustness: per-connection heartbeats bound failure detection — a peer
+// that stops writing for HeartbeatTimeout is declared lost with a typed
+// error wrapping ErrPeerLost, cancelling the local mailbox so the
+// controller unwinds instead of hanging. Shutdown drains every outbox,
+// sends a goodbye frame (after which an EOF is clean, not a failure) and
+// waits for the peers' goodbyes, so in-flight payloads are delivered
+// before the process exits.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// Typed error surface of the transport.
+var (
+	// ErrPeerLost marks a peer that disconnected without a goodbye or went
+	// silent past the heartbeat timeout.
+	ErrPeerLost = errors.New("wire: peer lost")
+	// ErrHandshake marks a rendezvous or pairwise handshake refusal —
+	// mismatched fingerprint, rank count, or duplicate rank.
+	ErrHandshake = errors.New("wire: handshake failed")
+)
+
+// Options configures Connect.
+type Options struct {
+	// Rank is this process's rank, Ranks the total count.
+	Rank, Ranks int
+	// Addr is the rendezvous address rank 0 listens on and every other
+	// rank dials, e.g. "127.0.0.1:7000".
+	Addr string
+	// Listener, when non-nil on rank 0, is the pre-bound rendezvous
+	// listener (for tests and launchers that pick a free port). Connect
+	// takes ownership.
+	Listener net.Listener
+	// Fingerprint is the canonical graph/callback fingerprint every rank
+	// must present (core.GraphFingerprint). Peers whose fingerprints differ
+	// are rejected during the handshake.
+	Fingerprint core.Fingerprint
+	// DialTimeout bounds the whole bootstrap: rendezvous plus pairwise
+	// dials, with exponential backoff on refused connections. Default 15s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is how often an idle connection emits a heartbeat
+	// frame. Default 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a connection may stay silent before its
+	// peer is declared lost. Default 4 * HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+}
+
+func (o *Options) setDefaults() error {
+	if o.Ranks < 1 {
+		return fmt.Errorf("wire: need at least one rank, got %d", o.Ranks)
+	}
+	if o.Rank < 0 || o.Rank >= o.Ranks {
+		return fmt.Errorf("wire: rank %d out of range [0,%d)", o.Rank, o.Ranks)
+	}
+	if o.Addr == "" && o.Listener == nil {
+		return fmt.Errorf("wire: rendezvous address required")
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
+	return nil
+}
+
+// peer is one remote rank: its duplex connection, outbound queue and writer
+// state.
+type peer struct {
+	rank   int
+	conn   net.Conn
+	outbox *fabric.Mailbox
+
+	wmu         sync.Mutex // serializes data, heartbeat and goodbye writes
+	saidGoodbye bool       // guarded by wmu; no writes after goodbye
+	lastWrite   atomic.Int64
+
+	departed atomic.Bool // peer sent goodbye; EOF is now clean
+}
+
+// Fabric is the TCP transport: one per process (or per in-process rank),
+// implementing fabric.Transport for the full rank set with the local rank's
+// mailbox in memory and every other rank behind a connection.
+type Fabric struct {
+	opt   Options
+	local *fabric.Mailbox
+	peers []*peer // indexed by rank; nil at the local rank
+
+	messages atomic.Uint64 // egress inter-rank traffic
+	bytes    atomic.Uint64
+
+	errMu     sync.Mutex
+	firstErr  error
+	cancelled atomic.Bool
+	done      chan struct{} // closed on Cancel/Shutdown/Kill: stops heartbeats
+	doneOnce  sync.Once
+
+	writers sync.WaitGroup
+	readers sync.WaitGroup
+}
+
+// Connect bootstraps the mesh and returns a running fabric. It blocks until
+// every rank pair is connected and fingerprint-verified, or fails with an
+// error wrapping ErrHandshake (mismatched peer) or the underlying network
+// error (rendezvous unreachable within DialTimeout).
+func Connect(opt Options) (*Fabric, error) {
+	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		opt:   opt,
+		local: fabric.NewMailbox(),
+		peers: make([]*peer, opt.Ranks),
+		done:  make(chan struct{}),
+	}
+	conns, err := bootstrap(opt)
+	if err != nil {
+		return nil, err
+	}
+	for r, c := range conns {
+		if c == nil {
+			continue
+		}
+		p := &peer{rank: r, conn: c, outbox: fabric.NewMailbox()}
+		p.lastWrite.Store(time.Now().UnixNano())
+		f.peers[r] = p
+		f.writers.Add(1)
+		go f.writeLoop(p)
+		f.readers.Add(1)
+		go f.readLoop(p)
+	}
+	go f.heartbeatLoop()
+	return f, nil
+}
+
+// Ranks implements fabric.Transport.
+func (f *Fabric) Ranks() int { return f.opt.Ranks }
+
+// LocalRank returns the rank this fabric instance serves.
+func (f *Fabric) LocalRank() int { return f.opt.Rank }
+
+// Send implements fabric.Transport. Messages to the local rank are
+// in-memory hand-offs; everything else is enqueued on the destination
+// peer's outbox for the writer to flush.
+func (f *Fabric) Send(m fabric.Message) error {
+	if m.To < 0 || m.To >= f.opt.Ranks {
+		m.Payload.Release()
+		return fmt.Errorf("wire: send to unknown rank %d", m.To)
+	}
+	var err error
+	if m.To == f.opt.Rank {
+		err = f.local.Put(m)
+	} else {
+		err = f.peers[m.To].outbox.Put(m)
+	}
+	if err != nil {
+		return fmt.Errorf("wire: rank %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// SendN implements fabric.Transport: runs of consecutive messages to the
+// same rank are enqueued under one lock acquisition and flushed by the
+// destination's writer as one coalesced write.
+func (f *Fabric) SendN(ms []fabric.Message) error {
+	for i := range ms {
+		if ms[i].To < 0 || ms[i].To >= f.opt.Ranks {
+			releaseAll(ms)
+			return fmt.Errorf("wire: send to unknown rank %d", ms[i].To)
+		}
+	}
+	for i := 0; i < len(ms); {
+		j := i + 1
+		for j < len(ms) && ms[j].To == ms[i].To {
+			j++
+		}
+		var err error
+		if ms[i].To == f.opt.Rank {
+			err = f.local.PutN(ms[i:j])
+		} else {
+			err = f.peers[ms[i].To].outbox.PutN(ms[i:j])
+		}
+		if err != nil {
+			releaseAll(ms[j:])
+			return fmt.Errorf("wire: rank %d: %w", ms[i].To, err)
+		}
+		i = j
+	}
+	return nil
+}
+
+func releaseAll(ms []fabric.Message) {
+	for i := range ms {
+		ms[i].Payload.Release()
+	}
+}
+
+// Recv implements fabric.Transport. Only the local rank is receivable: a
+// remote rank's mailbox lives in its own process.
+func (f *Fabric) Recv(rank int) (fabric.Message, bool) {
+	f.mustBeLocal(rank)
+	return f.local.Get()
+}
+
+// RecvBatch implements fabric.Transport.
+func (f *Fabric) RecvBatch(rank int, dst []fabric.Message) (int, bool) {
+	f.mustBeLocal(rank)
+	return f.local.GetBatch(dst)
+}
+
+// TryRecv dequeues a local message if one is immediately available.
+func (f *Fabric) TryRecv(rank int) (fabric.Message, bool) {
+	f.mustBeLocal(rank)
+	return f.local.TryGet()
+}
+
+func (f *Fabric) mustBeLocal(rank int) {
+	if rank != f.opt.Rank {
+		panic(fmt.Sprintf("wire: receive on rank %d, but this fabric serves rank %d", rank, f.opt.Rank))
+	}
+}
+
+// Close implements fabric.Transport. Closing the local rank closes its
+// mailbox (queued messages remain receivable). Closing a remote rank
+// half-closes the pair: the outbox stops accepting, the writer drains it,
+// says goodbye and stops.
+func (f *Fabric) Close(rank int) {
+	if rank == f.opt.Rank {
+		f.local.Close()
+		return
+	}
+	if rank >= 0 && rank < f.opt.Ranks {
+		f.peers[rank].outbox.Close()
+	}
+}
+
+// Cancel implements fabric.Transport: it aborts all communication —
+// queued messages are dropped with their payload references released,
+// receivers return !ok, and every connection is torn down so remote peers
+// observe the abort promptly (as a lost peer) instead of timing out.
+func (f *Fabric) Cancel() {
+	f.cancelled.Store(true)
+	f.doneOnce.Do(func() { close(f.done) })
+	f.local.Cancel()
+	for _, p := range f.peers {
+		if p != nil {
+			p.outbox.Cancel()
+			p.conn.Close()
+		}
+	}
+}
+
+// Err implements fabric.Transport: the first transport-level failure (a
+// typed error wrapping ErrPeerLost for lost peers), nil for clean runs and
+// controller-initiated cancellation.
+func (f *Fabric) Err() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.firstErr
+}
+
+// Snapshot implements fabric.Transport. A process counts its egress
+// traffic; summing snapshots across ranks yields the global totals the
+// in-memory fabric reports.
+func (f *Fabric) Snapshot() fabric.Stats {
+	return fabric.Stats{Messages: f.messages.Load(), Bytes: f.bytes.Load()}
+}
+
+// Shutdown drains the fabric gracefully: it stops heartbeats, closes every
+// outbox so the writers flush all in-flight payloads and say goodbye, then
+// waits (up to timeout) for every peer's goodbye before closing the
+// connections. It returns the fabric's first error, if any — a clean
+// multi-process run ends with every rank's Shutdown returning nil.
+func (f *Fabric) Shutdown(timeout time.Duration) error {
+	f.doneOnce.Do(func() { close(f.done) })
+	for _, p := range f.peers {
+		if p != nil {
+			p.outbox.Close()
+		}
+	}
+	f.writers.Wait()
+
+	readersDone := make(chan struct{})
+	go func() {
+		f.readers.Wait()
+		close(readersDone)
+	}()
+	select {
+	case <-readersDone:
+	case <-time.After(timeout):
+		f.fail(fmt.Errorf("wire: shutdown: peers still active after %v: %w", timeout, ErrPeerLost))
+	}
+	for _, p := range f.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	f.local.Close()
+	return f.Err()
+}
+
+// Kill abruptly severs every connection without goodbye or drain — a test
+// hook simulating the death of this rank's process. Peers observe it as a
+// lost peer within the heartbeat timeout.
+func (f *Fabric) Kill() {
+	f.cancelled.Store(true)
+	f.doneOnce.Do(func() { close(f.done) })
+	f.local.Cancel()
+	for _, p := range f.peers {
+		if p != nil {
+			p.outbox.Cancel()
+			p.conn.Close()
+		}
+	}
+}
+
+// fail records the first transport-level failure and cancels the fabric so
+// the controller unwinds. Failures reported after a deliberate Cancel/Kill
+// are teardown noise and are dropped.
+func (f *Fabric) fail(err error) {
+	if f.cancelled.Load() {
+		return
+	}
+	f.errMu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.errMu.Unlock()
+	f.Cancel()
+}
+
+// writeLoop drains one peer's outbox: whole batches are encoded into a
+// single arena buffer and written with one conn.Write. When the outbox
+// closes (Shutdown or Close of the pair) the loop flushes what remains and
+// says goodbye; when it is cancelled the loop exits immediately (the
+// connections are already being torn down).
+func (f *Fabric) writeLoop(p *peer) {
+	defer f.writers.Done()
+	batch := make([]fabric.Message, 64)
+	wires := make([][]byte, len(batch))
+	for {
+		n, ok := p.outbox.GetBatch(batch)
+		if !ok {
+			if !f.cancelled.Load() {
+				p.wmu.Lock()
+				if !p.saidGoodbye {
+					p.saidGoodbye = true
+					p.conn.SetWriteDeadline(time.Now().Add(f.opt.HeartbeatTimeout))
+					p.conn.Write(controlFrame(frameGoodbye))
+				}
+				p.wmu.Unlock()
+			}
+			return
+		}
+		total := 0
+		bad := false
+		for i := 0; i < n; i++ {
+			w, err := batch[i].Payload.Wire()
+			if err != nil {
+				f.fail(fmt.Errorf("wire: rank %d -> %d: task %d payload: %w",
+					f.opt.Rank, p.rank, batch[i].Src, err))
+				bad = true
+				break
+			}
+			wires[i] = w
+			total += dataFrameSize(len(w))
+		}
+		if bad {
+			releaseAll(batch[:n])
+			clearMessages(batch[:n])
+			return
+		}
+		buf := core.GrabBuffer(total)[:0]
+		var payloadBytes uint64
+		for i := 0; i < n; i++ {
+			buf = encodeDataFrame(buf, batch[i].Src, batch[i].Dest, wires[i])
+			payloadBytes += uint64(len(wires[i]))
+			wires[i] = nil
+		}
+		p.wmu.Lock()
+		p.conn.SetWriteDeadline(time.Now().Add(f.opt.HeartbeatTimeout))
+		_, err := p.conn.Write(buf)
+		p.lastWrite.Store(time.Now().UnixNano())
+		p.wmu.Unlock()
+		core.ReleaseBuffer(buf)
+		releaseAll(batch[:n])
+		clearMessages(batch[:n])
+		if err != nil {
+			f.fail(fmt.Errorf("wire: rank %d: write to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			return
+		}
+		f.messages.Add(uint64(n))
+		f.bytes.Add(payloadBytes)
+	}
+}
+
+func clearMessages(ms []fabric.Message) {
+	for i := range ms {
+		ms[i] = fabric.Message{}
+	}
+}
+
+// readLoop consumes one peer's frames: data frames become local mailbox
+// deliveries with arena-backed payloads, heartbeats refresh the liveness
+// deadline, goodbye marks the peer cleanly departed. Any other end of
+// stream is a lost peer.
+func (f *Fabric) readLoop(p *peer) {
+	defer f.readers.Done()
+	const rxBatch = 64
+	br := newConnReader(p.conn, 64<<10)
+	batch := make([]fabric.Message, 0, rxBatch)
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(f.opt.HeartbeatTimeout))
+		m, typ, err := f.readOne(p, br)
+		if err != nil {
+			if f.cancelled.Load() || p.departed.Load() {
+				return
+			}
+			f.fail(fmt.Errorf("wire: rank %d: peer %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			return
+		}
+		switch typ {
+		case frameGoodbye:
+			p.departed.Store(true)
+			return
+		case frameHeartbeat:
+			continue
+		}
+		batch = append(batch[:0], m)
+		// Greedy drain: decode every data frame already buffered — without
+		// blocking — so a burst is delivered under one mailbox lock.
+		for len(batch) < rxBatch {
+			m, ok, err := f.tryReadBuffered(p, br)
+			if err != nil || !ok {
+				break
+			}
+			batch = append(batch, m)
+		}
+		if err := f.local.PutN(batch); err != nil {
+			// Local mailbox closed or cancelled: the run is over.
+			clearMessages(batch)
+			return
+		}
+		clearMessages(batch)
+	}
+}
+
+// readOne reads the next frame, blocking. Data frames return the decoded
+// message; control frames return their type with a zero message.
+func (f *Fabric) readOne(p *peer, br *connReader) (fabric.Message, byte, error) {
+	typ, n, err := readFrame(br)
+	if err != nil {
+		return fabric.Message{}, 0, err
+	}
+	switch typ {
+	case frameHeartbeat, frameGoodbye:
+		if n != 0 {
+			return fabric.Message{}, 0, fmt.Errorf("wire: control frame with %d-byte body", n)
+		}
+		return fabric.Message{}, typ, nil
+	case frameData:
+		m, err := f.readDataBody(p, br, n)
+		return m, frameData, err
+	default:
+		return fabric.Message{}, 0, fmt.Errorf("wire: unexpected frame type %d in data phase", typ)
+	}
+}
+
+func (f *Fabric) readDataBody(p *peer, br io.Reader, n int) (fabric.Message, error) {
+	if n < dataHeaderSize {
+		return fabric.Message{}, fmt.Errorf("wire: data frame of %d bytes", n)
+	}
+	var hdr [dataHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fabric.Message{}, err
+	}
+	src := core.TaskId(le64(hdr[0:]))
+	dest := core.TaskId(le64(hdr[8:]))
+	payload := core.GrabBuffer(n - dataHeaderSize)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return fabric.Message{}, err
+	}
+	return fabric.Message{
+		From: p.rank, To: f.opt.Rank, Src: src, Dest: dest,
+		Payload: core.Buffer(payload),
+	}, nil
+}
+
+// tryReadBuffered decodes one more data frame only if it is already fully
+// buffered; it never blocks. Control frames end the greedy drain (they are
+// rare and handled by the blocking path on the next iteration).
+func (f *Fabric) tryReadBuffered(p *peer, br *connReader) (fabric.Message, bool, error) {
+	hdr, ok := br.peek(frameHeaderSize)
+	if !ok {
+		return fabric.Message{}, false, nil
+	}
+	l := int(le32(hdr))
+	if l < 1 || l > maxFrameSize {
+		return fabric.Message{}, false, fmt.Errorf("wire: frame length %d out of range", l)
+	}
+	if hdr[4] != frameData {
+		return fabric.Message{}, false, nil
+	}
+	if !br.buffered(frameHeaderSize + l) {
+		return fabric.Message{}, false, nil
+	}
+	if _, _, err := readFrame(br); err != nil {
+		return fabric.Message{}, false, err
+	}
+	m, err := f.readDataBody(p, br, l-1)
+	if err != nil {
+		return fabric.Message{}, false, err
+	}
+	return m, true, nil
+}
+
+// connReader is a buffered connection reader that can report whether a
+// whole frame is already buffered, letting the read loop drain bursts
+// without ever blocking mid-batch.
+type connReader struct {
+	*bufio.Reader
+}
+
+func newConnReader(c net.Conn, size int) *connReader {
+	return &connReader{bufio.NewReaderSize(c, size)}
+}
+
+// peek returns the next n bytes without consuming them, but only if they
+// are already buffered — it never reads from the connection.
+func (r *connReader) peek(n int) ([]byte, bool) {
+	if r.Buffered() < n {
+		return nil, false
+	}
+	b, err := r.Peek(n)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// buffered reports whether at least n bytes are already buffered.
+func (r *connReader) buffered(n int) bool { return r.Buffered() >= n }
+
+func le32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// heartbeatLoop keeps every idle connection warm so silence means failure,
+// not inactivity.
+func (f *Fabric) heartbeatLoop() {
+	t := time.NewTicker(f.opt.HeartbeatInterval)
+	defer t.Stop()
+	hb := controlFrame(frameHeartbeat)
+	for {
+		select {
+		case <-f.done:
+			return
+		case now := <-t.C:
+			for _, p := range f.peers {
+				if p == nil {
+					continue
+				}
+				if now.UnixNano()-p.lastWrite.Load() < int64(f.opt.HeartbeatInterval) {
+					continue
+				}
+				p.wmu.Lock()
+				var err error
+				if !p.saidGoodbye {
+					p.conn.SetWriteDeadline(now.Add(f.opt.HeartbeatTimeout))
+					_, err = p.conn.Write(hb)
+					p.lastWrite.Store(time.Now().UnixNano())
+				}
+				p.wmu.Unlock()
+				if err != nil && !p.departed.Load() {
+					f.fail(fmt.Errorf("wire: rank %d: heartbeat to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+					return
+				}
+			}
+		}
+	}
+}
