@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire figures smoke-wire
+.PHONY: check build vet test race bench-fastpath bench-wire bench-sched figures smoke-wire
 
 ## check: the CI gate — vet, build, and the full test suite under the race
 ## detector.
@@ -27,6 +27,12 @@ bench-fastpath:
 ## vs loopback TCP (BENCH_net.json; the baseline_seed section is preserved).
 bench-wire:
 	$(GO) run ./cmd/bfbench -wire
+
+## bench-sched: regenerate the scheduler makespan report — FIFO vs
+## critical-path priority vs priority+stealing on a balanced and an
+## imbalanced figure workload (BENCH_sched.json; baseline_seed preserved).
+bench-sched:
+	$(GO) run ./cmd/bfbench -sched
 
 ## figures: regenerate the paper's evaluation figures.
 figures:

@@ -30,6 +30,8 @@ func main() {
 		fastpathOut = flag.String("fastpath-out", "BENCH_fastpath.json", "report path for -fastpath (baseline_seed is preserved)")
 		wireBench   = flag.Bool("wire", false, "run the transport benchmarks (in-memory vs loopback TCP) instead of the figures")
 		wireOut     = flag.String("wire-out", "BENCH_net.json", "report path for -wire (baseline_seed is preserved)")
+		schedBench  = flag.Bool("sched", false, "run the scheduler makespan benchmarks (FIFO vs priority vs priority+stealing) instead of the figures")
+		schedOut    = flag.String("sched-out", "BENCH_sched.json", "report path for -sched (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,12 @@ func main() {
 	}
 	if *wireBench {
 		if err := runWire(*wireOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *schedBench {
+		if err := runSched(*schedOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/mergetree"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+	"github.com/babelflow/babelflow-go/internal/sim"
+)
+
+// The -sched mode measures the scheduler end to end: it executes figure
+// workload graphs on the REAL MPI controller, with callbacks that sleep for
+// the sim cost model's task duration, and compares wall-clock makespan
+// under three dispatch disciplines:
+//
+//   - fifo:           FIFO order, no stealing — the pre-scheduler engine
+//     (per-rank pools draining in arrival order);
+//   - priority:       critical-path dispatch, workers pinned to their rank;
+//   - priority+steal: critical-path dispatch with idle workers stealing
+//     across ranks (the default configuration).
+//
+// Two workloads bracket the scheduler's value: the balanced compositing
+// reduction (Fig. 10e, near-uniform costs) where dispatch order hardly
+// matters, and the imbalanced merge tree (Fig. 2) where the feature-dense
+// region of the domain lands on one rank — the paper's "naturally load
+// imbalanced" local computation under static spatial placement — and
+// critical-path order plus stealing shortens the makespan. Sleeps, not
+// spins, model compute so the bench is reproducible on loaded or
+// single-core CI machines.
+
+const (
+	schedRanks   = 4
+	schedWorkers = 4
+	schedReps    = 3
+	// schedHotFactor scales the local-tree cost of blocks in the
+	// feature-dense region (the blocks placed on schedHotRank).
+	schedHotFactor = 6
+	// schedHotRank owns the feature-dense blocks. Rank 3's leaf costs are
+	// the most even, so no single giant task caps how much stealing helps.
+	schedHotRank = 3
+)
+
+// schedModes are the compared dispatch disciplines.
+var schedModes = []struct {
+	name string
+	opt  mpi.Options
+}{
+	{"fifo", mpi.Options{Workers: schedWorkers, FIFO: true, NoSteal: true}},
+	{"priority", mpi.Options{Workers: schedWorkers, NoSteal: true}},
+	{"priority_steal", mpi.Options{Workers: schedWorkers}},
+}
+
+// schedExternalInputs synthesizes one small payload per external slot.
+func schedExternalInputs(g core.TaskGraph) map[core.TaskId][]core.Payload {
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range g.TaskIds() {
+		t, _ := g.Task(id)
+		for _, in := range t.Incoming {
+			if in == core.ExternalInput {
+				initial[id] = append(initial[id], core.Buffer(make([]byte, 64)))
+			}
+		}
+	}
+	return initial
+}
+
+// schedMakespan runs the workload once per rep under the given options and
+// returns the best wall-clock seconds (min over reps rejects scheduling
+// noise from the host OS).
+func schedMakespan(w sim.Workload, opt mpi.Options) (float64, error) {
+	g := w.Graph
+	m := core.NewGraphMap(schedRanks, g)
+	sleepy := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		t, _ := g.Task(id)
+		time.Sleep(time.Duration(w.TaskCost(t) * float64(time.Second)))
+		out := make([]core.Payload, len(t.Outgoing))
+		for s := range out {
+			out[s] = core.Buffer(make([]byte, 64))
+		}
+		return out, nil
+	}
+	best := 0.0
+	for rep := 0; rep < schedReps; rep++ {
+		c := mpi.New(opt)
+		if err := c.Initialize(g, m); err != nil {
+			return 0, err
+		}
+		for _, cid := range g.Callbacks() {
+			if err := c.RegisterCallback(cid, sleepy); err != nil {
+				return 0, err
+			}
+		}
+		initial := schedExternalInputs(g)
+		start := time.Now()
+		if _, err := c.Run(initial); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+// runSched measures both workloads under every discipline and rewrites the
+// JSON report at path, preserving an existing baseline_seed section.
+func runSched(path string) error {
+	mt, err := sim.MergeTreeWorkload(16, 2, 64)
+	if err != nil {
+		return err
+	}
+	// Concentrate the feature-dense blocks on one rank: under the same
+	// static placement schedMakespan uses, every local-tree task owned by
+	// schedHotRank costs schedHotFactor more. Pinned FIFO workers leave that
+	// rank as the straggler; stealing drains its queue from the idle ranks.
+	mtMap := core.NewGraphMap(schedRanks, mt.Graph)
+	baseCost := mt.TaskCost
+	mt.TaskCost = func(t core.Task) float64 {
+		c := baseCost(t)
+		if t.Callback == mergetree.CBLocal && mtMap.Shard(t.Id) == schedHotRank {
+			c *= schedHotFactor
+		}
+		return c
+	}
+	comp, err := sim.CompositingReductionWorkload(16, 128, 128, 0.004)
+	if err != nil {
+		return err
+	}
+	workloads := []struct {
+		name string
+		w    sim.Workload
+	}{
+		{"balanced_compositing", comp},
+		{"imbalanced_mergetree", mt},
+	}
+
+	current := make(map[string]map[string]float64)
+	for _, wl := range workloads {
+		row := make(map[string]float64, len(schedModes)+1)
+		for _, mode := range schedModes {
+			sec, err := schedMakespan(wl.w, mode.opt)
+			if err != nil {
+				return fmt.Errorf("bfbench: %s/%s: %w", wl.name, mode.name, err)
+			}
+			row[mode.name+"_ms"] = sec * 1e3
+			fmt.Printf("%-24s %-16s %10.1f ms\n", wl.name, mode.name, sec*1e3)
+		}
+		row["speedup_priority_steal_vs_fifo"] = row["fifo_ms"] / row["priority_steal_ms"]
+		fmt.Printf("%-24s %-16s %10.2fx\n", wl.name, "speedup", row["speedup_priority_steal_vs_fifo"])
+		current[wl.name] = row
+	}
+
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bfbench: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	cur, err := json.Marshal(current)
+	if err != nil {
+		return err
+	}
+	report["current"] = cur
+	if _, ok := report["baseline_seed"]; !ok {
+		report["baseline_seed"] = cur
+	}
+	if _, ok := report["note"]; !ok {
+		note, _ := json.Marshal("Scheduler makespan benchmarks: figure workloads on the real MPI controller with sim-cost sleeps, FIFO vs critical-path priority vs priority+stealing (4 ranks, 4 workers). Regenerate with: go run ./cmd/bfbench -sched")
+		report["note"] = note
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

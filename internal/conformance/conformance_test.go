@@ -142,6 +142,18 @@ func allControllers(g core.TaskGraph, shards int) map[string]core.Controller {
 	alws.Initialize(g, m)
 	out["mpi-serialize"] = alws
 
+	fifo := mpi.New(mpi.Options{FIFO: true, Workers: 2})
+	fifo.Initialize(g, m)
+	out["mpi-fifo"] = fifo
+
+	nosteal := mpi.New(mpi.Options{NoSteal: true})
+	nosteal.Initialize(g, m)
+	out["mpi-nosteal"] = nosteal
+
+	w1 := mpi.New(mpi.Options{Workers: 1})
+	w1.Initialize(g, m)
+	out["mpi-w1"] = w1
+
 	cc := charm.New(charm.Options{PEs: shards, LBPeriod: 1})
 	cc.Initialize(g, nil)
 	out["charm-lb1"] = cc
@@ -161,9 +173,10 @@ func allControllers(g core.TaskGraph, shards int) map[string]core.Controller {
 }
 
 // TestRandomDAGConformance is the cross-controller fuzz: 20 random DAGs of
-// varying size, each executed on 8 controller configurations at several
-// shard counts; all sink outputs must be byte-identical to the serial
-// reference.
+// varying size, each executed on 11 controller configurations (including
+// the scheduler ablations: FIFO dispatch, stealing off, single worker) at
+// several shard counts; all sink outputs must be byte-identical to the
+// serial reference.
 func TestRandomDAGConformance(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		seed := uint64(1000 + trial)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CriticalPaths annotates every task of a graph with its downstream depth:
+// the number of tasks on the longest dependency chain from the task to any
+// sink, the task itself included. A task with depth d still gates d-1
+// successors, so among simultaneously ready tasks the one with the largest
+// depth is the most critical — executing it first shortens the makespan,
+// while a task with large slack (Max - Depth) can wait without delaying
+// completion.
+//
+// Depths depend only on the graph structure, never on execution state, so
+// every shard of a distributed run ranks its ready tasks identically, and
+// the simulator's list scheduler and the real MPI controller agree on which
+// ready task is most critical.
+type CriticalPaths struct {
+	depth  map[TaskId]int
+	height map[TaskId]int
+	max    int
+}
+
+// Depth returns the downstream depth of a task (0 for ids outside the
+// analyzed graph).
+func (c *CriticalPaths) Depth(id TaskId) int { return c.depth[id] }
+
+// Height returns the upstream height of a task: the number of tasks on the
+// longest chain from any source to the task, the task included (0 for ids
+// outside the analyzed graph).
+func (c *CriticalPaths) Height(id TaskId) int { return c.height[id] }
+
+// Max returns the graph's critical-path length in tasks — the largest Depth.
+func (c *CriticalPaths) Max() int { return c.max }
+
+// Slack returns how many levels the task sits off a critical path: the
+// graph's critical-path length minus the longest source-to-sink chain
+// through this task (Height + Depth - 1). Tasks with zero slack lie on a
+// critical path; a task with slack s could be delayed s levels without
+// stretching the schedule.
+func (c *CriticalPaths) Slack(id TaskId) int {
+	d, ok := c.depth[id]
+	if !ok {
+		return c.max
+	}
+	return c.max - (c.height[id] + d - 1)
+}
+
+// ComputeCriticalPaths performs the critical-path analysis of a graph in
+// one pass per direction: a reverse topological sweep (Kahn's algorithm
+// over consumer counts) assigns depth(t) = 1 + max(depth of t's consumers),
+// and the order it finalizes tasks in, replayed backwards, is a forward
+// topological order used to assign height(t) = 1 + max(height of t's
+// producers) — each sweep visits every edge exactly once. It fails on
+// cyclic graphs, like Validate.
+func ComputeCriticalPaths(g TaskGraph) (*CriticalPaths, error) {
+	ids := g.TaskIds()
+	cp := &CriticalPaths{
+		depth:  make(map[TaskId]int, len(ids)),
+		height: make(map[TaskId]int, len(ids)),
+	}
+
+	// pending counts each task's not-yet-finalized unique consumers; tasks
+	// whose consumers are all finalized (starting with the sinks) finalize
+	// next.
+	pending := make(map[TaskId]int, len(ids))
+	queue := make([]TaskId, 0, len(ids))
+	for _, id := range ids {
+		t, ok := g.Task(id)
+		if !ok {
+			return nil, fmt.Errorf("core: graph enumerates unknown task %d", id)
+		}
+		n := len(t.Consumers())
+		pending[id] = n
+		if n == 0 {
+			queue = append(queue, id)
+		}
+	}
+
+	order := make([]TaskId, 0, len(ids)) // reverse topological order
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		t, _ := g.Task(id)
+		d := 0
+		for _, c := range t.Consumers() {
+			if cd := cp.depth[c]; cd > d {
+				d = cd
+			}
+		}
+		d++
+		cp.depth[id] = d
+		if d > cp.max {
+			cp.max = d
+		}
+		order = append(order, id)
+		for _, p := range t.Producers() {
+			pending[p]--
+			if pending[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	if len(order) != len(ids) {
+		return nil, fmt.Errorf("core: critical-path analysis finalized %d of %d tasks (graph has a cycle)", len(order), len(ids))
+	}
+
+	// Forward sweep for upstream heights: the reverse of order finalizes
+	// every producer before its consumers.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		t, _ := g.Task(id)
+		h := 0
+		for _, p := range t.Producers() {
+			if ph := cp.height[p]; ph > h {
+				h = ph
+			}
+		}
+		cp.height[id] = h + 1
+	}
+	return cp, nil
+}
+
+// cpCache memoizes critical-path analyses per graph fingerprint, so
+// repeated controller initializations over the same logical graph (e.g. a
+// benchmark constructing a fresh controller per run, or the shards of a
+// distributed run fingerprinting the same graph) pay for the traversal
+// once. cpCacheSize bounds the entries kept; beyond it results are computed
+// but not retained (graphs per process number in the dozens, not
+// thousands).
+var (
+	cpCache     sync.Map // Fingerprint -> *CriticalPaths
+	cpCacheLen  atomic.Int64
+	cpCacheGoal = int64(1024)
+)
+
+// CriticalPathsFor returns the critical-path annotation of a graph, cached
+// per graph fingerprint. Two structurally identical graphs share one
+// analysis regardless of how they were built.
+func CriticalPathsFor(g TaskGraph) (*CriticalPaths, error) {
+	fp := GraphFingerprint(g, nil)
+	if v, ok := cpCache.Load(fp); ok {
+		return v.(*CriticalPaths), nil
+	}
+	cp, err := ComputeCriticalPaths(g)
+	if err != nil {
+		return nil, err
+	}
+	if cpCacheLen.Load() < cpCacheGoal {
+		if _, loaded := cpCache.LoadOrStore(fp, cp); !loaded {
+			cpCacheLen.Add(1)
+		}
+	}
+	return cp, nil
+}

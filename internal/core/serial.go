@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Observer receives execution notifications from controllers. Tests and the
@@ -18,6 +19,18 @@ type ObserverFunc func(id TaskId, shard ShardId, cb CallbackId)
 
 // TaskExecuted implements Observer.
 func (f ObserverFunc) TaskExecuted(id TaskId, shard ShardId, cb CallbackId) { f(id, shard, cb) }
+
+// SchedObserver is an Observer that additionally receives scheduling
+// timing: controllers with a dispatch queue report, per task, when the
+// ready task entered the queue and when a worker picked it up. The
+// difference is the task's queue wait — time spent ready but waiting for a
+// worker, the quantity the priority scheduler minimizes for critical tasks.
+// TaskQueued is called on the dispatching worker just before the callback
+// runs; controllers without a queue (serial, inline) never call it.
+type SchedObserver interface {
+	Observer
+	TaskQueued(id TaskId, enqueued, started time.Time)
+}
 
 // ExecutionLog is a thread-safe Observer that records the order in which
 // tasks executed.

@@ -73,16 +73,59 @@ func above(va float32, a uint64, vb float32, b uint64) bool {
 	return a > b
 }
 
-// unionFind is a plain union-find over node ids with path compression.
+// unionFind is a union-find over node ids with path compression. When the
+// id set is (nearly) contiguous — as vertex ids of a data.Decomposition
+// block are — a dense slice indexed by id-base backs the parent pointers;
+// for sparse id sets (merged boundary trees spanning distant blocks) it
+// falls back to a map. Both representations implement identical semantics;
+// only makeSet ids may be passed to find/union.
 type unionFind struct {
-	parent map[uint64]uint64
+	base   uint64
+	dense  []uint64          // parent of id (base+i) at dense[i]; nil when map-backed
+	parent map[uint64]uint64 // sparse fallback
 }
+
+// unionFindDenseMax bounds the dense allocation (entries); beyond it even a
+// contiguous id range uses the map to keep the sweep's footprint sane.
+const unionFindDenseMax = 1 << 22
 
 func newUnionFind() *unionFind { return &unionFind{parent: make(map[uint64]uint64)} }
 
-func (u *unionFind) makeSet(x uint64) { u.parent[x] = x }
+// newUnionFindSpan sizes a union-find for count ids within [lo, hi]: a
+// dense slice when the span wastes at most 4x the occupied entries, the map
+// otherwise.
+func newUnionFindSpan(lo, hi uint64, count int) *unionFind {
+	if count > 0 && hi >= lo {
+		span := hi - lo + 1
+		if span <= uint64(count)*4 && span <= unionFindDenseMax {
+			return &unionFind{base: lo, dense: make([]uint64, span)}
+		}
+	}
+	return newUnionFind()
+}
+
+func (u *unionFind) makeSet(x uint64) {
+	if u.dense != nil {
+		// Stored biased by +1 so the zero value means "not in any set".
+		u.dense[x-u.base] = x - u.base + 1
+		return
+	}
+	u.parent[x] = x
+}
 
 func (u *unionFind) find(x uint64) uint64 {
+	if u.dense != nil {
+		i := x - u.base
+		for {
+			p := u.dense[i] - 1
+			if p == i {
+				return i + u.base
+			}
+			g := u.dense[p] // grandparent, biased
+			u.dense[i] = g
+			i = g - 1
+		}
+	}
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]]
 		x = u.parent[x]
@@ -95,7 +138,11 @@ func (u *unionFind) union(a, b uint64) uint64 {
 	if ra == rb {
 		return ra
 	}
-	u.parent[rb] = ra
+	if u.dense != nil {
+		u.dense[rb-u.base] = ra - u.base + 1
+	} else {
+		u.parent[rb] = ra
+	}
 	return ra
 }
 
@@ -116,7 +163,16 @@ func compute(values map[uint64]float32, adj func(uint64) []uint64) *Tree {
 	})
 
 	t := NewTree()
-	uf := newUnionFind()
+	var lo, hi uint64
+	for i, id := range order {
+		if i == 0 || id < lo {
+			lo = id
+		}
+		if i == 0 || id > hi {
+			hi = id
+		}
+	}
+	uf := newUnionFindSpan(lo, hi, len(order))
 	lowest := make(map[uint64]uint64, len(values)) // component root -> lowest node
 	processed := make(map[uint64]bool, len(values))
 
@@ -215,7 +271,21 @@ func (t *Tree) Reduce(keep func(id uint64) bool) *Tree {
 // highest node in sweep order. Nodes below the threshold are absent from
 // the result.
 func (t *Tree) Segment(threshold float32) map[uint64]uint64 {
-	uf := newUnionFind()
+	var lo, hi uint64
+	count := 0
+	for id, v := range t.value {
+		if v < threshold {
+			continue
+		}
+		if count == 0 || id < lo {
+			lo = id
+		}
+		if count == 0 || id > hi {
+			hi = id
+		}
+		count++
+	}
+	uf := newUnionFindSpan(lo, hi, count)
 	for id, v := range t.value {
 		if v >= threshold {
 			uf.makeSet(id)
@@ -238,7 +308,7 @@ func (t *Tree) Segment(threshold float32) map[uint64]uint64 {
 			rep[r] = id
 		}
 	}
-	labels := make(map[uint64]uint64, len(uf.parent))
+	labels := make(map[uint64]uint64, count)
 	for id, v := range t.value {
 		if v >= threshold {
 			labels[id] = rep[uf.find(id)]

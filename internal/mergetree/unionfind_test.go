@@ -1,0 +1,147 @@
+package mergetree
+
+import (
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/data"
+)
+
+// TestUnionFindDenseMatchesMap drives the dense and map representations
+// through an identical union sequence and checks every find agrees.
+func TestUnionFindDenseMatchesMap(t *testing.T) {
+	const n = 500
+	base := uint64(10_000)
+	dense := newUnionFindSpan(base, base+n-1, n)
+	if dense.dense == nil {
+		t.Fatal("contiguous span did not select the dense backing")
+	}
+	sparse := newUnionFind()
+	for i := uint64(0); i < n; i++ {
+		dense.makeSet(base + i)
+		sparse.makeSet(base + i)
+	}
+	rng := data.NewRand(42)
+	for k := 0; k < 2*n; k++ {
+		a := base + uint64(rng.Intn(n))
+		b := base + uint64(rng.Intn(n))
+		dr := dense.union(a, b)
+		sr := sparse.union(a, b)
+		if dr != sr {
+			t.Fatalf("union(%d,%d): dense root %d, map root %d", a, b, dr, sr)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if d, s := dense.find(base+i), sparse.find(base+i); d != s {
+			t.Fatalf("find(%d): dense %d, map %d", base+i, d, s)
+		}
+	}
+}
+
+// TestUnionFindSparseFallback checks that scattered ids select the map and
+// still behave.
+func TestUnionFindSparseFallback(t *testing.T) {
+	ids := []uint64{0, 1 << 30, 1 << 40, 1 << 50}
+	uf := newUnionFindSpan(ids[0], ids[len(ids)-1], len(ids))
+	if uf.dense != nil {
+		t.Fatal("sparse span must fall back to the map")
+	}
+	for _, id := range ids {
+		uf.makeSet(id)
+	}
+	uf.union(ids[0], ids[1])
+	uf.union(ids[2], ids[3])
+	if uf.find(ids[0]) != uf.find(ids[1]) || uf.find(ids[2]) != uf.find(ids[3]) {
+		t.Error("unions not reflected")
+	}
+	if uf.find(ids[0]) == uf.find(ids[2]) {
+		t.Error("distinct components merged")
+	}
+}
+
+// TestUnionFindSpanBounds pins the representation choice: tight spans are
+// dense, 4x-padded spans still dense, anything wider or huge is map-backed.
+func TestUnionFindSpanBounds(t *testing.T) {
+	if uf := newUnionFindSpan(100, 199, 100); uf.dense == nil {
+		t.Error("exact span should be dense")
+	}
+	if uf := newUnionFindSpan(0, 399, 100); uf.dense == nil {
+		t.Error("4x span should be dense")
+	}
+	if uf := newUnionFindSpan(0, 400, 100); uf.dense != nil {
+		t.Error(">4x span should be map-backed")
+	}
+	if uf := newUnionFindSpan(0, unionFindDenseMax, unionFindDenseMax); uf.dense != nil {
+		t.Error("span above the dense cap should be map-backed")
+	}
+	if uf := newUnionFindSpan(0, 0, 0); uf.dense != nil {
+		t.Error("empty set should be map-backed (nothing to size)")
+	}
+}
+
+// benchField builds an n^3 scalar field with 6-neighborhood adjacency over
+// contiguous vertex ids — the shape of one decomposition block.
+func benchField(n int) (map[uint64]float32, func(uint64) []uint64) {
+	field := data.SyntheticHCCI(n, n, n, 8, 2026)
+	values := make(map[uint64]float32, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				id := uint64(z*n*n + y*n + x)
+				values[id] = field.At(x, y, z)
+			}
+		}
+	}
+	adj := func(id uint64) []uint64 {
+		x, y, z := int(id)%n, int(id)/n%n, int(id)/(n*n)
+		var out []uint64
+		if x > 0 {
+			out = append(out, id-1)
+		}
+		if x < n-1 {
+			out = append(out, id+1)
+		}
+		if y > 0 {
+			out = append(out, id-uint64(n))
+		}
+		if y < n-1 {
+			out = append(out, id+uint64(n))
+		}
+		if z > 0 {
+			out = append(out, id-uint64(n*n))
+		}
+		if z < n-1 {
+			out = append(out, id+uint64(n*n))
+		}
+		return out
+	}
+	return values, adj
+}
+
+// BenchmarkTreeSweep measures the merge-tree sweep over one block — the hot
+// path of every local-tree task, where the dense union-find replaces a map
+// lookup per edge traversal (block vertex ids are contiguous, so the sweep
+// stays on the slice).
+func BenchmarkTreeSweep(b *testing.B) {
+	values, adj := benchField(24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr := compute(values, adj); tr.Len() != len(values) {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+// BenchmarkSegment measures the superlevel-set labeling of the per-block
+// segmentation tasks.
+func BenchmarkSegment(b *testing.B) {
+	values, adj := benchField(24)
+	tr := compute(values, adj)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if labels := tr.Segment(0.3); len(labels) == 0 {
+			b.Fatal("no labels")
+		}
+	}
+}

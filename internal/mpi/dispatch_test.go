@@ -20,10 +20,11 @@ import (
 //	rank 0: A1, A2 (external), C (input from E)
 //	rank 1: E (external) -> slot 0: C (rank 0), slot 1: F (rank 1)
 //
-// With Workers=1, A1 occupies rank 0's only worker until F signals it. F
-// only runs after E's rendezvous send to rank 0 completes, which requires
-// rank 0's receive loop to dequeue while its worker pool is saturated. The
-// old code instead parked the loop dispatching A2, so the signal never came.
+// With Workers=2 (one homed worker per rank), A1 occupies one worker until
+// F signals it, leaving a single worker for everything else. F only runs
+// after E's rendezvous send to rank 0 completes, which requires rank 0's
+// receive loop to dequeue while A1 still holds a worker. The old code
+// instead parked the loop dispatching A2, so the signal never came.
 func TestReceiveLoopDrainsWhileWorkersSaturated(t *testing.T) {
 	const (
 		a1 core.TaskId = iota
@@ -46,7 +47,7 @@ func TestReceiveLoopDrainsWhileWorkersSaturated(t *testing.T) {
 		return 0
 	})
 
-	ctrl := New(Options{Blocking: true, Workers: 1})
+	ctrl := New(Options{Blocking: true, Workers: 2})
 	if err := ctrl.Initialize(g, tmap); err != nil {
 		t.Fatal(err)
 	}

@@ -19,9 +19,11 @@ type Group struct {
 	ctrl *Controller
 	fab  fabric.Transport
 
-	mu       sync.Mutex
-	firstErr error
-	started  map[int]bool
+	mu        sync.Mutex
+	firstErr  error
+	started   map[int]bool
+	pool      *fabric.Pool
+	completed int
 }
 
 // NewGroup prepares an in-situ execution of the graph over the task map's
@@ -93,7 +95,9 @@ func (s *Shard) LocalTasks() ([]core.Task, error) {
 // inputs, exchanges messages with the other shards through the group's
 // fabric, and returns the sink outputs produced by tasks of this rank. It
 // blocks until the local sub-graph completes (or any shard fails) and must
-// be called exactly once per rank, typically concurrently across ranks.
+// be called exactly once per rank, typically concurrently across ranks —
+// the group's shared work-stealing executor starts with the first Run and
+// is released when the last rank's Run returns.
 func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	gr := s.group
 	gr.mu.Lock()
@@ -102,7 +106,25 @@ func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]c
 		return nil, fmt.Errorf("mpi: rank %d already ran", s.rank)
 	}
 	gr.started[s.rank] = true
+	// All shards dispatch into one executor, so an idle rank's worker can
+	// steal a loaded rank's ready tasks (Inline mode needs none).
+	if gr.pool == nil && !gr.ctrl.opt.Inline {
+		gr.pool = gr.ctrl.newPool(gr.fab.Ranks())
+	}
+	pool := gr.pool
 	gr.mu.Unlock()
+	defer func() {
+		gr.mu.Lock()
+		gr.completed++
+		if gr.completed == gr.fab.Ranks() && gr.pool != nil {
+			done := gr.pool
+			gr.pool = nil
+			gr.mu.Unlock()
+			done.Close()
+			return
+		}
+		gr.mu.Unlock()
+	}()
 
 	if err := gr.ctrl.reg.Covers(gr.ctrl.graph); err != nil {
 		gr.abort(err)
@@ -115,7 +137,7 @@ func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]c
 
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
-	if err := gr.ctrl.runRank(s.rank, gr.fab, gr.abort, initial, results, &resMu); err != nil {
+	if err := gr.ctrl.runRank(s.rank, gr.fab, pool, gr.abort, initial, results, &resMu); err != nil {
 		gr.abort(err)
 	}
 	if err := gr.Err(); err != nil {

@@ -10,6 +10,18 @@
 // serialized. A task assumes ownership of its inputs and relinquishes
 // ownership of its outputs, so no data races occur on payloads.
 //
+// Scheduling is graph-aware: at Initialize the controller runs a one-pass
+// critical-path analysis (core.CriticalPathsFor, cached per graph
+// fingerprint) and the receive loop dispatches ready tasks into per-rank
+// priority deques ordered by downstream depth, so the most critical ready
+// task runs first instead of the oldest. The deques are drained by a shared
+// work-stealing executor (fabric.Pool): a global budget of workers —
+// defaulting to GOMAXPROCS, not a fixed per-rank pool — is homed round-robin
+// over the ranks, and an idle worker whose home rank has no ready work
+// steals the most critical task of a loaded rank. Scheduling order never
+// changes outputs: tasks still run only when every input has arrived, and
+// routing depends only on the graph and the task map.
+//
 // In this reproduction "ranks" are goroutine groups connected by the
 // in-process fabric rather than OS processes on a Cray; the control
 // structure — who serializes what, when tasks dispatch, what blocks —
@@ -18,7 +30,9 @@ package mpi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
@@ -26,9 +40,21 @@ import (
 
 // Options configures a Controller.
 type Options struct {
-	// Workers is the per-rank thread-pool size; ready tasks beyond it queue.
-	// Zero selects the default of 4.
+	// Workers is the global worker budget of a run: the number of executor
+	// goroutines shared by all ranks. With stealing enabled (the default) an
+	// idle rank's worker executes another rank's ready tasks, so the budget
+	// bounds total execution concurrency rather than per-rank concurrency.
+	// Zero selects runtime.GOMAXPROCS(0). When stealing is disabled the
+	// budget is raised to at least one homed worker per rank, since nothing
+	// else can drain a rank's deque.
 	Workers int
+	// FIFO dispatches ready tasks in arrival order instead of
+	// most-critical-first — the pre-scheduler discipline, kept as the
+	// ablation baseline of the scheduler benches.
+	FIFO bool
+	// NoSteal pins workers to their home rank's deque (ablation). It forces
+	// at least one worker per rank.
+	NoSteal bool
 	// Inline executes tasks inside the controller loop instead of on the
 	// pool — the single-threaded execution style of the hand-tuned baseline.
 	Inline bool
@@ -43,17 +69,21 @@ type Options struct {
 	// AlwaysSerialize disables the in-memory message optimization, forcing
 	// every payload through serialization (ablation).
 	AlwaysSerialize bool
-	// Observer, when non-nil, receives a notification per executed task.
+	// Observer, when non-nil, receives a notification per executed task. An
+	// Observer that also implements core.SchedObserver additionally receives
+	// per-task queue timing (enqueue and dispatch instants).
 	Observer core.Observer
 }
 
 // Controller executes task graphs in MPI style. Create one, Initialize it
 // with a graph and task map, register callbacks, then Run.
 type Controller struct {
-	opt   Options
-	graph core.TaskGraph
-	tmap  core.TaskMap
-	reg   *core.Registry
+	opt      Options
+	graph    core.TaskGraph
+	tmap     core.TaskMap
+	reg      *core.Registry
+	prio     *core.CriticalPaths
+	schedObs core.SchedObserver
 
 	// Stats from the last Run.
 	lastStats fabric.Stats
@@ -62,9 +92,13 @@ type Controller struct {
 // New returns an MPI controller with the given options.
 func New(opt Options) *Controller {
 	if opt.Workers <= 0 {
-		opt.Workers = 4
+		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Controller{opt: opt, reg: core.NewRegistry()}
+	c := &Controller{opt: opt, reg: core.NewRegistry()}
+	if so, ok := opt.Observer.(core.SchedObserver); ok {
+		c.schedObs = so
+	}
+	return c
 }
 
 // Initialize implements core.Controller. The task map is required: it
@@ -84,7 +118,11 @@ func (c *Controller) Initialize(g core.TaskGraph, m core.TaskMap) error {
 	if err := core.ValidateMap(g, m); err != nil {
 		return err
 	}
-	c.graph, c.tmap = g, m
+	prio, err := core.CriticalPathsFor(g)
+	if err != nil {
+		return err
+	}
+	c.graph, c.tmap, c.prio = g, m, prio
 	return nil
 }
 
@@ -98,6 +136,30 @@ func (c *Controller) RegisterCallback(cb core.CallbackId, fn core.Callback) erro
 
 // Stats returns the inter-rank traffic of the last Run.
 func (c *Controller) Stats() fabric.Stats { return c.lastStats }
+
+// budget returns the worker count for a run over the given rank count,
+// bounded by the number of tasks that can ever be in flight.
+func (c *Controller) budget(ranks int) int {
+	n := c.opt.Workers
+	if size := c.graph.Size(); n > size {
+		n = size
+	}
+	if n < 1 {
+		n = 1
+	}
+	if c.opt.NoSteal && n < ranks {
+		// Without stealing every rank needs a homed worker of its own.
+		n = ranks
+	}
+	return n
+}
+
+// newPool builds the shared work-stealing executor for a run over ranks.
+func (c *Controller) newPool(ranks int) *fabric.Pool {
+	n := c.budget(ranks)
+	return fabric.NewPool(ranks, fabric.RoundRobinHomes(n, ranks),
+		fabric.PoolOptions{FIFO: c.opt.FIFO, NoSteal: c.opt.NoSteal})
+}
 
 // Run implements core.Controller.
 func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
@@ -118,6 +180,10 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 	} else {
 		fab = fabric.New(ranks)
 	}
+	var pool *fabric.Pool
+	if !c.opt.Inline {
+		pool = c.newPool(ranks)
+	}
 
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
@@ -137,12 +203,15 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := c.runRank(rank, fab, abort, initial, results, &resMu); err != nil {
+			if err := c.runRank(rank, fab, pool, abort, initial, results, &resMu); err != nil {
 				abort(err)
 			}
 		}(r)
 	}
 	wg.Wait()
+	if pool != nil {
+		pool.Close()
+	}
 
 	c.lastStats = fab.Snapshot()
 	errMu.Lock()
@@ -166,9 +235,11 @@ func (c *Controller) Fingerprint() core.Fingerprint {
 
 // RunRank executes exactly one rank of the dataflow over the provided
 // transport — the multi-process entry point. Where Run spawns every rank as
-// a goroutine over an in-memory fabric, RunRank drives a single rank whose
-// peers live behind the transport (other OS processes over the TCP fabric,
-// or other in-process RunRank calls sharing a transport per rank).
+// a goroutine over an in-memory fabric sharing one work-stealing executor,
+// RunRank drives a single rank whose peers live behind the transport (other
+// OS processes over the TCP fabric, or other in-process RunRank calls
+// sharing a transport per rank); its executor serves only the local rank,
+// so the worker budget applies per process.
 //
 // initial must contain exactly the external inputs of this rank's tasks.
 // RunRank returns the sink outputs produced by local tasks. On any local
@@ -195,6 +266,25 @@ func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.Tas
 		return nil, err
 	}
 
+	var pool *fabric.Pool
+	if !c.opt.Inline {
+		// All workers home on the one local rank; peer deques stay empty.
+		n := c.opt.Workers
+		if local := len(c.tmap.Ids(core.ShardId(rank))); n > local {
+			n = local
+		}
+		if n < 1 {
+			n = 1
+		}
+		homes := make([]int, n)
+		for i := range homes {
+			homes[i] = rank
+		}
+		pool = fabric.NewPool(tr.Ranks(), homes,
+			fabric.PoolOptions{FIFO: c.opt.FIFO, NoSteal: c.opt.NoSteal})
+		defer pool.Close()
+	}
+
 	var firstErr error
 	var errMu sync.Mutex
 	abort := func(err error) {
@@ -207,7 +297,7 @@ func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.Tas
 	}
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
-	if err := c.runRank(rank, tr, abort, initial, results, &resMu); err != nil {
+	if err := c.runRank(rank, tr, pool, abort, initial, results, &resMu); err != nil {
 		abort(err)
 	}
 	errMu.Lock()
@@ -253,14 +343,15 @@ func checkLocalInitial(g core.TaskGraph, m core.TaskMap, rank int, initial map[c
 	return nil
 }
 
-// workItem is one ready task handed to the rank's worker pool.
-type workItem struct {
-	task core.Task
-	in   []core.Payload
-}
+// scratchPool recycles the per-execution message scratch slices the workers
+// batch a task's outputs into; with the shared executor workers are no
+// longer rank-scoped, so scratch lives in a pool instead of a worker local.
+var scratchPool = sync.Pool{New: func() any { return new([]fabric.Message) }}
 
-// runRank is the per-rank controller loop.
-func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
+// runRank is the per-rank controller loop: it drains the rank's mailbox,
+// tracks input readiness and dispatches ready tasks into the rank's
+// priority deque on the shared executor (pool is nil only in Inline mode).
+func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
 	local, err := core.LocalGraph(c.graph, c.tmap, core.ShardId(rank))
 	if err != nil {
 		return err
@@ -276,13 +367,8 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), 
 	st := core.NewDataflowState(c.graph)
 	remaining := len(local)
 
-	// Worker pool: a persistent pool of opt.Workers goroutines executes
-	// ready tasks and routes their outputs. The work queue's capacity is
-	// the local task count — the maximum that can ever be dispatched — so
-	// dispatch never blocks and the receive loop keeps draining messages
-	// and accounting inputs while every worker is busy (the "thread pool"
-	// of §IV-A: execution concurrency is bounded by the pool, message
-	// receipt is not). A failing worker records the cause and cancels the
+	// execute runs one ready task on whichever worker picked it up and
+	// routes its outputs. A failing task records the cause and cancels the
 	// fabric so every rank unwinds.
 	execute := func(t core.Task, in []core.Payload, scratch []fabric.Message) []fabric.Message {
 		// Detach private copies of shared fan-out wire forms on the worker,
@@ -303,34 +389,11 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), 
 		return scratch
 	}
 
-	var work chan workItem
-	var workers sync.WaitGroup
-	if !c.opt.Inline {
-		work = make(chan workItem, len(local))
-		n := c.opt.Workers
-		if n > len(local) {
-			n = len(local)
-		}
-		workers.Add(n)
-		for w := 0; w < n; w++ {
-			go func() {
-				defer workers.Done()
-				var scratch []fabric.Message
-				for item := range work {
-					scratch = execute(item.task, item.in, scratch)
-				}
-			}()
-		}
-	}
-	closeOnce := sync.OnceFunc(func() {
-		if work != nil {
-			close(work)
-		}
-	})
-	defer func() {
-		closeOnce()
-		workers.Wait()
-	}()
+	// pend tracks this rank's dispatched-but-unfinished tasks; runRank only
+	// returns once its routes completed, exactly as the old per-rank pool's
+	// Wait did. The executor itself is shared and outlives the rank loop.
+	var pend sync.WaitGroup
+	defer pend.Wait()
 
 	var inlineScratch []fabric.Message
 	dispatch := func(t core.Task, in []core.Payload) {
@@ -338,7 +401,24 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), 
 			inlineScratch = execute(t, in, inlineScratch)
 			return
 		}
-		work <- workItem{task: t, in: in}
+		// Priority dispatch: the deque hands workers the most critical
+		// ready task — the one with the longest downstream chain — not the
+		// oldest (§IV-A schedules greedily; the priority decides among
+		// simultaneously ready tasks and cannot affect outputs).
+		var enq time.Time
+		if c.schedObs != nil {
+			enq = time.Now()
+		}
+		pend.Add(1)
+		pool.Submit(rank, int64(c.prio.Depth(t.Id)), func() {
+			defer pend.Done()
+			if c.schedObs != nil {
+				c.schedObs.TaskQueued(t.Id, enq, time.Now())
+			}
+			sp := scratchPool.Get().(*[]fabric.Message)
+			*sp = execute(t, in, *sp)
+			scratchPool.Put(sp)
+		})
 	}
 
 	// Feed external inputs for local leaf tasks, then dispatch tasks that
@@ -357,10 +437,11 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, abort func(error), 
 		}
 	}
 
-	// Receive loop: every arriving message targets a local task. Tasks are
-	// scheduled greedily, in the order their last input arrives; messages
-	// are drained in batches so a burst costs one mailbox lock, not one
-	// per message.
+	// Receive loop: every arriving message targets a local task. Tasks
+	// become ready in the order their last input arrives and enter the
+	// priority deque; messages are drained in batches so a burst costs one
+	// mailbox lock, not one per message. Dispatch never blocks, so the loop
+	// keeps draining and accounting inputs while every worker is busy.
 	batch := make([]fabric.Message, 64)
 	for remaining > 0 {
 		n, ok := fab.RecvBatch(rank, batch)
@@ -422,6 +503,10 @@ func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, er
 // run, so the whole fan-out costs one serialization and O(destinations)
 // lock acquisitions. The (possibly grown) scratch slice is returned for
 // reuse by the calling worker.
+//
+// rank is the task's home rank (where its inputs were assembled), not the
+// rank of the stealing worker: the in-memory shortcut and the message From
+// field must follow placement, or outputs would change with the schedule.
 func (c *Controller) route(rank int, fab fabric.Transport, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex, scratch []fabric.Message) ([]fabric.Message, error) {
 	batch := scratch[:0]
 	for slot, consumers := range t.Outgoing {

@@ -1,0 +1,185 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// chainVsLeaves builds the starvation shape of the scheduler issue: a deep
+// chain head competing with a burst of wide independent leaves, everything
+// funneling into one final sink.
+//
+//	leaves l0..l(width-1)  --\
+//	                          sink
+//	head -> c1 -> ... -> c(depth-1) --/
+//
+// All leaves and the chain head are ready at t=0. A FIFO dispatcher drains
+// in submission order, so with the head submitted last the whole chain
+// waits behind every leaf; the critical-path scheduler runs the head first
+// (depth+1 levels of downstream work vs. the leaves' 2).
+func chainVsLeaves(width, depth int) (core.TaskGraph, []core.TaskId, []core.TaskId) {
+	var tasks []core.Task
+	var leaves []core.TaskId
+	sink := core.TaskId(width + depth)
+	for i := 0; i < width; i++ {
+		id := core.TaskId(i)
+		leaves = append(leaves, id)
+		tasks = append(tasks, core.Task{
+			Id: id, Callback: 0,
+			Incoming: []core.TaskId{core.ExternalInput},
+			Outgoing: [][]core.TaskId{{sink}},
+		})
+	}
+	var chain []core.TaskId
+	for i := 0; i < depth; i++ {
+		id := core.TaskId(width + i)
+		chain = append(chain, id)
+		in := core.ExternalInput
+		if i > 0 {
+			in = id - 1
+		}
+		out := sink
+		if i < depth-1 {
+			out = id + 1
+		}
+		tasks = append(tasks, core.Task{
+			Id: id, Callback: 0,
+			Incoming: []core.TaskId{in},
+			Outgoing: [][]core.TaskId{{out}},
+		})
+	}
+	sinkIn := append([]core.TaskId{}, leaves...)
+	sinkIn = append(sinkIn, chain[depth-1])
+	tasks = append(tasks, core.Task{
+		Id: sink, Callback: 0,
+		Incoming: sinkIn,
+		Outgoing: [][]core.TaskId{{}},
+	})
+	return core.NewExplicitGraph(tasks), leaves, chain
+}
+
+// runChainVsLeaves executes the shape on one rank with a single worker and
+// returns how many leaves ran before the chain's first task.
+func runChainVsLeaves(t *testing.T, fifo bool) int {
+	t.Helper()
+	const width, depth = 24, 8
+	g, leaves, chain := chainVsLeaves(width, depth)
+
+	log := core.NewExecutionLog()
+	ctrl := New(Options{Workers: 1, FIFO: fifo, Observer: log})
+	if err := ctrl.Initialize(g, core.NewModuloMap(1, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RegisterCallback(0, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		time.Sleep(50 * time.Microsecond)
+		tk, _ := g.Task(id)
+		return make([]core.Payload, len(tk.Outgoing)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range leaves {
+		initial[id] = []core.Payload{{}}
+	}
+	initial[chain[0]] = []core.Payload{{}}
+	if _, err := ctrl.Run(initial); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != g.Size() {
+		t.Fatalf("executed %d of %d tasks", log.Len(), g.Size())
+	}
+	before := 0
+	for _, id := range log.Order {
+		if id == chain[0] {
+			return before
+		}
+		if int(id) < width {
+			before++
+		}
+	}
+	t.Fatal("chain head never executed")
+	return 0
+}
+
+// TestPriorityAvoidsChainStarvation is the starvation regression test of
+// the scheduler issue: under FIFO dispatch the deep chain's head runs after
+// (nearly) every leaf; under critical-path priority it runs (nearly) first.
+// The bounds are generous — the receive loop may dispatch a couple of tasks
+// before the queue fills — but the two disciplines must land on opposite
+// ends.
+func TestPriorityAvoidsChainStarvation(t *testing.T) {
+	const width = 24
+	if before := runChainVsLeaves(t, true); before < width/2 {
+		t.Errorf("FIFO: only %d of %d leaves ran before the chain head — scenario no longer exercises starvation", before, width)
+	}
+	if before := runChainVsLeaves(t, false); before > width/2 {
+		t.Errorf("priority: %d of %d leaves ran before the chain head, want the head scheduled early", before, width)
+	}
+}
+
+// TestSchedObserverTiming verifies the controller reports queue timing to a
+// SchedObserver: enqueue must not be after start, and every task must be
+// reported exactly once.
+type timingObs struct {
+	mu    sync.Mutex
+	seen  map[core.TaskId]int
+	bad   int
+	tasks int
+}
+
+func (o *timingObs) TaskExecuted(id core.TaskId, shard core.ShardId, cb core.CallbackId) {
+	o.mu.Lock()
+	o.tasks++
+	o.mu.Unlock()
+}
+
+func (o *timingObs) TaskQueued(id core.TaskId, enqueued, started time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.seen[id]++
+	if started.Before(enqueued) {
+		o.bad++
+	}
+}
+
+func TestSchedObserverTiming(t *testing.T) {
+	g, leaves, chain := chainVsLeaves(8, 4)
+	obs := &timingObs{seen: make(map[core.TaskId]int)}
+	ctrl := New(Options{Workers: 2, Observer: obs})
+	if err := ctrl.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RegisterCallback(0, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		tk, _ := g.Task(id)
+		return make([]core.Payload, len(tk.Outgoing)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range leaves {
+		initial[id] = []core.Payload{{}}
+	}
+	initial[chain[0]] = []core.Payload{{}}
+	if _, err := ctrl.Run(initial); err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.seen) != g.Size() {
+		t.Errorf("TaskQueued reported %d tasks, want %d", len(obs.seen), g.Size())
+	}
+	for id, n := range obs.seen {
+		if n != 1 {
+			t.Errorf("task %d queued %d times", id, n)
+		}
+	}
+	if obs.bad != 0 {
+		t.Errorf("%d tasks started before they were enqueued", obs.bad)
+	}
+	if obs.tasks != g.Size() {
+		t.Errorf("TaskExecuted reported %d tasks, want %d", obs.tasks, g.Size())
+	}
+}

@@ -205,10 +205,14 @@ func densify(g core.TaskGraph) (*denseGraph, error) {
 	return d, nil
 }
 
-// readyItem orders the scheduler's ready queue by time, then task index for
-// determinism.
+// readyItem orders the scheduler's ready queue by time, then critical-path
+// priority (deepest downstream chain first — the same core.CriticalPathsFor
+// annotation the real MPI controller dispatches by, so the simulator and
+// the controller rank simultaneously ready tasks identically), then task
+// index for determinism.
 type readyItem struct {
 	at  float64
+	pri int
 	idx int
 }
 
@@ -218,6 +222,9 @@ func (h readyHeap) Len() int { return len(h) }
 func (h readyHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
 	}
 	return h[i].idx < h[j].idx
 }
@@ -234,6 +241,10 @@ func (h *readyHeap) pop() readyItem    { return heap.Pop(h).(readyItem) }
 // "each task is started as soon as all its input data has been received".
 func executeList(w Workload, m Machine, o Overheads) (Result, error) {
 	dg, err := densify(w.Graph)
+	if err != nil {
+		return Result{}, err
+	}
+	prio, err := core.CriticalPathsFor(w.Graph)
 	if err != nil {
 		return Result{}, err
 	}
@@ -258,7 +269,7 @@ func executeList(w Workload, m Machine, o Overheads) (Result, error) {
 		}
 		missing[i] = cnt
 		if cnt == 0 {
-			ready.push(readyItem{at: 0, idx: i})
+			ready.push(readyItem{at: 0, pri: prio.Depth(t.Id), idx: i})
 		}
 	}
 
@@ -367,7 +378,7 @@ func executeList(w Workload, m Machine, o Overheads) (Result, error) {
 				}
 				missing[ci]--
 				if missing[ci] == 0 {
-					ready.push(readyItem{at: arrival[ci], idx: ci})
+					ready.push(readyItem{at: arrival[ci], pri: prio.Depth(c), idx: ci})
 				}
 			}
 		}

@@ -16,14 +16,23 @@ import (
 	"github.com/babelflow/babelflow-go/internal/core"
 )
 
-// Span is one task execution: wall-clock start and end of the callback and
-// the shard that ran it.
+// Span is one task execution: wall-clock start and end of the callback, the
+// shard that ran it, and its scheduling context — how long the ready task
+// waited in the dispatch queue, and how far off the graph's critical path
+// it sits.
 type Span struct {
 	Task     core.TaskId
 	Callback core.CallbackId
 	Shard    core.ShardId
 	Start    time.Time
 	End      time.Time
+	// QueueWait is the time between the task becoming ready (entering the
+	// dispatch queue) and a worker picking it up. Zero for controllers
+	// without a queue (serial, inline) or without a SchedObserver hookup.
+	QueueWait time.Duration
+	// Slack is the task's critical-path slack in levels (0 = on a critical
+	// path). Filled by AnnotateSlack; zero until then.
+	Slack int
 }
 
 // Duration returns the span's length.
@@ -37,11 +46,16 @@ type Recorder struct {
 	spans  map[core.TaskId]*Span
 	order  []core.TaskId
 	shards map[core.TaskId]core.ShardId
+	queued map[core.TaskId]time.Duration
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{spans: make(map[core.TaskId]*Span), shards: make(map[core.TaskId]core.ShardId)}
+	return &Recorder{
+		spans:  make(map[core.TaskId]*Span),
+		shards: make(map[core.TaskId]core.ShardId),
+		queued: make(map[core.TaskId]time.Duration),
+	}
 }
 
 // Wrap instruments a callback: each execution records its span under the
@@ -53,7 +67,7 @@ func (r *Recorder) Wrap(cb core.CallbackId, fn core.Callback) core.Callback {
 		end := time.Now()
 		if err == nil {
 			r.mu.Lock()
-			r.spans[id] = &Span{Task: id, Callback: cb, Shard: r.shards[id], Start: start, End: end}
+			r.spans[id] = &Span{Task: id, Callback: cb, Shard: r.shards[id], Start: start, End: end, QueueWait: r.queued[id]}
 			r.order = append(r.order, id)
 			r.mu.Unlock()
 		}
@@ -69,6 +83,20 @@ func (r *Recorder) TaskExecuted(id core.TaskId, shard core.ShardId, cb core.Call
 	r.shards[id] = shard
 	if s, ok := r.spans[id]; ok {
 		s.Shard = shard
+	}
+}
+
+// TaskQueued implements core.SchedObserver: scheduling controllers report
+// when a ready task entered the dispatch queue and when a worker picked it
+// up; the difference becomes the task span's QueueWait. Controllers call it
+// just before the callback runs, so the wait is recorded by the time Wrap
+// stores the span.
+func (r *Recorder) TaskQueued(id core.TaskId, enqueued, started time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queued[id] = started.Sub(enqueued)
+	if s, ok := r.spans[id]; ok {
+		s.QueueWait = r.queued[id]
 	}
 }
 
@@ -96,6 +124,23 @@ func (r *Recorder) Reset() {
 	r.spans = make(map[core.TaskId]*Span)
 	r.order = nil
 	r.shards = make(map[core.TaskId]core.ShardId)
+	r.queued = make(map[core.TaskId]time.Duration)
+}
+
+// AnnotateSlack fills each span's Slack field from the graph's critical-path
+// analysis: 0 means the task lies on a critical path, larger values mean
+// the task could be delayed that many levels without stretching the
+// makespan. Queue wait on zero-slack spans is schedule-induced makespan
+// loss; queue wait on high-slack spans is harmless.
+func AnnotateSlack(g core.TaskGraph, spans []Span) error {
+	cp, err := core.CriticalPathsFor(g)
+	if err != nil {
+		return err
+	}
+	for i := range spans {
+		spans[i].Slack = cp.Slack(spans[i].Task)
+	}
+	return nil
 }
 
 // Summary aggregates a trace.
@@ -111,6 +156,13 @@ type Summary struct {
 	// CriticalPath is the longest dependency chain of measured durations
 	// (a lower bound on any schedule of this execution's costs).
 	CriticalPath time.Duration
+	// QueueWait is the summed time tasks spent ready-but-waiting in the
+	// dispatch queue.
+	QueueWait time.Duration
+	// CriticalQueueWait is the queue wait summed over zero-slack tasks only
+	// — the portion of QueueWait that directly stretches the makespan, the
+	// quantity the priority scheduler drives down.
+	CriticalQueueWait time.Duration
 }
 
 // Utilization returns busy/(wall*shards) over the shards that ran tasks.
@@ -137,6 +189,10 @@ func Summarize(g core.TaskGraph, spans []Span) (Summary, error) {
 	if len(spans) == 0 {
 		return sum, nil
 	}
+	cp, err := core.CriticalPathsFor(g)
+	if err != nil {
+		return Summary{}, err
+	}
 	byTask := make(map[core.TaskId]Span, len(spans))
 	first, last := spans[0].Start, spans[0].End
 	for _, s := range spans {
@@ -144,6 +200,10 @@ func Summarize(g core.TaskGraph, spans []Span) (Summary, error) {
 		sum.Tasks++
 		sum.Busy[s.Shard] += s.Duration()
 		sum.ByCallback[s.Callback] += s.Duration()
+		sum.QueueWait += s.QueueWait
+		if cp.Slack(s.Task) == 0 {
+			sum.CriticalQueueWait += s.QueueWait
+		}
 		if s.Start.Before(first) {
 			first = s.Start
 		}
@@ -192,10 +252,10 @@ func Summarize(g core.TaskGraph, spans []Span) (Summary, error) {
 }
 
 // WriteCSV emits the spans as CSV rows (task, callback, shard, start_ns,
-// end_ns, duration_ns) relative to the first start, suitable for Gantt
-// plotting.
+// end_ns, duration_ns, queue_wait_ns, slack) relative to the first start,
+// suitable for Gantt plotting.
 func WriteCSV(w io.Writer, spans []Span) error {
-	if _, err := fmt.Fprintln(w, "task,callback,shard,start_ns,end_ns,duration_ns"); err != nil {
+	if _, err := fmt.Fprintln(w, "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack"); err != nil {
 		return err
 	}
 	if len(spans) == 0 {
@@ -208,10 +268,10 @@ func WriteCSV(w io.Writer, spans []Span) error {
 		}
 	}
 	for _, s := range spans {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d\n",
 			s.Task, s.Callback, s.Shard,
 			s.Start.Sub(epoch).Nanoseconds(), s.End.Sub(epoch).Nanoseconds(),
-			s.Duration().Nanoseconds())
+			s.Duration().Nanoseconds(), s.QueueWait.Nanoseconds(), s.Slack)
 		if err != nil {
 			return err
 		}

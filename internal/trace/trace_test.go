@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -84,11 +85,15 @@ func TestSummarize(t *testing.T) {
 	if sum.Wall <= 0 {
 		t.Error("Wall must be positive")
 	}
-	// The MPI controller overlaps up to 4 tasks per rank (its default
-	// worker pool), so utilization lies in (0, 4].
+	// The MPI controller's shared executor runs at most GOMAXPROCS tasks
+	// concurrently (the default worker budget), so busy time is bounded by
+	// wall * budget and utilization by budget (over >= 1 shard).
 	u := sum.Utilization()
-	if u <= 0 || u > 4.0001 {
-		t.Errorf("utilization = %f", u)
+	if max := float64(runtime.GOMAXPROCS(0)); u <= 0 || u > max+0.0001 {
+		t.Errorf("utilization = %f, budget %f", u, max)
+	}
+	if sum.QueueWait < 0 || sum.CriticalQueueWait < 0 || sum.CriticalQueueWait > sum.QueueWait {
+		t.Errorf("queue waits: total %v, critical %v", sum.QueueWait, sum.CriticalQueueWait)
 	}
 	// Critical path of a 31-task binary reduction with equal task costs is
 	// 5 levels deep: it must be at least 5x the min task duration and at
@@ -139,7 +144,7 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "task,callback,shard,start_ns,end_ns,duration_ns" {
+	if lines[0] != "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if len(lines) != 1+len(rec.Spans()) {
@@ -152,6 +157,65 @@ func TestWriteCSV(t *testing.T) {
 	var empty strings.Builder
 	if err := WriteCSV(&empty, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQueueWaitRecorded runs 15 sleeping tasks through a single worker: all
+// but the running task wait in the dispatch queue, so the recorder (wired
+// as the controller's SchedObserver) must see positive queue wait. In a
+// complete reduction every task lies on a critical path, so the critical
+// queue wait equals the total.
+func TestQueueWaitRecorded(t *testing.T) {
+	g, _ := graphs.NewReduction(8, 2)
+	rec := NewRecorder()
+	c := mpi.New(mpi.Options{Observer: rec, Workers: 1})
+	if err := c.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	work := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		time.Sleep(200 * time.Microsecond)
+		return []core.Payload{core.Buffer([]byte{1})}, nil
+	}
+	for _, cb := range g.Callbacks() {
+		c.RegisterCallback(cb, rec.Wrap(cb, work))
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range g.LeafIds() {
+		initial[id] = []core.Payload{core.Buffer([]byte{2})}
+	}
+	if _, err := c.Run(initial); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(g, rec.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.QueueWait <= 0 {
+		t.Errorf("QueueWait = %v, want > 0 with one worker and %d sleeping tasks", sum.QueueWait, g.Size())
+	}
+	if sum.CriticalQueueWait != sum.QueueWait {
+		t.Errorf("reduction tasks all have zero slack: critical wait %v != total %v", sum.CriticalQueueWait, sum.QueueWait)
+	}
+}
+
+func TestAnnotateSlack(t *testing.T) {
+	// A -> B -> C with a side leaf L -> C: depths are A=3, B=2, C=1, L=2,
+	// so L is one level off the critical path and everything else is on it.
+	g := core.NewExplicitGraph([]core.Task{
+		{Id: 0, Callback: 0, Incoming: []core.TaskId{core.ExternalInput}, Outgoing: [][]core.TaskId{{1}}},
+		{Id: 1, Callback: 0, Incoming: []core.TaskId{0}, Outgoing: [][]core.TaskId{{2}}},
+		{Id: 2, Callback: 0, Incoming: []core.TaskId{1, 3}, Outgoing: [][]core.TaskId{{}}},
+		{Id: 3, Callback: 0, Incoming: []core.TaskId{core.ExternalInput}, Outgoing: [][]core.TaskId{{2}}},
+	})
+	spans := []Span{{Task: 0}, {Task: 1}, {Task: 2}, {Task: 3}}
+	if err := AnnotateSlack(g, spans); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1}
+	for i, s := range spans {
+		if s.Slack != want[i] {
+			t.Errorf("task %d slack = %d, want %d", s.Task, s.Slack, want[i])
+		}
 	}
 }
 
