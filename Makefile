@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire bench-sched figures smoke-wire
+.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults figures smoke-wire smoke-faults
 
-## check: the CI gate — vet, build, and the full test suite under the race
-## detector.
-check: vet build race
+## check: the CI gate — vet, build, the full test suite under the race
+## detector, and the fault-injection smoke (kill one peer, recover, verify
+## the sinks against serial).
+check: vet build race smoke-faults
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,12 @@ bench-wire:
 bench-sched:
 	$(GO) run ./cmd/bfbench -sched
 
+## bench-faults: regenerate the recovery benchmark report — figure
+## workloads on 4 ranks over loopback TCP, failure free vs one peer killed
+## on the first epoch (BENCH_faults.json; baseline_seed preserved).
+bench-faults:
+	$(GO) run ./cmd/bfbench -faults
+
 ## figures: regenerate the paper's evaluation figures.
 figures:
 	$(GO) run ./cmd/bfbench
@@ -45,3 +52,9 @@ smoke-wire:
 	./bin/bfrun -case mergetree -runtime mpi -transport tcp -ranks 4
 	./bin/bfrun -case render   -runtime mpi -transport tcp -ranks 4
 	./bin/bfrun -case register -runtime mpi -transport tcp -ranks 4
+
+## smoke-faults: run every use case on 4 ranks with one peer killed on the
+## first epoch, recover via lineage-ledger replay, and verify the recovered
+## sink digests byte-for-byte against the serial reference.
+smoke-faults:
+	$(GO) run ./cmd/bfrun -faults

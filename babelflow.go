@@ -24,13 +24,20 @@
 //
 //	graph, _ := babelflow.NewReduction(blocks, valence)
 //	taskMap := babelflow.NewModuloMap(ranks, graph.Size())
-//	c := babelflow.NewMPI(babelflow.MPIOptions{})
+//	c := babelflow.NewMPI(babelflow.WithWorkers(workers))
 //	c.Initialize(graph, taskMap)
-//	cids := graph.Callbacks()
-//	c.RegisterCallback(cids[0], volumeRender) // leaves
-//	c.RegisterCallback(cids[1], composite)    // internal nodes
-//	c.RegisterCallback(cids[2], writeImage)   // root
+//	babelflow.RegisterCallbacks(c, graph, map[babelflow.Role]babelflow.Callback{
+//		babelflow.RoleLeaf:  volumeRender, // one per block
+//		babelflow.RoleInner: composite,    // internal nodes
+//		babelflow.RoleRoot:  writeImage,   // root
+//	})
 //	results, err := c.Run(initialInputs)
+//
+// Runs can be bounded and made fault tolerant: every controller implements
+// RunContext (cancellation and deadlines, with errors testable against
+// ErrCancelled), and the MPI controller additionally offers replay-based
+// peer-loss recovery via its RunRecover method, governed by a RetryPolicy
+// (see WithRetry).
 package babelflow
 
 import (
@@ -74,6 +81,44 @@ type (
 
 // ExternalInput marks dataflow inputs provided from outside the graph.
 const ExternalInput = core.ExternalInput
+
+// Role names the structural position a callback fills in a graph prototype,
+// replacing positional registration by index into Callbacks().
+type Role = core.Role
+
+// Roles used by the built-in graph prototypes.
+const (
+	RoleLeaf    = core.RoleLeaf
+	RoleInner   = core.RoleInner
+	RoleRoot    = core.RoleRoot
+	RoleSource  = core.RoleSource
+	RoleRelay   = core.RoleRelay
+	RoleSink    = core.RoleSink
+	RoleFinal   = core.RoleFinal
+	RoleExtract = core.RoleExtract
+	RoleProcess = core.RoleProcess
+)
+
+// RegisterCallbacks registers one callback per named role of the graph —
+// the self-documenting replacement for registering by position in
+// Callbacks(). Every role the graph defines must be implemented.
+func RegisterCallbacks(c core.CallbackRegistrar, g TaskGraph, impls map[Role]Callback) error {
+	return core.RegisterCallbacks(c, g, impls)
+}
+
+// Typed errors of the execution layer.
+var (
+	// ErrCancelled marks a RunContext aborted by context cancellation or
+	// deadline expiry; test with errors.Is.
+	ErrCancelled = core.ErrCancelled
+	// ErrRetriesExhausted marks a fault-tolerant run that failed on every
+	// attempt its retry policy allowed.
+	ErrRetriesExhausted = core.ErrRetriesExhausted
+)
+
+// RetryPolicy bounds fault-tolerant re-execution: attempts, backoff and
+// per-attempt timeout. The zero value selects sensible defaults.
+type RetryPolicy = core.RetryPolicy
 
 // Buffer returns a payload wrapping a binary buffer.
 func Buffer(b []byte) Payload { return core.Buffer(b) }
@@ -155,7 +200,30 @@ func NewGraphBuilder() *GraphBuilder { return graphs.NewBuilder() }
 // Runtime controllers.
 
 // MPIOptions configures the MPI controller.
+//
+// Deprecated: prefer the functional options (WithWorkers, WithRetry,
+// WithTransport, …). MPIOptions itself implements MPIOption — replacing the
+// whole configuration — so existing NewMPI(MPIOptions{...}) call sites keep
+// working.
 type MPIOptions = mpi.Options
+
+// MPIOption configures the MPI controller at construction; see WithWorkers,
+// WithRetry, WithTransport, WithObserver.
+type MPIOption = mpi.Option
+
+// WithWorkers sets the MPI controller's global worker budget.
+func WithWorkers(n int) MPIOption { return mpi.WithWorkers(n) }
+
+// WithRetry sets the retry policy governing the MPI controller's
+// fault-tolerant execution: attempt count, backoff, per-attempt timeout.
+func WithRetry(p RetryPolicy) MPIOption { return mpi.WithRetry(p) }
+
+// WithTransport installs a transport factory — the seam fault injection and
+// custom interconnects plug into.
+func WithTransport(t mpi.TransportFactory) MPIOption { return mpi.WithTransport(t) }
+
+// WithObserver installs the execution observer.
+func WithObserver(obs Observer) MPIOption { return mpi.WithObserver(obs) }
 
 // CharmOptions configures the Charm++ controller.
 type CharmOptions = charm.Options
@@ -167,8 +235,14 @@ type LegionOptions = legion.Options
 // debugging a dataflow, per the paper's over-decomposition property.
 func NewSerial() Controller { return core.NewSerial() }
 
-// NewMPI returns the MPI runtime controller (§IV-A).
-func NewMPI(opt MPIOptions) Controller { return mpi.New(opt) }
+// NewMPI returns the MPI runtime controller (§IV-A), configured by
+// functional options applied left to right:
+//
+//	babelflow.NewMPI(babelflow.WithWorkers(8), babelflow.WithRetry(policy))
+//
+// The legacy struct form NewMPI(babelflow.MPIOptions{...}) remains valid
+// (the struct implements MPIOption).
+func NewMPI(opts ...MPIOption) Controller { return mpi.New(opts...) }
 
 // NewCharm returns the Charm++ runtime controller (§IV-B).
 func NewCharm(opt CharmOptions) Controller { return charm.New(opt) }

@@ -10,6 +10,7 @@
 //	bfbench -format csv     # machine-readable output
 //	bfbench -fastpath       # message fast-path microbenchmarks -> BENCH_fastpath.json
 //	bfbench -wire           # transport benchmarks (in-memory vs loopback TCP) -> BENCH_net.json
+//	bfbench -faults         # recovery benchmarks (failure-free vs one peer killed) -> BENCH_faults.json
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		wireOut     = flag.String("wire-out", "BENCH_net.json", "report path for -wire (baseline_seed is preserved)")
 		schedBench  = flag.Bool("sched", false, "run the scheduler makespan benchmarks (FIFO vs priority vs priority+stealing) instead of the figures")
 		schedOut    = flag.String("sched-out", "BENCH_sched.json", "report path for -sched (baseline_seed is preserved)")
+		faultsBench = flag.Bool("faults", false, "run the recovery benchmarks (failure-free vs one peer killed) instead of the figures")
+		faultsOut   = flag.String("faults-out", "BENCH_faults.json", "report path for -faults (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,12 @@ func main() {
 	}
 	if *schedBench {
 		if err := runSched(*schedOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *faultsBench {
+		if err := runFaultsBench(*faultsOut); err != nil {
 			log.Fatal(err)
 		}
 		return

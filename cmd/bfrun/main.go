@@ -39,6 +39,9 @@ func main() {
 		ranks     = flag.Int("ranks", 4, "worker processes for -transport tcp")
 		wireRank  = flag.Int("wire-rank", -1, "internal: run as TCP worker for this rank")
 		wireAddr  = flag.String("wire-addr", "", "internal: rendezvous address for -wire-rank")
+		faults    = flag.Bool("faults", false, "run under fault injection: kill one peer, recover via replay, verify against serial")
+		killRank  = flag.Int("kill-rank", 1, "with -faults: the rank to kill")
+		killAfter = flag.Int("kill-after", 0, "with -faults: inter-rank messages the victim sends before dying")
 	)
 	flag.Parse()
 	traceCSV = *traceTo
@@ -46,6 +49,14 @@ func main() {
 
 	if *wireRank >= 0 {
 		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *n, *blocks)
+		return
+	}
+	if *faults {
+		uc := *useCase
+		if !isFlagSet("case") {
+			uc = "all"
+		}
+		runFaults(uc, *ranks, *n, *blocks, *killRank, *killAfter)
 		return
 	}
 	if *transport == "tcp" {
@@ -66,6 +77,17 @@ func main() {
 	default:
 		log.Fatalf("bfrun: unknown use case %q", *useCase)
 	}
+}
+
+// isFlagSet reports whether the user passed the named flag explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func controller(runtime string, shards int) babelflow.Controller {

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	babelflow "github.com/babelflow/babelflow-go"
 	"github.com/babelflow/babelflow-go/internal/data"
@@ -81,7 +83,12 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				out, err := shard.Run(local)
+				// A deadline bounds how long the simulation will wait for the
+				// analysis: a stuck dataflow cancels (with an error testable
+				// against babelflow.ErrCancelled) instead of stalling the run.
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				out, err := shard.RunContext(ctx, local)
+				cancel()
 				if err != nil {
 					log.Fatalf("rank %d: %v", rank, err)
 				}

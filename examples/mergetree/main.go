@@ -76,7 +76,7 @@ func main() {
 		name string
 		c    babelflow.Controller
 	}{
-		{"mpi", babelflow.NewMPI(babelflow.MPIOptions{})},
+		{"mpi", babelflow.NewMPI(babelflow.WithWorkers(*shards))},
 		{"charm++", babelflow.NewCharm(babelflow.CharmOptions{PEs: *shards, LBPeriod: 8})},
 	} {
 		if err := entry.c.Initialize(graph, babelflow.NewGraphMap(*shards, graph)); err != nil {

@@ -95,7 +95,7 @@ func main() {
 		c    babelflow.Controller
 	}{
 		{"serial", babelflow.NewSerial()},
-		{"mpi", babelflow.NewMPI(babelflow.MPIOptions{})},
+		{"mpi", babelflow.NewMPI(babelflow.WithWorkers(4))},
 		{"charm++", babelflow.NewCharm(babelflow.CharmOptions{PEs: 4, LBPeriod: 4})},
 		{"legion-spmd", babelflow.NewLegionSPMD(babelflow.LegionOptions{})},
 		{"legion-il", babelflow.NewLegionIndexLaunch(babelflow.LegionOptions{})},
@@ -104,10 +104,14 @@ func main() {
 		if err := entry.c.Initialize(graph, taskMap); err != nil {
 			log.Fatalf("%s: %v", entry.name, err)
 		}
-		cids := graph.Callbacks()
-		entry.c.RegisterCallback(cids[0], localStats) // leaves
-		entry.c.RegisterCallback(cids[1], merge)      // internal nodes
-		entry.c.RegisterCallback(cids[2], merge)      // root
+		// One callback per named role of the reduction prototype.
+		if err := babelflow.RegisterCallbacks(entry.c, graph, map[babelflow.Role]babelflow.Callback{
+			babelflow.RoleLeaf:  localStats, // per-block statistics
+			babelflow.RoleInner: merge,      // internal nodes
+			babelflow.RoleRoot:  merge,      // root
+		}); err != nil {
+			log.Fatalf("%s: %v", entry.name, err)
+		}
 		out, err := entry.c.Run(initialFor(graph))
 		if err != nil {
 			log.Fatalf("%s: %v", entry.name, err)

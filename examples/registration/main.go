@@ -55,7 +55,7 @@ func main() {
 		}
 	}
 
-	c := babelflow.NewMPI(babelflow.MPIOptions{})
+	c := babelflow.NewMPI(babelflow.WithWorkers(*shards))
 	if err := c.Initialize(graph, babelflow.NewModuloMap(*shards, graph.Size())); err != nil {
 		log.Fatal(err)
 	}

@@ -55,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mc := babelflow.NewMPI(babelflow.MPIOptions{})
+	mc := babelflow.NewMPI(babelflow.WithWorkers(*shards))
 	if err := mc.Initialize(red, babelflow.NewModuloMap(*shards, red.Size())); err != nil {
 		log.Fatal(err)
 	}

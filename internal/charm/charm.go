@@ -14,6 +14,7 @@
 package charm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,13 @@ type charmRun struct {
 
 // Run implements core.Controller.
 func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.RunContext(context.Background(), initial)
+}
+
+// RunContext implements core.Controller: a finished context aborts the run
+// (cancelling the fabric so every PE loop unwinds) and the error wraps
+// core.ErrCancelled.
+func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	if c.graph == nil {
 		return nil, core.ErrNotInitialized
 	}
@@ -173,6 +181,16 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 			r.fab.Send(fabric.Message{From: ch.owner, To: ch.owner, Src: core.ExternalInput, Dest: id, Payload: core.Payload{}})
 		}
 	}
+
+	stopc := make(chan struct{})
+	defer close(stopc)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.abort(core.Cancelled(ctx))
+		case <-stopc:
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for pe := 0; pe < c.opt.PEs; pe++ {

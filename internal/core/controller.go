@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,8 +37,15 @@ type Controller interface {
 	RegisterCallback(cb CallbackId, fn Callback) error
 	// Run feeds the initial external inputs to the leaf tasks, executes the
 	// dataflow to completion and returns the payloads produced on sink
-	// output slots, keyed by the producing task.
+	// output slots, keyed by the producing task. It is RunContext with a
+	// background context.
 	Run(initial map[TaskId][]Payload) (map[TaskId][]Payload, error)
+	// RunContext is Run with cancellation and deadline propagation: when the
+	// context ends, worker pools stop picking up tasks, transports are
+	// cancelled, and the call returns an error wrapping ErrCancelled (test
+	// with errors.Is). Like Run, it blocks until the dataflow completes or
+	// aborts.
+	RunContext(ctx context.Context, initial map[TaskId][]Payload) (map[TaskId][]Payload, error)
 }
 
 // Sentinel errors shared by all controllers.

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.MaxAttempts != 3 || p.BaseBackoff != 50*time.Millisecond || p.MaxBackoff != 2*time.Second || p.Jitter != 0.2 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if p.AttemptTimeout != 0 {
+		t.Errorf("default AttemptTimeout = %v, want disabled", p.AttemptTimeout)
+	}
+	// Explicit values survive.
+	q := RetryPolicy{MaxAttempts: 7, BaseBackoff: time.Second, Jitter: -1}.WithDefaults()
+	if q.MaxAttempts != 7 || q.BaseBackoff != time.Second || q.Jitter != 0 {
+		t.Errorf("explicit = %+v", q)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: -1}
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.Backoff(attempt)
+		if d < prev {
+			t.Errorf("attempt %d: backoff %v shrank below %v", attempt, d, prev)
+		}
+		if d > 80*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v exceeds cap", attempt, d)
+		}
+		prev = d
+	}
+	if p.Backoff(1) != 10*time.Millisecond {
+		t.Errorf("first backoff = %v", p.Backoff(1))
+	}
+	// Jitter is deterministic: same attempt, same wait.
+	j := RetryPolicy{BaseBackoff: 10 * time.Millisecond}
+	if j.Backoff(2) != j.Backoff(2) {
+		t.Error("jittered backoff not reproducible")
+	}
+}
+
+func TestRetrySleepCancelled(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := p.Sleep(ctx, 1)
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("Sleep on cancelled ctx: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep did not return promptly on cancellation")
+	}
+}
+
+func TestCancelledPreservesCause(t *testing.T) {
+	cause := errors.New("deadline blown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	err := Cancelled(ctx)
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("Cancelled() = %v, want ErrCancelled", err)
+	}
+	if !strings.Contains(err.Error(), cause.Error()) {
+		t.Errorf("cause lost: %v", err)
+	}
+}
+
+func TestLedgerRecordReplay(t *testing.T) {
+	l := NewLedger()
+	if _, ok := l.Outputs(1); ok {
+		t.Error("empty ledger claims outputs")
+	}
+	if got := l.BeginAttempt(1); got != 1 {
+		t.Errorf("first attempt = %d", got)
+	}
+	if got := l.BeginAttempt(1); got != 2 {
+		t.Errorf("second attempt = %d", got)
+	}
+	l.Record(1, [][]byte{[]byte("a"), []byte("b")})
+	outs, ok := l.Outputs(1)
+	if !ok || len(outs) != 2 || string(outs[0]) != "a" {
+		t.Errorf("Outputs = %v, %v", outs, ok)
+	}
+	l.CountReplay()
+	if l.Replays() != 1 || l.Executions() != 2 || l.Completed() != 1 || l.Attempts(1) != 2 {
+		t.Errorf("counters: replays=%d execs=%d completed=%d attempts=%d",
+			l.Replays(), l.Executions(), l.Completed(), l.Attempts(1))
+	}
+}
+
+// reassignGraph builds a 8-task chainless graph for map tests.
+func reassignGraph() *ExplicitGraph {
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Id: TaskId(i), Incoming: []TaskId{ExternalInput}, Outgoing: [][]TaskId{{}}}
+	}
+	return NewExplicitGraph(tasks)
+}
+
+func TestReassignShards(t *testing.T) {
+	g := reassignGraph()
+	m := NewGraphMap(4, g)
+	// Kill shard 2: survivors 0,1,3 become logical 0,1,2.
+	next, err := ReassignShards(g, m, []ShardId{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ShardCount() != 3 {
+		t.Fatalf("shard count = %d", next.ShardCount())
+	}
+	logical := map[ShardId]ShardId{0: 0, 1: 1, 3: 2}
+	orphans := 0
+	for _, id := range g.TaskIds() {
+		old := m.Shard(id)
+		got := next.Shard(id)
+		if got < 0 || got >= 3 {
+			t.Fatalf("task %d mapped to shard %d of 3", id, got)
+		}
+		if want, survived := logical[old]; survived {
+			if got != want {
+				t.Errorf("task %d: survivor shard %d renumbered to %d, want %d", id, old, got, want)
+			}
+		} else {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Error("graph map put no task on the killed shard; test is vacuous")
+	}
+}
+
+func TestReassignShardsRejectsBadAlive(t *testing.T) {
+	g := reassignGraph()
+	m := NewGraphMap(4, g)
+	if _, err := ReassignShards(g, m, nil); err == nil {
+		t.Error("empty alive set accepted")
+	}
+	if _, err := ReassignShards(g, m, []ShardId{1, 1}); err == nil {
+		t.Error("duplicate alive shard accepted")
+	}
+}
+
+// roleGraph is a minimal RoledGraph for registration tests.
+type roleGraph struct {
+	*ExplicitGraph
+}
+
+func (roleGraph) CallbackRoles() map[Role]CallbackId {
+	return map[Role]CallbackId{RoleLeaf: 0, RoleRoot: 1}
+}
+
+func newRoleGraph() roleGraph {
+	return roleGraph{NewExplicitGraph([]Task{
+		{Id: 0, Callback: 0, Incoming: []TaskId{ExternalInput}, Outgoing: [][]TaskId{{1}}},
+		{Id: 1, Callback: 1, Incoming: []TaskId{0}, Outgoing: [][]TaskId{{}}},
+	})}
+}
+
+func passCB(in []Payload, id TaskId) ([]Payload, error) {
+	return []Payload{Buffer([]byte{byte(id)})}, nil
+}
+
+func TestRegisterCallbacksByRole(t *testing.T) {
+	g := newRoleGraph()
+	ser := NewSerial()
+	if err := ser.Initialize(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterCallbacks(ser, g, map[Role]Callback{
+		RoleLeaf: passCB,
+		RoleRoot: passCB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ser.Run(map[TaskId][]Payload{0: {Buffer([]byte{9})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("sinks = %d", len(out))
+	}
+}
+
+func TestRegisterCallbacksErrors(t *testing.T) {
+	g := newRoleGraph()
+	ser := NewSerial()
+	ser.Initialize(g, nil)
+
+	err := RegisterCallbacks(ser, g, map[Role]Callback{RoleLeaf: passCB})
+	if err == nil || !strings.Contains(err.Error(), "no callback for role") || !strings.Contains(err.Error(), "root") {
+		t.Errorf("missing role error = %v", err)
+	}
+	err = RegisterCallbacks(ser, g, map[Role]Callback{
+		RoleLeaf: passCB, RoleRoot: passCB, RoleRelay: passCB,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no role") || !strings.Contains(err.Error(), "relay") {
+		t.Errorf("unknown role error = %v", err)
+	}
+	err = RegisterCallbacks(ser, g.ExplicitGraph, map[Role]Callback{RoleLeaf: passCB})
+	if err == nil || !strings.Contains(err.Error(), "does not name callback roles") {
+		t.Errorf("unroled graph error = %v", err)
+	}
+}

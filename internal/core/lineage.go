@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// Ledger is the per-rank lineage record of the fault-tolerance layer: for
+// every task the rank has completed it retains the serialized (wire-form)
+// outputs, so a recovery epoch can replay those outputs downstream without
+// re-running the callback. This is NOT a checkpoint — it exploits the
+// paper's idempotence contract: any task whose outputs were not recorded
+// (or whose rank died) is simply re-executed, and only the undelivered
+// frontier pays the re-execution cost.
+//
+// Recording is best effort: object payloads that do not implement
+// Serializable are skipped and their task re-executes on replay, which is
+// always correct. Recorded buffers are owned by the ledger; callers must
+// copy before mutating or emitting (a replay may happen more than once).
+//
+// A Ledger is safe for concurrent use by the rank's worker pool.
+type Ledger struct {
+	mu       sync.Mutex
+	outs     map[TaskId][][]byte
+	attempts map[TaskId]int
+	replays  int
+	execs    int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		outs:     make(map[TaskId][][]byte),
+		attempts: make(map[TaskId]int),
+	}
+}
+
+// BeginAttempt records that the task is about to execute and returns the
+// attempt number (1 = first execution across all epochs).
+func (l *Ledger) BeginAttempt(id TaskId) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.attempts[id]++
+	l.execs++
+	return l.attempts[id]
+}
+
+// Attempts returns how many times the task has begun executing.
+func (l *Ledger) Attempts(id TaskId) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.attempts[id]
+}
+
+// Record stores the task's serialized outputs (one buffer per output slot).
+// The ledger takes ownership of the buffers.
+func (l *Ledger) Record(id TaskId, outs [][]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.outs[id] = outs
+}
+
+// Outputs returns the recorded wire-form outputs of a completed task, or
+// ok=false when the task must (re-)execute. The returned buffers are owned
+// by the ledger: clone before emitting.
+func (l *Ledger) Outputs(id TaskId) ([][]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	outs, ok := l.outs[id]
+	return outs, ok
+}
+
+// CountReplay accounts one ledger replay (a task whose callback was skipped
+// because its outputs were already recorded).
+func (l *Ledger) CountReplay() {
+	l.mu.Lock()
+	l.replays++
+	l.mu.Unlock()
+}
+
+// Replays returns how many tasks were replayed from the ledger.
+func (l *Ledger) Replays() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replays
+}
+
+// Executions returns how many callback executions the ledger has seen
+// (replays excluded).
+func (l *Ledger) Executions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.execs
+}
+
+// Completed returns how many tasks have recorded outputs.
+func (l *Ledger) Completed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.outs)
+}
+
+// ReassignShards builds the task map of a recovery epoch. alive lists the
+// surviving shards of the original map in ascending order; survivors are
+// renumbered to logical shards 0..len(alive)-1 (keeping their own tasks,
+// so their ledgers stay valid), and every task of a lost shard is
+// redistributed round-robin over the survivors.
+func ReassignShards(g TaskGraph, m TaskMap, alive []ShardId) (TaskMap, error) {
+	if len(alive) == 0 {
+		return nil, errors.New("core: reassign: no surviving shards")
+	}
+	logical := make(map[ShardId]ShardId, len(alive))
+	for i, s := range alive {
+		if _, dup := logical[s]; dup {
+			return nil, errors.New("core: reassign: duplicate surviving shard")
+		}
+		logical[s] = ShardId(i)
+	}
+	ids := g.TaskIds()
+	dest := make(map[TaskId]ShardId, len(ids))
+	rr := 0
+	for _, id := range ids {
+		if l, ok := logical[m.Shard(id)]; ok {
+			dest[id] = l
+		} else {
+			dest[id] = ShardId(rr % len(alive))
+			rr++
+		}
+	}
+	return NewFuncMap(len(alive), ids, func(id TaskId) ShardId { return dest[id] }), nil
+}

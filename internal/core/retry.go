@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed errors of the fault-tolerance layer.
+var (
+	// ErrCancelled marks a run aborted by context cancellation or deadline
+	// expiry: RunContext wraps the context's cause so callers can test with
+	// errors.Is(err, ErrCancelled) regardless of the controller.
+	ErrCancelled = errors.New("core: run cancelled")
+	// ErrRetriesExhausted marks a recovering run that failed on every attempt
+	// the retry policy allowed.
+	ErrRetriesExhausted = errors.New("core: retries exhausted")
+)
+
+// Cancelled returns the typed cancellation error for a context that ended,
+// preserving the cancellation cause for diagnostics.
+func Cancelled(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", ErrCancelled, context.Cause(ctx))
+}
+
+// RetryPolicy bounds fault-tolerant re-execution: how many attempts a
+// dataflow gets, how long to back off between attempts, and how long any
+// single attempt may run. The zero value selects the defaults documented on
+// each field; obtain the resolved form with WithDefaults.
+//
+// The same policy governs both levels of retry: transport-level redelivery
+// (a lost peer triggers a new epoch) and task re-execution (the recovery
+// epoch re-runs the undelivered frontier) — per the paper's idempotence
+// contract the runtime may re-execute tasks at will, so no checkpoint is
+// needed beyond the lineage ledger.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts, counting the
+	// first (non-retry) one. Zero selects 3.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; successive retries
+	// back off exponentially. Zero selects 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero selects 2s.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of the backoff added as deterministic jitter
+	// (hashed from the attempt number, so runs are reproducible). Negative
+	// disables jitter; zero selects 0.2. Values are clamped to [0, 1].
+	Jitter float64
+	// AttemptTimeout bounds one attempt's wall clock; an attempt that
+	// exceeds it is cancelled (a typed ErrCancelled) and counts as failed.
+	// Zero means no per-attempt deadline.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy returns the resolved default policy.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.WithDefaults() }
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Backoff returns the wait before retry number attempt (1 = the wait after
+// the first failed attempt): BaseBackoff * 2^(attempt-1), capped at
+// MaxBackoff, plus deterministic jitter derived from the attempt number so
+// repeated runs are byte-for-byte reproducible.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.WithDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		// splitmix64 of the attempt number: deterministic, well spread.
+		z := uint64(attempt) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		frac := float64(z%1000) / 1000.0
+		d += time.Duration(float64(d) * p.Jitter * frac)
+	}
+	return d
+}
+
+// Sleep waits the policy's backoff before the given retry, returning early
+// with a typed ErrCancelled when the context ends first.
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return Cancelled(ctx)
+	case <-t.C:
+		return nil
+	}
+}

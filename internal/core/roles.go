@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Role names the structural position a callback fills in a graph prototype
+// — Leaf, Inner, Root, … — replacing positional registration by index into
+// Callbacks(). Roles make registration self-documenting and robust against
+// reordering of a graph's callback-id list.
+type Role string
+
+// Roles shared by the built-in graph prototypes. Graphs are free to define
+// additional roles; these constants only fix the spelling of common ones.
+const (
+	RoleLeaf    Role = "leaf"    // bottom of a reduction/merge tree
+	RoleInner   Role = "inner"   // interior tree or exchange stage
+	RoleRoot    Role = "root"    // final task of a reduction/exchange
+	RoleSource  Role = "source"  // origin of a broadcast
+	RoleRelay   Role = "relay"   // pass-through stage
+	RoleSink    Role = "sink"    // terminal consumer of a broadcast
+	RoleFinal   Role = "final"   // k-way merge corrector stage
+	RoleExtract Role = "extract" // neighborhood halo extraction
+	RoleProcess Role = "process" // neighborhood stencil body
+)
+
+// RoledGraph is a task graph whose callback ids carry named roles. All
+// built-in prototypes (Reduction, Broadcast, BinarySwap, KWayMerge,
+// Neighbor stencils, Gather) implement it.
+type RoledGraph interface {
+	TaskGraph
+	// CallbackRoles maps every role the graph uses to its callback id. The
+	// returned map covers exactly the graph's Callbacks().
+	CallbackRoles() map[Role]CallbackId
+}
+
+// RegisterCallbacks registers one callback per named role on the
+// controller. Every role of the graph must be implemented and every
+// provided role must exist in the graph — partial or surplus maps are
+// rejected with an error listing the offending roles in sorted order.
+//
+// This is the role-based replacement for the positional idiom
+// `cids := g.Callbacks(); c.RegisterCallback(cids[0], f)`.
+func RegisterCallbacks(c CallbackRegistrar, g TaskGraph, impls map[Role]Callback) error {
+	rg, ok := g.(RoledGraph)
+	if !ok {
+		return fmt.Errorf("core: graph %T does not name callback roles", g)
+	}
+	roles := rg.CallbackRoles()
+
+	var missing, unknown []string
+	for role := range roles {
+		if _, ok := impls[role]; !ok {
+			missing = append(missing, string(role))
+		}
+	}
+	for role := range impls {
+		if _, ok := roles[role]; !ok {
+			unknown = append(unknown, string(role))
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unknown)
+	if len(missing) > 0 {
+		return fmt.Errorf("core: no callback for role(s) %v", missing)
+	}
+	if len(unknown) > 0 {
+		return fmt.Errorf("core: graph has no role(s) %v", unknown)
+	}
+
+	names := make([]string, 0, len(roles))
+	for role := range roles {
+		names = append(names, string(role))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		role := Role(name)
+		if err := c.RegisterCallback(roles[role], impls[role]); err != nil {
+			return fmt.Errorf("core: role %q: %w", role, err)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -30,6 +31,21 @@ func (f ObserverFunc) TaskExecuted(id TaskId, shard ShardId, cb CallbackId) { f(
 type SchedObserver interface {
 	Observer
 	TaskQueued(id TaskId, enqueued, started time.Time)
+}
+
+// ReplayObserver is an Observer extension for fault-tolerant controllers:
+// TaskReplayed is called when a task's recorded outputs were re-emitted
+// from the lineage ledger instead of re-running its callback.
+type ReplayObserver interface {
+	TaskReplayed(id TaskId, shard ShardId, cb CallbackId)
+}
+
+// RecoveryObserver receives recovery-epoch notifications from a
+// fault-tolerant coordinator: epoch is the attempt number about to start
+// (2 = first retry) and lost lists the shards declared dead so far, in the
+// original map's numbering.
+type RecoveryObserver interface {
+	RecoveryStarted(epoch int, lost []ShardId)
 }
 
 // ExecutionLog is a thread-safe Observer that records the order in which
@@ -105,6 +121,13 @@ func (s *Serial) RegisterCallback(cb CallbackId, fn Callback) error {
 
 // Run implements Controller.
 func (s *Serial) Run(initial map[TaskId][]Payload) (map[TaskId][]Payload, error) {
+	return s.RunContext(context.Background(), initial)
+}
+
+// RunContext implements Controller. The serial loop checks the context
+// between tasks, so cancellation latency is bounded by the longest single
+// callback.
+func (s *Serial) RunContext(ctx context.Context, initial map[TaskId][]Payload) (map[TaskId][]Payload, error) {
 	if s.graph == nil {
 		return nil, ErrNotInitialized
 	}
@@ -131,6 +154,9 @@ func (s *Serial) Run(initial map[TaskId][]Payload) (map[TaskId][]Payload, error)
 	results := make(map[TaskId][]Payload)
 	for _, round := range rounds {
 		for _, id := range round {
+			if ctx.Err() != nil {
+				return nil, Cancelled(ctx)
+			}
 			t, _ := s.graph.Task(id)
 			in, ready := st.Take(id)
 			if !ready {

@@ -32,6 +32,22 @@ import (
 // peer disconnects onto the same error surface.
 var ErrClosed = errors.New("fabric: mailbox closed")
 
+// ErrPeerLost is the transport-level failure reported when a rank stops
+// responding: its connection broke or its heartbeats went silent. The
+// fault-tolerant coordinator treats it as retryable — survivors reassign
+// the lost rank's tasks and replay the undelivered frontier. Network
+// transports (internal/wire) and the fault-injection harness wrap this
+// sentinel; test with errors.Is.
+var ErrPeerLost = errors.New("fabric: peer lost")
+
+// LossReporter is implemented by transports that can name which peers were
+// lost, so a recovery coordinator can rebuild the task map around them.
+type LossReporter interface {
+	// LostPeers returns the ranks this transport observed as dead, in this
+	// transport's rank numbering. Empty when no peer was lost.
+	LostPeers() []int
+}
+
 // Transport is the interconnect a runtime controller executes on: n ranks
 // exchanging point-to-point messages with reliable delivery and pairwise
 // FIFO ordering between any sender/receiver pair. The in-memory Fabric is
@@ -83,6 +99,14 @@ type Message struct {
 	Src     core.TaskId
 	Dest    core.TaskId
 	Payload core.Payload
+
+	// Seq is a per-sender-unique message id stamped by fault-tolerant
+	// controllers so receivers can drop redelivered duplicates. Zero means
+	// the message carries no dedup identity.
+	Seq uint64
+	// Attempt is the execution attempt of the producing task (1 = first
+	// run, 0 = unknown/replay); carried for tracing and diagnostics.
+	Attempt uint32
 
 	done chan struct{} // rendezvous signal in blocking mode
 }

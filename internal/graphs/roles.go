@@ -1,0 +1,88 @@
+package graphs
+
+import "github.com/babelflow/babelflow-go/internal/core"
+
+// The prototypes name their callback slots with structural roles, so users
+// register implementations by role (core.RegisterCallbacks) instead of by
+// position in the Callbacks() slice. Each CallbackRoles map covers exactly
+// the graph's Callbacks().
+
+// CallbackRoles implements core.RoledGraph: Leaf runs at the tree leaves,
+// Inner at internal nodes, Root at the root.
+func (g *Reduction) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleLeaf:  ReduceLeafCB,
+		core.RoleInner: ReduceMidCB,
+		core.RoleRoot:  ReduceRootCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Source runs at the root,
+// Relay at internal nodes, Sink at the leaves.
+func (g *Broadcast) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleSource: BcastSourceCB,
+		core.RoleRelay:  BcastRelayCB,
+		core.RoleSink:   BcastSinkCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Leaf runs at round 0, Inner at
+// intermediate exchange rounds, Root at the final round.
+func (g *BinarySwap) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleLeaf:  SwapLeafCB,
+		core.RoleInner: SwapMidCB,
+		core.RoleRoot:  SwapRootCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Leaf and Inner cover the
+// up-sweep, Root the turn-around, Relay the down-sweep interior and Final
+// the down-sweep leaves.
+func (g *KWayMerge) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleLeaf:  MergeLeafCB,
+		core.RoleInner: MergeMidCB,
+		core.RoleRoot:  MergeRootCB,
+		core.RoleRelay: MergeRelayCB,
+		core.RoleFinal: MergeFinalCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Extract runs in the halo
+// exchange phase, Process in the stencil phase.
+func (g *Neighbor2D) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleExtract: NeighborExtractCB,
+		core.RoleProcess: NeighborProcessCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Extract runs in the halo
+// exchange phase, Process in the stencil phase.
+func (g *Neighbor3D) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleExtract: NeighborExtractCB,
+		core.RoleProcess: NeighborProcessCB,
+	}
+}
+
+// CallbackRoles implements core.RoledGraph: Leaf runs at every leaf, Root
+// at the gathering task.
+func (g *Gather) CallbackRoles() map[core.Role]core.CallbackId {
+	return map[core.Role]core.CallbackId{
+		core.RoleLeaf: GatherLeafCB,
+		core.RoleRoot: GatherRootCB,
+	}
+}
+
+var (
+	_ core.RoledGraph = (*Reduction)(nil)
+	_ core.RoledGraph = (*Broadcast)(nil)
+	_ core.RoledGraph = (*BinarySwap)(nil)
+	_ core.RoledGraph = (*KWayMerge)(nil)
+	_ core.RoledGraph = (*Neighbor2D)(nil)
+	_ core.RoledGraph = (*Neighbor3D)(nil)
+	_ core.RoledGraph = (*Gather)(nil)
+)

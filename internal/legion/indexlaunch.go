@@ -1,6 +1,7 @@
 package legion
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,6 +60,15 @@ func (c *IndexLaunch) Metrics() Metrics { return c.lastMetrics }
 
 // Run implements core.Controller. It acts as the top-level task.
 func (c *IndexLaunch) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.RunContext(context.Background(), initial)
+}
+
+// RunContext implements core.Controller. Cancellation is observed between
+// index launches: the parent checks the context before preparing each round
+// and refuses to launch once it is done, returning an error wrapping
+// core.ErrCancelled. Subtasks already in flight run to completion — an
+// index launch is an atomic unit of work for the parent.
+func (c *IndexLaunch) RunContext(ctx context.Context, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	if c.graph == nil {
 		return nil, core.ErrNotInitialized
 	}
@@ -81,6 +91,10 @@ func (c *IndexLaunch) Run(initial map[core.TaskId][]core.Payload) (map[core.Task
 	met := newMetricsCollector()
 
 	for _, round := range rounds {
+		if ctx.Err() != nil {
+			c.lastMetrics = met.snapshot()
+			return nil, core.Cancelled(ctx)
+		}
 		// One index launch per round. The parent prepares every subtask's
 		// region requirements serially (gathering inputs counts as staging
 		// and is the parent-borne launch overhead), then the subtasks of

@@ -1,6 +1,7 @@
 package legion
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -87,6 +88,13 @@ func (c *SPMD) Metrics() Metrics { return c.lastMetrics }
 
 // Run implements core.Controller.
 func (c *SPMD) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.RunContext(context.Background(), initial)
+}
+
+// RunContext implements core.Controller: a finished context cancels the
+// region store, releasing every blocked phase barrier so the shard tasks
+// unwind, and the returned error wraps core.ErrCancelled.
+func (c *SPMD) RunContext(ctx context.Context, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	if c.graph == nil {
 		return nil, core.ErrNotInitialized
 	}
@@ -127,6 +135,16 @@ func (c *SPMD) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]co
 			pos++
 		}
 	}
+
+	stopc := make(chan struct{})
+	defer close(stopc)
+	go func() {
+		select {
+		case <-ctx.Done():
+			abort(core.Cancelled(ctx))
+		case <-stopc:
+		}
+	}()
 
 	// Must-parallelism launch: one shard task per shard, all running
 	// concurrently without runtime synchronization between them.

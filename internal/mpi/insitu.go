@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -99,6 +100,13 @@ func (s *Shard) LocalTasks() ([]core.Task, error) {
 // the group's shared work-stealing executor starts with the first Run and
 // is released when the last rank's Run returns.
 func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return s.RunContext(context.Background(), initial)
+}
+
+// RunContext is Run with cancellation and deadline propagation: a finished
+// context cancels the group's fabric, unwinding every shard with an error
+// wrapping core.ErrCancelled.
+func (s *Shard) RunContext(ctx context.Context, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	gr := s.group
 	gr.mu.Lock()
 	if gr.started[s.rank] {
@@ -135,9 +143,20 @@ func (s *Shard) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]c
 		return nil, err
 	}
 
+	stop := watchContext(ctx, gr.abort)
+	defer stop()
+
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
-	if err := gr.ctrl.runRank(s.rank, gr.fab, pool, gr.abort, initial, results, &resMu); err != nil {
+	env := &runEnv{
+		tmap:    gr.ctrl.tmap,
+		fab:     gr.fab,
+		pool:    pool,
+		abort:   gr.abort,
+		results: results,
+		resMu:   &resMu,
+	}
+	if err := gr.ctrl.runRank(s.rank, env, initial); err != nil {
 		gr.abort(err)
 	}
 	if err := gr.Err(); err != nil {

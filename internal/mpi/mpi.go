@@ -29,14 +29,22 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
 )
+
+// TransportFactory builds the transport an in-process Run executes over —
+// the hook the functional option WithTransport installs. The returned
+// transport must be receivable for every rank in-process (like the
+// in-memory fabric); per-process transports (wire) go through RunRank.
+type TransportFactory func(ranks int) fabric.Transport
 
 // Options configures a Controller.
 type Options struct {
@@ -71,32 +79,66 @@ type Options struct {
 	AlwaysSerialize bool
 	// Observer, when non-nil, receives a notification per executed task. An
 	// Observer that also implements core.SchedObserver additionally receives
-	// per-task queue timing (enqueue and dispatch instants).
+	// per-task queue timing (enqueue and dispatch instants); one implementing
+	// core.ReplayObserver or core.RecoveryObserver additionally receives
+	// fault-tolerance notifications (ledger replays, recovery epochs).
 	Observer core.Observer
+	// Retry bounds fault-tolerant execution (RunRecover): attempt count,
+	// backoff and per-attempt timeout. The zero value selects
+	// core.DefaultRetryPolicy.
+	Retry core.RetryPolicy
+	// Transport, when non-nil, builds the transport Run/RunContext executes
+	// over instead of the default in-memory fabric — the seam fault-injection
+	// and custom interconnects plug into.
+	Transport TransportFactory
 }
+
+// apply implements Option, so a plain Options literal can be passed to New
+// alongside (or instead of) functional options: the struct replaces the
+// accumulated options wholesale, exactly like the pre-functional-options
+// constructor did.
+func (o Options) apply(dst *Options) { *dst = o }
 
 // Controller executes task graphs in MPI style. Create one, Initialize it
 // with a graph and task map, register callbacks, then Run.
 type Controller struct {
-	opt      Options
-	graph    core.TaskGraph
-	tmap     core.TaskMap
-	reg      *core.Registry
-	prio     *core.CriticalPaths
-	schedObs core.SchedObserver
+	opt       Options
+	graph     core.TaskGraph
+	tmap      core.TaskMap
+	reg       *core.Registry
+	prio      *core.CriticalPaths
+	schedObs  core.SchedObserver
+	replayObs core.ReplayObserver
+	recObs    core.RecoveryObserver
 
 	// Stats from the last Run.
 	lastStats fabric.Stats
 }
 
-// New returns an MPI controller with the given options.
-func New(opt Options) *Controller {
+// New returns an MPI controller. Configuration is functional-options style:
+//
+//	mpi.New(mpi.WithWorkers(4), mpi.WithRetry(policy))
+//
+// A plain Options struct is itself an Option (it replaces everything
+// accumulated so far), so the legacy form mpi.New(mpi.Options{...}) keeps
+// compiling unchanged; options are applied left to right.
+func New(opts ...Option) *Controller {
+	var opt Options
+	for _, o := range opts {
+		o.apply(&opt)
+	}
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	c := &Controller{opt: opt, reg: core.NewRegistry()}
 	if so, ok := opt.Observer.(core.SchedObserver); ok {
 		c.schedObs = so
+	}
+	if ro, ok := opt.Observer.(core.ReplayObserver); ok {
+		c.replayObs = ro
+	}
+	if ro, ok := opt.Observer.(core.RecoveryObserver); ok {
+		c.recObs = ro
 	}
 	return c
 }
@@ -163,6 +205,14 @@ func (c *Controller) newPool(ranks int) *fabric.Pool {
 
 // Run implements core.Controller.
 func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.RunContext(context.Background(), initial)
+}
+
+// RunContext implements core.Controller: Run with cancellation and deadline
+// propagation. When the context ends, the fabric is cancelled so every rank
+// loop and blocked receive unwinds promptly, and the call returns an error
+// wrapping core.ErrCancelled.
+func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
 	if c.graph == nil {
 		return nil, core.ErrNotInitialized
 	}
@@ -175,9 +225,12 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 
 	ranks := c.tmap.ShardCount()
 	var fab fabric.Transport
-	if c.opt.Blocking {
+	switch {
+	case c.opt.Transport != nil:
+		fab = c.opt.Transport(ranks)
+	case c.opt.Blocking:
 		fab = fabric.NewBlocking(ranks)
-	} else {
+	default:
 		fab = fabric.New(ranks)
 	}
 	var pool *fabric.Pool
@@ -197,13 +250,23 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 		errMu.Unlock()
 		fab.Cancel()
 	}
+	stop := watchContext(ctx, abort)
+	defer stop()
 
+	env := &runEnv{
+		tmap:    c.tmap,
+		fab:     fab,
+		pool:    pool,
+		abort:   abort,
+		results: results,
+		resMu:   &resMu,
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := c.runRank(rank, fab, pool, abort, initial, results, &resMu); err != nil {
+			if err := c.runRank(rank, env, initial); err != nil {
 				abort(err)
 			}
 		}(r)
@@ -220,6 +283,24 @@ func (c *Controller) Run(initial map[core.TaskId][]core.Payload) (map[core.TaskI
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// watchContext aborts the run when the context ends. The returned stop
+// function retires the watcher; it must be called before the run's results
+// are returned so a late cancellation cannot fire mid-teardown.
+func watchContext(ctx context.Context, abort func(error)) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stopc := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			abort(core.Cancelled(ctx))
+		case <-stopc:
+		}
+	}()
+	return func() { close(stopc) }
 }
 
 // Fingerprint returns the canonical fingerprint of the controller's graph
@@ -249,19 +330,37 @@ func (c *Controller) Fingerprint() core.Fingerprint {
 // RunRank is safe to call concurrently for different ranks on one shared
 // controller (it does not update Stats — consult the transport's Snapshot).
 func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.runRankOn(context.Background(), rank, tr, initial, nil, nil)
+}
+
+// RunRankContext is RunRank with cancellation and deadline propagation: a
+// finished context cancels the transport, unwinding this rank (and, over
+// the wire, its peers) with an error wrapping core.ErrCancelled.
+func (c *Controller) RunRankContext(ctx context.Context, rank int, tr fabric.Transport, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	return c.runRankOn(ctx, rank, tr, initial, nil, nil)
+}
+
+// runRankOn is the common single-rank entry: RunRank/RunRankContext pass a
+// nil ledger and map (plain execution over c.tmap); the recovery
+// coordinator passes the rank's persistent lineage ledger and the epoch's
+// reassigned task map.
+func (c *Controller) runRankOn(ctx context.Context, rank int, tr fabric.Transport, initial map[core.TaskId][]core.Payload, led *core.Ledger, tmap core.TaskMap) (map[core.TaskId][]core.Payload, error) {
 	if c.graph == nil {
 		return nil, core.ErrNotInitialized
+	}
+	if tmap == nil {
+		tmap = c.tmap
 	}
 	if err := c.reg.Covers(c.graph); err != nil {
 		return nil, err
 	}
-	if got, want := tr.Ranks(), c.tmap.ShardCount(); got != want {
+	if got, want := tr.Ranks(), tmap.ShardCount(); got != want {
 		return nil, fmt.Errorf("mpi: transport has %d ranks, task map shards over %d", got, want)
 	}
 	if rank < 0 || rank >= tr.Ranks() {
 		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, tr.Ranks())
 	}
-	if err := checkLocalInitial(c.graph, c.tmap, rank, initial); err != nil {
+	if err := checkLocalInitial(c.graph, tmap, rank, initial); err != nil {
 		tr.Cancel()
 		return nil, err
 	}
@@ -270,7 +369,7 @@ func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.Tas
 	if !c.opt.Inline {
 		// All workers home on the one local rank; peer deques stay empty.
 		n := c.opt.Workers
-		if local := len(c.tmap.Ids(core.ShardId(rank))); n > local {
+		if local := len(tmap.Ids(core.ShardId(rank))); n > local {
 			n = local
 		}
 		if n < 1 {
@@ -295,9 +394,24 @@ func (c *Controller) RunRank(rank int, tr fabric.Transport, initial map[core.Tas
 		errMu.Unlock()
 		tr.Cancel()
 	}
+	stop := watchContext(ctx, abort)
+	defer stop()
+
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
-	if err := c.runRank(rank, tr, pool, abort, initial, results, &resMu); err != nil {
+	env := &runEnv{
+		tmap:    tmap,
+		fab:     tr,
+		pool:    pool,
+		abort:   abort,
+		results: results,
+		resMu:   &resMu,
+		led:     led,
+	}
+	if led != nil {
+		env.seq = make([]atomic.Uint64, tr.Ranks())
+	}
+	if err := c.runRank(rank, env, initial); err != nil {
 		abort(err)
 	}
 	errMu.Lock()
@@ -348,11 +462,28 @@ func checkLocalInitial(g core.TaskGraph, m core.TaskMap, rank int, initial map[c
 // longer rank-scoped, so scratch lives in a pool instead of a worker local.
 var scratchPool = sync.Pool{New: func() any { return new([]fabric.Message) }}
 
+// runEnv bundles the state one dataflow execution threads through the rank
+// loops: the task map of this epoch (recovery may differ from Initialize's),
+// the transport, the shared executor, the abort hook, the merged sink
+// results, and — for fault-tolerant runs — the rank's lineage ledger plus
+// the per-home-rank egress sequence counters that give messages a dedup
+// identity.
+type runEnv struct {
+	tmap    core.TaskMap
+	fab     fabric.Transport
+	pool    *fabric.Pool
+	abort   func(error)
+	results map[core.TaskId][]core.Payload
+	resMu   *sync.Mutex
+	led     *core.Ledger
+	seq     []atomic.Uint64 // nil outside fault-tolerant runs
+}
+
 // runRank is the per-rank controller loop: it drains the rank's mailbox,
 // tracks input readiness and dispatches ready tasks into the rank's
 // priority deque on the shared executor (pool is nil only in Inline mode).
-func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, abort func(error), initial map[core.TaskId][]core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
-	local, err := core.LocalGraph(c.graph, c.tmap, core.ShardId(rank))
+func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]core.Payload) error {
+	local, err := core.LocalGraph(c.graph, env.tmap, core.ShardId(rank))
 	if err != nil {
 		return err
 	}
@@ -369,22 +500,56 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, 
 
 	// execute runs one ready task on whichever worker picked it up and
 	// routes its outputs. A failing task records the cause and cancels the
-	// fabric so every rank unwinds.
+	// fabric so every rank unwinds. In a fault-tolerant run, a task whose
+	// outputs are already in the lineage ledger is replayed — its recorded
+	// wire forms are re-routed downstream without re-running the callback —
+	// so a recovery epoch only pays for the undelivered frontier.
 	execute := func(t core.Task, in []core.Payload, scratch []fabric.Message) []fabric.Message {
+		if env.led != nil {
+			if rec, ok := env.led.Outputs(t.Id); ok {
+				// The inputs were assembled only to satisfy readiness; the
+				// replayed outputs come from the ledger.
+				for i := range in {
+					in[i].Release()
+				}
+				out := make([]core.Payload, len(rec))
+				for s, b := range rec {
+					cp := make([]byte, len(b))
+					copy(cp, b)
+					out[s] = core.Buffer(cp)
+				}
+				env.led.CountReplay()
+				if c.replayObs != nil {
+					c.replayObs.TaskReplayed(t.Id, env.tmap.Shard(t.Id), t.Callback)
+				}
+				scratch, err := c.route(rank, env, t, 0, out, scratch)
+				if err != nil {
+					env.abort(err)
+				}
+				return scratch
+			}
+		}
 		// Detach private copies of shared fan-out wire forms on the worker,
 		// so the copies of independent consumers proceed in parallel instead
 		// of serializing on the receive loop.
 		for i := range in {
 			in[i] = in[i].Own()
 		}
-		out, err := c.runTask(t, in)
+		var attempt uint32
+		if env.led != nil {
+			attempt = uint32(env.led.BeginAttempt(t.Id))
+		}
+		out, err := c.runTask(t, in, env.tmap.Shard(t.Id))
 		if err != nil {
-			abort(err)
+			env.abort(err)
 			return scratch
 		}
-		scratch, err = c.route(rank, fab, t, out, results, resMu, scratch)
+		if env.led != nil {
+			recordOutputs(env.led, t, out)
+		}
+		scratch, err = c.route(rank, env, t, attempt, out, scratch)
 		if err != nil {
-			abort(err)
+			env.abort(err)
 		}
 		return scratch
 	}
@@ -410,7 +575,7 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, 
 			enq = time.Now()
 		}
 		pend.Add(1)
-		pool.Submit(rank, int64(c.prio.Depth(t.Id)), func() {
+		env.pool.Submit(rank, int64(c.prio.Depth(t.Id)), func() {
 			defer pend.Done()
 			if c.schedObs != nil {
 				c.schedObs.TaskQueued(t.Id, enq, time.Now())
@@ -442,19 +607,39 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, 
 	// priority deque; messages are drained in batches so a burst costs one
 	// mailbox lock, not one per message. Dispatch never blocks, so the loop
 	// keeps draining and accounting inputs while every worker is busy.
+	//
+	// Fault-tolerant runs additionally dedup by message sequence id: a
+	// redelivered duplicate (injected or transport-retried) would otherwise
+	// fill a second input slot and corrupt readiness accounting.
 	batch := make([]fabric.Message, 64)
+	var seen []map[uint64]struct{}
+	if env.led != nil {
+		seen = make([]map[uint64]struct{}, env.fab.Ranks())
+	}
 	for remaining > 0 {
-		n, ok := fab.RecvBatch(rank, batch)
+		n, ok := env.fab.RecvBatch(rank, batch)
 		if !ok {
 			// Delivery became impossible. For a controller-initiated abort
 			// the aborting goroutine recorded the cause and Err() is nil;
 			// a transport-level failure (lost peer, broken wire) surfaces
 			// here as the typed transport error.
-			return fab.Err()
+			return env.fab.Err()
 		}
 		for i := 0; i < n; i++ {
 			m := batch[i]
 			batch[i] = fabric.Message{} // drop the payload reference
+			if seen != nil && m.Seq != 0 {
+				s := seen[m.From]
+				if s == nil {
+					s = make(map[uint64]struct{})
+					seen[m.From] = s
+				}
+				if _, dup := s[m.Seq]; dup {
+					m.Payload.Release()
+					continue
+				}
+				s[m.Seq] = struct{}{}
+			}
 			t, ok := tasks[m.Dest]
 			if !ok {
 				return fmt.Errorf("mpi: rank %d received message for non-local task %d", rank, m.Dest)
@@ -471,8 +656,27 @@ func (c *Controller) runRank(rank int, fab fabric.Transport, pool *fabric.Pool, 
 	return nil
 }
 
-// runTask executes one task's callback.
-func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, error) {
+// recordOutputs retains a completed task's serialized outputs in the
+// lineage ledger. Best effort: if any slot cannot serialize (an object
+// payload without Serializable) the task stays unrecorded and simply
+// re-executes in a recovery epoch — always correct under the idempotence
+// contract, just not accelerated.
+func recordOutputs(led *core.Ledger, t core.Task, out []core.Payload) {
+	wires := make([][]byte, len(out))
+	for i := range out {
+		cp, err := out[i].CloneForWire()
+		if err != nil {
+			return
+		}
+		wires[i] = cp.Data
+	}
+	led.Record(t.Id, wires)
+}
+
+// runTask executes one task's callback. shard is the task's placement in
+// the executing run's task map (a recovery epoch's may differ from the one
+// given to Initialize).
+func (c *Controller) runTask(t core.Task, in []core.Payload, shard core.ShardId) ([]core.Payload, error) {
 	fn, ok := c.reg.Lookup(t.Callback)
 	if !ok {
 		return nil, fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
@@ -485,7 +689,7 @@ func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, er
 		return nil, fmt.Errorf("mpi: task %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
 	}
 	if c.opt.Observer != nil {
-		c.opt.Observer.TaskExecuted(t.Id, c.tmap.Shard(t.Id), t.Callback)
+		c.opt.Observer.TaskExecuted(t.Id, shard, t.Callback)
 	}
 	return out, nil
 }
@@ -507,13 +711,17 @@ func (c *Controller) runTask(t core.Task, in []core.Payload) ([]core.Payload, er
 // rank is the task's home rank (where its inputs were assembled), not the
 // rank of the stealing worker: the in-memory shortcut and the message From
 // field must follow placement, or outputs would change with the schedule.
-func (c *Controller) route(rank int, fab fabric.Transport, t core.Task, out []core.Payload, results map[core.TaskId][]core.Payload, resMu *sync.Mutex, scratch []fabric.Message) ([]fabric.Message, error) {
+//
+// In fault-tolerant runs every message is stamped with a per-home-rank
+// sequence id (the receiver's dedup identity) and the producing task's
+// attempt number.
+func (c *Controller) route(rank int, env *runEnv, t core.Task, attempt uint32, out []core.Payload, scratch []fabric.Message) ([]fabric.Message, error) {
 	batch := scratch[:0]
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
-			resMu.Lock()
-			results[t.Id] = append(results[t.Id], out[slot])
-			resMu.Unlock()
+			env.resMu.Lock()
+			env.results[t.Id] = append(env.results[t.Id], out[slot])
+			env.resMu.Unlock()
 			continue
 		}
 		p := out[slot]
@@ -522,7 +730,7 @@ func (c *Controller) route(rank int, fab fabric.Transport, t core.Task, out []co
 		inMemoryIdx := -1
 		if !c.opt.AlwaysSerialize {
 			last := len(consumers) - 1
-			if int(c.tmap.Shard(consumers[last])) == rank {
+			if int(env.tmap.Shard(consumers[last])) == rank {
 				inMemoryIdx = last
 			}
 		}
@@ -553,10 +761,14 @@ func (c *Controller) route(rank int, fab fabric.Transport, t core.Task, out []co
 			if i == inMemoryIdx {
 				mp = p
 			}
-			batch = append(batch, fabric.Message{From: rank, To: int(c.tmap.Shard(dest)), Src: t.Id, Dest: dest, Payload: mp})
+			m := fabric.Message{From: rank, To: int(env.tmap.Shard(dest)), Src: t.Id, Dest: dest, Payload: mp, Attempt: attempt}
+			if env.seq != nil {
+				m.Seq = env.seq[rank].Add(1)
+			}
+			batch = append(batch, m)
 		}
 	}
-	err := fab.SendN(batch)
+	err := env.fab.SendN(batch)
 	clear(batch) // drop payload references until the next task reuses it
 	return batch, err
 }

@@ -1,0 +1,50 @@
+package mpi
+
+import "github.com/babelflow/babelflow-go/internal/core"
+
+// Option configures a Controller at construction. Two kinds of values
+// implement it: the functional options below (WithWorkers, WithRetry, …)
+// which each set one knob, and the Options struct itself, which replaces
+// the whole configuration — keeping the legacy mpi.New(mpi.Options{...})
+// call form valid. Options are applied left to right.
+type Option interface {
+	apply(*Options)
+}
+
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// WithWorkers sets the global worker budget (see Options.Workers).
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *Options) { o.Workers = n })
+}
+
+// WithObserver installs the execution observer (see Options.Observer).
+func WithObserver(obs core.Observer) Option {
+	return optionFunc(func(o *Options) { o.Observer = obs })
+}
+
+// WithRetry sets the retry policy governing fault-tolerant execution
+// (RunRecover): attempt count, backoff, per-attempt timeout.
+func WithRetry(p core.RetryPolicy) Option {
+	return optionFunc(func(o *Options) { o.Retry = p })
+}
+
+// WithTransport installs a transport factory for in-process runs — the
+// seam fault injection and custom interconnects plug into (see
+// Options.Transport).
+func WithTransport(t TransportFactory) Option {
+	return optionFunc(func(o *Options) { o.Transport = t })
+}
+
+// WithInline selects inline execution (see Options.Inline).
+func WithInline(inline bool) Option {
+	return optionFunc(func(o *Options) { o.Inline = inline })
+}
+
+// WithFIFO selects arrival-order dispatch instead of most-critical-first
+// (see Options.FIFO).
+func WithFIFO(fifo bool) Option {
+	return optionFunc(func(o *Options) { o.FIFO = fifo })
+}

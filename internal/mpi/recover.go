@@ -1,0 +1,380 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// ConnectFunc builds the per-rank transports of one recovery epoch. It is
+// called with the epoch number (1 = the failure-free first attempt) and the
+// number of surviving ranks; it returns one transport per logical rank,
+// all connected to each other (for the wire transport: a fresh mesh whose
+// handshake carries the epoch, so stragglers from a previous epoch are
+// rejected at rendezvous).
+type ConnectFunc func(epoch, ranks int) ([]fabric.Transport, error)
+
+// InjectFunc optionally wraps a rank's transport — the hook the
+// deterministic fault-injection harness (internal/faultinject) plugs into.
+type InjectFunc func(epoch, rank int, tr fabric.Transport) fabric.Transport
+
+// RecoverOptions parameterizes RunRecover.
+type RecoverOptions struct {
+	// Connect is required: it builds each epoch's transports.
+	Connect ConnectFunc
+	// Inject, when non-nil, wraps each rank's transport (fault injection).
+	Inject InjectFunc
+	// Initial is the dataflow's full set of external inputs. RunRecover
+	// partitions it per epoch map and clones the payloads per attempt, so
+	// the inputs must be serializable.
+	Initial map[core.TaskId][]core.Payload
+}
+
+// RecoveryReport summarizes a fault-tolerant run.
+type RecoveryReport struct {
+	// Epochs is the number of execution attempts, counting the first.
+	Epochs int
+	// LostShards lists the shards (original map numbering) declared dead.
+	LostShards []core.ShardId
+	// Replayed counts tasks whose outputs were re-emitted from a lineage
+	// ledger instead of re-running the callback.
+	Replayed int
+	// Executed counts callback executions across all epochs.
+	Executed int
+	// RecoveryTime is the wall clock spent after the first failure.
+	RecoveryTime time.Duration
+}
+
+// RunRecover executes the dataflow with replay-based fault tolerance: a
+// rank-0-style coordinator runs epochs until one completes. Every rank
+// keeps a lineage ledger of its completed tasks' serialized outputs across
+// epochs; when a peer is lost (wire failure or fault injection), the
+// coordinator drops the dead shard from the task map via
+// core.ReassignShards — survivors keep their own tasks, the dead shard's
+// tasks round-robin over them — and the next epoch replays recorded
+// outputs instead of re-executing them, so only the undelivered frontier
+// (the dead rank's work and anything unrecorded) runs again. No
+// checkpointing: correctness rests on the paper's idempotence contract.
+//
+// The controller's retry policy (WithRetry) bounds the number of epochs,
+// the backoff between them and each epoch's wall clock. A non-retryable
+// failure (a callback error on a surviving rank) aborts immediately;
+// exhausting the policy returns an error wrapping core.ErrRetriesExhausted;
+// a finished ctx returns one wrapping core.ErrCancelled.
+func (c *Controller) RunRecover(ctx context.Context, ro RecoverOptions) (map[core.TaskId][]core.Payload, RecoveryReport, error) {
+	var rep RecoveryReport
+	if c.graph == nil {
+		return nil, rep, core.ErrNotInitialized
+	}
+	if ro.Connect == nil {
+		return nil, rep, fmt.Errorf("mpi: RunRecover requires a Connect function")
+	}
+	if err := c.reg.Covers(c.graph); err != nil {
+		return nil, rep, err
+	}
+	if err := core.CheckInitial(c.graph, ro.Initial); err != nil {
+		return nil, rep, err
+	}
+
+	policy := c.opt.Retry.WithDefaults()
+	origRanks := c.tmap.ShardCount()
+	alive := make([]core.ShardId, origRanks)
+	for i := range alive {
+		alive[i] = core.ShardId(i)
+	}
+	// Ledgers persist across epochs, keyed by the original (physical) shard.
+	ledgers := make([]*core.Ledger, origRanks)
+	for i := range ledgers {
+		ledgers[i] = core.NewLedger()
+	}
+	wantSinks := expectedSinks(c.graph)
+
+	var recoveryStart time.Time
+	var lastErr error
+	for epoch := 1; epoch <= policy.MaxAttempts; epoch++ {
+		rep.Epochs = epoch
+		if err := ctx.Err(); err != nil {
+			return nil, rep, core.Cancelled(ctx)
+		}
+		if epoch > 1 && c.recObs != nil {
+			c.recObs.RecoveryStarted(epoch, append([]core.ShardId(nil), rep.LostShards...))
+		}
+
+		tmap := c.tmap
+		if len(alive) < origRanks {
+			var err error
+			tmap, err = core.ReassignShards(c.graph, c.tmap, alive)
+			if err != nil {
+				return nil, rep, err
+			}
+		}
+		ranks := len(alive)
+
+		merged, lost, err := c.runEpoch(ctx, epoch, ranks, tmap, alive, ledgers, wantSinks, ro, policy)
+		if err == nil {
+			rep.Replayed, rep.Executed = sumLedgers(ledgers)
+			if !recoveryStart.IsZero() {
+				rep.RecoveryTime = time.Since(recoveryStart)
+			}
+			return merged, rep, nil
+		}
+		if recoveryStart.IsZero() {
+			recoveryStart = time.Now()
+		}
+		if ctx.Err() != nil {
+			return nil, rep, core.Cancelled(ctx)
+		}
+		if !retryable(err) {
+			return nil, rep, err
+		}
+		lastErr = err
+
+		if len(lost) > 0 {
+			dead := make(map[core.ShardId]bool, len(lost))
+			for _, s := range lost {
+				dead[s] = true
+				rep.LostShards = append(rep.LostShards, s)
+			}
+			sort.Slice(rep.LostShards, func(i, j int) bool { return rep.LostShards[i] < rep.LostShards[j] })
+			next := alive[:0]
+			for _, s := range alive {
+				if !dead[s] {
+					next = append(next, s)
+				}
+			}
+			alive = next
+			if len(alive) == 0 {
+				return nil, rep, fmt.Errorf("mpi: every rank lost: %w", core.ErrRetriesExhausted)
+			}
+		}
+		if epoch < policy.MaxAttempts {
+			if err := policy.Sleep(ctx, epoch); err != nil {
+				return nil, rep, err
+			}
+		}
+	}
+	return nil, rep, fmt.Errorf("mpi: %d attempt(s) failed: %w (last: %v)", policy.MaxAttempts, core.ErrRetriesExhausted, lastErr)
+}
+
+// runEpoch runs one attempt over freshly connected transports and returns
+// the merged sink results on success, or the shards (original numbering)
+// newly observed dead plus the epoch's failure.
+func (c *Controller) runEpoch(ctx context.Context, epoch, ranks int, tmap core.TaskMap, alive []core.ShardId, ledgers []*core.Ledger, wantSinks map[core.TaskId]int, ro RecoverOptions, policy core.RetryPolicy) (map[core.TaskId][]core.Payload, []core.ShardId, error) {
+	ectx := ctx
+	cancel := func() {}
+	if policy.AttemptTimeout > 0 {
+		ectx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
+	}
+	defer cancel()
+
+	trs, err := ro.Connect(epoch, ranks)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: epoch %d connect: %w", epoch, err)
+	}
+	if len(trs) != ranks {
+		closeEpoch(trs, false)
+		return nil, nil, fmt.Errorf("mpi: epoch %d: connect returned %d transports, want %d", epoch, len(trs), ranks)
+	}
+	wrapped := make([]fabric.Transport, ranks)
+	for l := range trs {
+		wrapped[l] = trs[l]
+		if ro.Inject != nil {
+			wrapped[l] = ro.Inject(epoch, l, trs[l])
+		}
+	}
+
+	parts, err := partitionInitialClone(tmap, ranks, ro.Initial)
+	if err != nil {
+		closeEpoch(trs, false)
+		return nil, nil, err
+	}
+
+	results := make([]map[core.TaskId][]core.Payload, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for l := 0; l < ranks; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			results[l], errs[l] = c.runRankOn(ectx, l, wrapped[l], parts[l], ledgers[alive[l]], tmap)
+		}(l)
+	}
+	wg.Wait()
+
+	// Declare dead ranks: a transport's self-report (the injection harness
+	// reports its own killed rank) is authoritative; a peer-reported loss
+	// counts only when the named rank actually failed, filtering the
+	// teardown cascade a survivor's cancellation causes.
+	lostLogical := make(map[int]bool)
+	for l := range wrapped {
+		lr, ok := wrapped[l].(fabric.LossReporter)
+		if !ok {
+			continue
+		}
+		for _, lp := range lr.LostPeers() {
+			if lp < 0 || lp >= ranks {
+				continue
+			}
+			if lp == l || errs[lp] != nil {
+				lostLogical[lp] = true
+			}
+		}
+	}
+	var lost []core.ShardId
+	for l := range lostLogical {
+		lost = append(lost, alive[l])
+	}
+
+	var firstErr, nonRetryable error
+	for l, e := range errs {
+		if e == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = e
+		}
+		if !lostLogical[l] && !retryable(e) {
+			nonRetryable = e
+		}
+	}
+	merged := mergeResults(results)
+	if firstErr == nil && len(lost) == 0 && sinksComplete(wantSinks, merged) {
+		closeEpoch(trs, true)
+		return merged, nil, nil
+	}
+	releaseResults(merged)
+	closeEpoch(trs, false)
+	if nonRetryable != nil {
+		return nil, lost, nonRetryable
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("mpi: epoch %d: incomplete sink coverage: %w", epoch, fabric.ErrPeerLost)
+	}
+	return nil, lost, firstErr
+}
+
+// retryable classifies an epoch failure: transport-level losses, closed
+// mailboxes and attempt timeouts warrant another epoch; anything else (a
+// callback error on a healthy rank) is a real dataflow failure.
+func retryable(err error) bool {
+	return errors.Is(err, fabric.ErrPeerLost) ||
+		errors.Is(err, fabric.ErrClosed) ||
+		errors.Is(err, core.ErrCancelled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// closeEpoch tears an epoch's transports down: gracefully (Shutdown, so
+// goodbye frames flow and sockets drain) after a successful epoch, abruptly
+// (Kill/Cancel) after a failed one.
+func closeEpoch(trs []fabric.Transport, graceful bool) {
+	var wg sync.WaitGroup
+	for _, tr := range trs {
+		if tr == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(tr fabric.Transport) {
+			defer wg.Done()
+			if graceful {
+				if s, ok := tr.(interface{ Shutdown(time.Duration) error }); ok {
+					s.Shutdown(5 * time.Second)
+					return
+				}
+			}
+			if k, ok := tr.(interface{ Kill() }); ok {
+				k.Kill()
+				return
+			}
+			tr.Cancel()
+		}(tr)
+	}
+	wg.Wait()
+}
+
+// partitionInitialClone splits the global external inputs by the epoch's
+// task map, cloning every payload so one epoch's consumption (tasks own
+// their inputs) cannot corrupt the next attempt's.
+func partitionInitialClone(tmap core.TaskMap, ranks int, initial map[core.TaskId][]core.Payload) ([]map[core.TaskId][]core.Payload, error) {
+	parts := make([]map[core.TaskId][]core.Payload, ranks)
+	for id, ps := range initial {
+		r := int(tmap.Shard(id))
+		if r < 0 || r >= ranks {
+			return nil, fmt.Errorf("mpi: task %d mapped to shard %d of %d", id, r, ranks)
+		}
+		if parts[r] == nil {
+			parts[r] = make(map[core.TaskId][]core.Payload)
+		}
+		for _, p := range ps {
+			cp, err := p.CloneForWire()
+			if err != nil {
+				return nil, fmt.Errorf("mpi: fault-tolerant runs need serializable external inputs: task %d: %w", id, err)
+			}
+			parts[r][id] = append(parts[r][id], cp)
+		}
+	}
+	return parts, nil
+}
+
+// expectedSinks returns, per root task, how many sink payloads a complete
+// run must produce — the coordinator's completeness check (a killed rank
+// can exit without error but with its sinks missing).
+func expectedSinks(g core.TaskGraph) map[core.TaskId]int {
+	want := make(map[core.TaskId]int)
+	for _, id := range g.TaskIds() {
+		t, _ := g.Task(id)
+		n := 0
+		for _, consumers := range t.Outgoing {
+			if len(consumers) == 0 {
+				n++
+			}
+		}
+		if n > 0 {
+			want[id] = n
+		}
+	}
+	return want
+}
+
+func sinksComplete(want map[core.TaskId]int, got map[core.TaskId][]core.Payload) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for id, n := range want {
+		if len(got[id]) != n {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeResults(per []map[core.TaskId][]core.Payload) map[core.TaskId][]core.Payload {
+	merged := make(map[core.TaskId][]core.Payload)
+	for _, m := range per {
+		for id, ps := range m {
+			merged[id] = append(merged[id], ps...)
+		}
+	}
+	return merged
+}
+
+func releaseResults(m map[core.TaskId][]core.Payload) {
+	for _, ps := range m {
+		for _, p := range ps {
+			p.Release()
+		}
+	}
+}
+
+func sumLedgers(ledgers []*core.Ledger) (replayed, executed int) {
+	for _, l := range ledgers {
+		replayed += l.Replays()
+		executed += l.Executions()
+	}
+	return replayed, executed
+}

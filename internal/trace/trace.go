@@ -33,6 +33,13 @@ type Span struct {
 	// Slack is the task's critical-path slack in levels (0 = on a critical
 	// path). Filled by AnnotateSlack; zero until then.
 	Slack int
+	// Attempt is the execution attempt that produced this span: 1 for the
+	// first run, higher after fault-tolerant re-execution, 0 when the output
+	// was replayed from a lineage ledger (no callback ran).
+	Attempt int
+	// Replayed marks spans whose outputs came from a lineage ledger during
+	// recovery instead of a callback execution.
+	Replayed bool
 }
 
 // Duration returns the span's length.
@@ -42,19 +49,33 @@ func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
 // pass the recorder as the controller's Observer so spans learn their
 // shard. Safe for concurrent use.
 type Recorder struct {
-	mu     sync.Mutex
-	spans  map[core.TaskId]*Span
-	order  []core.TaskId
-	shards map[core.TaskId]core.ShardId
-	queued map[core.TaskId]time.Duration
+	mu       sync.Mutex
+	spans    map[core.TaskId]*Span
+	order    []core.TaskId
+	shards   map[core.TaskId]core.ShardId
+	queued   map[core.TaskId]time.Duration
+	attempts map[core.TaskId]int
+	replays  []Span
+	epochs   []RecoveryEvent
+}
+
+// RecoveryEvent is one recovery epoch boundary observed by the recorder.
+type RecoveryEvent struct {
+	// Epoch is the attempt number the run moved to (2 = first retry).
+	Epoch int
+	// Lost lists the shards declared dead before this epoch.
+	Lost []core.ShardId
+	// At is when recovery started.
+	At time.Time
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		spans:  make(map[core.TaskId]*Span),
-		shards: make(map[core.TaskId]core.ShardId),
-		queued: make(map[core.TaskId]time.Duration),
+		spans:    make(map[core.TaskId]*Span),
+		shards:   make(map[core.TaskId]core.ShardId),
+		queued:   make(map[core.TaskId]time.Duration),
+		attempts: make(map[core.TaskId]int),
 	}
 }
 
@@ -67,7 +88,8 @@ func (r *Recorder) Wrap(cb core.CallbackId, fn core.Callback) core.Callback {
 		end := time.Now()
 		if err == nil {
 			r.mu.Lock()
-			r.spans[id] = &Span{Task: id, Callback: cb, Shard: r.shards[id], Start: start, End: end, QueueWait: r.queued[id]}
+			r.attempts[id]++
+			r.spans[id] = &Span{Task: id, Callback: cb, Shard: r.shards[id], Start: start, End: end, QueueWait: r.queued[id], Attempt: r.attempts[id]}
 			r.order = append(r.order, id)
 			r.mu.Unlock()
 		}
@@ -100,6 +122,38 @@ func (r *Recorder) TaskQueued(id core.TaskId, enqueued, started time.Time) {
 	}
 }
 
+// TaskReplayed implements core.ReplayObserver: during recovery, a task
+// whose outputs were re-emitted from a lineage ledger records a zero-length
+// span marked Replayed instead of a measured execution.
+func (r *Recorder) TaskReplayed(id core.TaskId, shard core.ShardId, cb core.CallbackId) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replays = append(r.replays, Span{Task: id, Callback: cb, Shard: shard, Start: now, End: now, Replayed: true})
+}
+
+// RecoveryStarted implements core.RecoveryObserver: the fault-tolerant
+// coordinator reports each retry epoch and the shards it lost.
+func (r *Recorder) RecoveryStarted(epoch int, lost []core.ShardId) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epochs = append(r.epochs, RecoveryEvent{Epoch: epoch, Lost: append([]core.ShardId(nil), lost...), At: time.Now()})
+}
+
+// Recoveries returns the recovery epoch boundaries observed, in order.
+func (r *Recorder) Recoveries() []RecoveryEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RecoveryEvent(nil), r.epochs...)
+}
+
+// Replays returns the replayed-task spans recorded during recovery.
+func (r *Recorder) Replays() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.replays...)
+}
+
 // Spans returns the recorded spans sorted by start time.
 func (r *Recorder) Spans() []Span {
 	r.mu.Lock()
@@ -125,6 +179,9 @@ func (r *Recorder) Reset() {
 	r.order = nil
 	r.shards = make(map[core.TaskId]core.ShardId)
 	r.queued = make(map[core.TaskId]time.Duration)
+	r.attempts = make(map[core.TaskId]int)
+	r.replays = nil
+	r.epochs = nil
 }
 
 // AnnotateSlack fills each span's Slack field from the graph's critical-path
@@ -252,10 +309,10 @@ func Summarize(g core.TaskGraph, spans []Span) (Summary, error) {
 }
 
 // WriteCSV emits the spans as CSV rows (task, callback, shard, start_ns,
-// end_ns, duration_ns, queue_wait_ns, slack) relative to the first start,
-// suitable for Gantt plotting.
+// end_ns, duration_ns, queue_wait_ns, slack, attempt, replayed) relative to
+// the first start, suitable for Gantt plotting.
 func WriteCSV(w io.Writer, spans []Span) error {
-	if _, err := fmt.Fprintln(w, "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack"); err != nil {
+	if _, err := fmt.Fprintln(w, "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack,attempt,replayed"); err != nil {
 		return err
 	}
 	if len(spans) == 0 {
@@ -268,10 +325,14 @@ func WriteCSV(w io.Writer, spans []Span) error {
 		}
 	}
 	for _, s := range spans {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+		replayed := 0
+		if s.Replayed {
+			replayed = 1
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			s.Task, s.Callback, s.Shard,
 			s.Start.Sub(epoch).Nanoseconds(), s.End.Sub(epoch).Nanoseconds(),
-			s.Duration().Nanoseconds(), s.QueueWait.Nanoseconds(), s.Slack)
+			s.Duration().Nanoseconds(), s.QueueWait.Nanoseconds(), s.Slack, s.Attempt, replayed)
 		if err != nil {
 			return err
 		}

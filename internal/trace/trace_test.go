@@ -144,7 +144,7 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack" {
+	if lines[0] != "task,callback,shard,start_ns,end_ns,duration_ns,queue_wait_ns,slack,attempt,replayed" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if len(lines) != 1+len(rec.Spans()) {

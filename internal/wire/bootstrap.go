@@ -103,7 +103,7 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	if err != nil {
 		return nil, fmt.Errorf("wire: rank %d: rendezvous %s: %w", opt.Rank, opt.Addr, err)
 	}
-	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Fingerprint: opt.Fingerprint, Addr: ln.Addr().String()}
+	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Fingerprint: opt.Fingerprint, Addr: ln.Addr().String()}
 	if err := writeConn(c0, deadline, encodeHello(h)); err != nil {
 		c0.Close()
 		return nil, fmt.Errorf("wire: rank %d: register: %w", opt.Rank, err)
@@ -135,7 +135,7 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 			closeAll(conns)
 			return nil, fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addrs[j], err)
 		}
-		hj := hello{Rank: opt.Rank, Ranks: opt.Ranks, Fingerprint: opt.Fingerprint}
+		hj := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Fingerprint: opt.Fingerprint}
 		if err := writeConn(c, deadline, encodeHello(hj)); err != nil {
 			c.Close()
 			closeAll(conns)
@@ -191,8 +191,9 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 }
 
 // vetHello validates a peer's handshake announcement: rank in [minRank,
-// Ranks), not yet connected, agreeing rank count and matching graph
-// fingerprint. It returns a refusal reason, or "" when the peer is sound.
+// Ranks), not yet connected, agreeing rank count, matching recovery epoch
+// and matching graph fingerprint. It returns a refusal reason, or "" when
+// the peer is sound.
 func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 	if h.Rank < minRank || h.Rank >= opt.Ranks {
 		return fmt.Sprintf("rank %d out of range [%d,%d)", h.Rank, minRank, opt.Ranks)
@@ -202,6 +203,9 @@ func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 	}
 	if h.Ranks != opt.Ranks {
 		return fmt.Sprintf("rank count mismatch: peer says %d, local says %d", h.Ranks, opt.Ranks)
+	}
+	if h.Epoch != opt.Epoch {
+		return fmt.Sprintf("recovery epoch mismatch: peer says %d, local says %d (stale rejoin)", h.Epoch, opt.Epoch)
 	}
 	if h.Fingerprint != opt.Fingerprint {
 		return fmt.Sprintf("graph fingerprint mismatch: peer %s, local %s", h.Fingerprint, opt.Fingerprint)

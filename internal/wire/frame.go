@@ -16,11 +16,12 @@ import (
 //
 // Bodies by type:
 //
-//	frameData:      u64 src task id | u64 dest task id | payload bytes
+//	frameData:      u64 src task id | u64 dest task id | u64 seq |
+//	                u32 attempt | payload bytes
 //	frameHeartbeat: empty
 //	frameGoodbye:   empty — the peer has flushed everything it will ever
 //	                send; a subsequent EOF on the connection is clean
-//	frameHello:     u32 rank | u32 ranks | 32-byte fingerprint |
+//	frameHello:     u32 rank | u32 ranks | u32 epoch | 32-byte fingerprint |
 //	                u16 addr length | advertised data address (dialer side)
 //	frameWelcome:   u32 n | n × (u16 addr length | address), the data
 //	                address table indexed by rank (rendezvous reply)
@@ -41,7 +42,7 @@ const (
 
 const (
 	frameHeaderSize = 5            // u32 length + u8 type
-	dataHeaderSize  = 16           // u64 src + u64 dest
+	dataHeaderSize  = 28           // u64 src + u64 dest + u64 seq + u32 attempt
 	maxFrameSize    = 1 << 30      // hard ceiling on a single frame
 	fingerprintSize = 32           // sha256
 	maxAddrLen      = 1<<16 - 1    // address strings are u16-length-prefixed
@@ -54,11 +55,13 @@ func putFrameHeader(dst []byte, typ byte, n int) {
 }
 
 // encodeDataFrame appends one data frame carrying payload to dst.
-func encodeDataFrame(dst []byte, src, dest core.TaskId, payload []byte) []byte {
+func encodeDataFrame(dst []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) []byte {
 	var hdr [frameHeaderSize + dataHeaderSize]byte
 	putFrameHeader(hdr[:], frameData, dataHeaderSize+len(payload))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], uint64(src))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+8:], uint64(dest))
+	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+16:], seq)
+	binary.LittleEndian.PutUint32(hdr[frameHeaderSize+24:], attempt)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }
@@ -92,16 +95,18 @@ func readFrame(r io.Reader) (typ byte, n int, err error) {
 type hello struct {
 	Rank        int
 	Ranks       int
+	Epoch       int
 	Fingerprint core.Fingerprint
 	Addr        string // advertised data listener address ("" on peer dials)
 }
 
 func encodeHello(h hello) []byte {
-	body := 4 + 4 + fingerprintSize + 2 + len(h.Addr)
+	body := 4 + 4 + 4 + fingerprintSize + 2 + len(h.Addr)
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
 	putFrameHeader(b, frameHello, body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
+	b = binary.LittleEndian.AppendUint32(b, uint32(h.Epoch))
 	b = append(b, h.Fingerprint[:]...)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Addr)))
 	return append(b, h.Addr...)
@@ -109,13 +114,14 @@ func encodeHello(h hello) []byte {
 
 func decodeHello(body []byte) (hello, error) {
 	var h hello
-	if len(body) < 4+4+fingerprintSize+2 {
+	if len(body) < 4+4+4+fingerprintSize+2 {
 		return h, fmt.Errorf("wire: hello frame truncated (%d bytes)", len(body))
 	}
 	h.Rank = int(binary.LittleEndian.Uint32(body))
 	h.Ranks = int(binary.LittleEndian.Uint32(body[4:]))
-	copy(h.Fingerprint[:], body[8:8+fingerprintSize])
-	off := 8 + fingerprintSize
+	h.Epoch = int(binary.LittleEndian.Uint32(body[8:]))
+	copy(h.Fingerprint[:], body[12:12+fingerprintSize])
+	off := 12 + fingerprintSize
 	n := int(binary.LittleEndian.Uint16(body[off:]))
 	off += 2
 	if len(body) != off+n {

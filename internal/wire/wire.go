@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,10 +51,11 @@ import (
 // Typed error surface of the transport.
 var (
 	// ErrPeerLost marks a peer that disconnected without a goodbye or went
-	// silent past the heartbeat timeout.
-	ErrPeerLost = errors.New("wire: peer lost")
+	// silent past the heartbeat timeout. It aliases fabric.ErrPeerLost so
+	// controllers can classify peer loss without importing the transport.
+	ErrPeerLost = fabric.ErrPeerLost
 	// ErrHandshake marks a rendezvous or pairwise handshake refusal —
-	// mismatched fingerprint, rank count, or duplicate rank.
+	// mismatched fingerprint, rank count, epoch, or duplicate rank.
 	ErrHandshake = errors.New("wire: handshake failed")
 )
 
@@ -81,6 +83,12 @@ type Options struct {
 	// HeartbeatTimeout is how long a connection may stay silent before its
 	// peer is declared lost. Default 4 * HeartbeatInterval.
 	HeartbeatTimeout time.Duration
+	// Epoch is the recovery generation of this mesh. A fault-tolerant
+	// coordinator bumps it on every rejoin, so a straggling peer from a
+	// previous generation is rejected at handshake time (same rendezvous
+	// flow, same fingerprint check) instead of corrupting the new epoch's
+	// dataflow. Plain runs leave it zero.
+	Epoch int
 }
 
 func (o *Options) setDefaults() error {
@@ -132,6 +140,7 @@ type Fabric struct {
 
 	errMu     sync.Mutex
 	firstErr  error
+	lost      map[int]bool // ranks observed dead before cancellation
 	cancelled atomic.Bool
 	done      chan struct{} // closed on Cancel/Shutdown/Kill: stops heartbeats
 	doneOnce  sync.Once
@@ -321,6 +330,16 @@ func (f *Fabric) Shutdown(timeout time.Duration) error {
 	}
 	f.writers.Wait()
 
+	// Writers have exited; anything still queued in an outbox was dropped by
+	// a failed writer and will never be delivered. Count it so the drain
+	// reports partial delivery instead of silently discarding frames.
+	undelivered := 0
+	for _, p := range f.peers {
+		if p != nil {
+			undelivered += p.outbox.Len()
+		}
+	}
+
 	readersDone := make(chan struct{})
 	go func() {
 		f.readers.Wait()
@@ -329,7 +348,8 @@ func (f *Fabric) Shutdown(timeout time.Duration) error {
 	select {
 	case <-readersDone:
 	case <-time.After(timeout):
-		f.fail(fmt.Errorf("wire: shutdown: peers still active after %v: %w", timeout, ErrPeerLost))
+		f.fail(fmt.Errorf("wire: shutdown: peers still active after %v, %d queued frame(s) undelivered: %w",
+			timeout, undelivered, ErrPeerLost))
 	}
 	for _, p := range f.peers {
 		if p != nil {
@@ -368,6 +388,39 @@ func (f *Fabric) fail(err error) {
 	}
 	f.errMu.Unlock()
 	f.Cancel()
+}
+
+// failPeer records rank as a lost peer, then fails the fabric. Losses
+// observed after cancellation are teardown noise and are dropped, so the
+// lost set names the peer(s) implicated in the first failure — the input a
+// recovery coordinator reassigns around.
+func (f *Fabric) failPeer(rank int, err error) {
+	if f.cancelled.Load() {
+		return
+	}
+	f.errMu.Lock()
+	if f.lost == nil {
+		f.lost = make(map[int]bool)
+	}
+	f.lost[rank] = true
+	f.errMu.Unlock()
+	f.fail(err)
+}
+
+// LostPeers implements fabric.LossReporter: the ranks this fabric observed
+// as dead before it was cancelled, ascending.
+func (f *Fabric) LostPeers() []int {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	if len(f.lost) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(f.lost))
+	for r := range f.lost {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // writeLoop drains one peer's outbox: whole batches are encoded into a
@@ -414,7 +467,7 @@ func (f *Fabric) writeLoop(p *peer) {
 		buf := core.GrabBuffer(total)[:0]
 		var payloadBytes uint64
 		for i := 0; i < n; i++ {
-			buf = encodeDataFrame(buf, batch[i].Src, batch[i].Dest, wires[i])
+			buf = encodeDataFrame(buf, batch[i].Src, batch[i].Dest, batch[i].Seq, batch[i].Attempt, wires[i])
 			payloadBytes += uint64(len(wires[i]))
 			wires[i] = nil
 		}
@@ -427,7 +480,12 @@ func (f *Fabric) writeLoop(p *peer) {
 		releaseAll(batch[:n])
 		clearMessages(batch[:n])
 		if err != nil {
-			f.fail(fmt.Errorf("wire: rank %d: write to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			// The failed write plus whatever is still queued behind it will
+			// never reach the peer; surface the count so partial delivery is
+			// observable instead of silent.
+			undelivered := n + p.outbox.Len()
+			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: write to rank %d: %d frame(s) undelivered: %w (%v)",
+				f.opt.Rank, p.rank, undelivered, ErrPeerLost, err))
 			return
 		}
 		f.messages.Add(uint64(n))
@@ -457,7 +515,7 @@ func (f *Fabric) readLoop(p *peer) {
 			if f.cancelled.Load() || p.departed.Load() {
 				return
 			}
-			f.fail(fmt.Errorf("wire: rank %d: peer %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
 			return
 		}
 		switch typ {
@@ -517,12 +575,15 @@ func (f *Fabric) readDataBody(p *peer, br io.Reader, n int) (fabric.Message, err
 	}
 	src := core.TaskId(le64(hdr[0:]))
 	dest := core.TaskId(le64(hdr[8:]))
+	seq := le64(hdr[16:])
+	attempt := le32(hdr[24:])
 	payload := core.GrabBuffer(n - dataHeaderSize)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return fabric.Message{}, err
 	}
 	return fabric.Message{
 		From: p.rank, To: f.opt.Rank, Src: src, Dest: dest,
+		Seq: seq, Attempt: attempt,
 		Payload: core.Buffer(payload),
 	}, nil
 }
@@ -612,7 +673,7 @@ func (f *Fabric) heartbeatLoop() {
 				}
 				p.wmu.Unlock()
 				if err != nil && !p.departed.Load() {
-					f.fail(fmt.Errorf("wire: rank %d: heartbeat to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+					f.failPeer(p.rank, fmt.Errorf("wire: rank %d: heartbeat to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
 					return
 				}
 			}
