@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults figures smoke-wire smoke-faults
+.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal figures smoke-wire smoke-faults smoke-resume fuzz-wire
 
 ## check: the CI gate — vet, build, the full test suite under the race
-## detector, and the fault-injection smoke (kill one peer, recover, verify
-## the sinks against serial).
-check: vet build race smoke-faults
+## detector, the fault-injection smoke (kill one peer, recover, verify the
+## sinks against serial) and the resume smoke (kill every rank, restart
+## from the journals, verify the sinks against serial).
+check: vet build race smoke-faults smoke-resume
 
 build:
 	$(GO) build ./...
@@ -58,3 +59,28 @@ smoke-wire:
 ## sink digests byte-for-byte against the serial reference.
 smoke-faults:
 	$(GO) run ./cmd/bfrun -faults
+
+## bench-journal: regenerate the checkpoint/restart benchmark report —
+## journaling overhead per fsync policy plus resume latency over a
+## completed journal (BENCH_journal.json; baseline_seed preserved).
+bench-journal:
+	$(GO) run ./cmd/bfbench -journal
+
+## smoke-resume: for every use case, kill EVERY rank (including rank 0) of
+## a journaled 4-process TCP run mid-flight, then restart over the same
+## journal directory and verify the resumed sink digests byte-for-byte
+## against the serial reference — replaying the journaled prefix instead of
+## re-executing it.
+smoke-resume:
+	$(GO) build -o bin/bfrun ./cmd/bfrun
+	@set -e; for c in mergetree render register; do \
+		dir=$$(mktemp -d); \
+		./bin/bfrun -case $$c -journal $$dir -kill-all-after 1 -ranks 4; \
+		./bin/bfrun -case $$c -resume $$dir -ranks 4; \
+		rm -rf $$dir; \
+	done
+
+## fuzz-wire: short fuzz smoke of the wire frame decoder (longer runs:
+## go test -fuzz=FuzzFrameDecode ./internal/wire).
+fuzz-wire:
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/wire

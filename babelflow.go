@@ -42,11 +42,13 @@ package babelflow
 
 import (
 	"io"
+	"time"
 
 	"github.com/babelflow/babelflow-go/internal/charm"
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/dot"
 	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/journal"
 	"github.com/babelflow/babelflow-go/internal/legion"
 	"github.com/babelflow/babelflow-go/internal/mpi"
 	"github.com/babelflow/babelflow-go/internal/trace"
@@ -224,6 +226,32 @@ func WithTransport(t mpi.TransportFactory) MPIOption { return mpi.WithTransport(
 
 // WithObserver installs the execution observer.
 func WithObserver(obs Observer) MPIOption { return mpi.WithObserver(obs) }
+
+// SyncPolicy selects when a lineage journal fsyncs: SyncEveryRecord
+// (default, crash-durable), SyncOnRotate, or SyncNever.
+type SyncPolicy = journal.SyncPolicy
+
+// Journal fsync policies; see SyncPolicy.
+const (
+	SyncEveryRecord = journal.SyncEveryRecord
+	SyncOnRotate    = journal.SyncOnRotate
+	SyncNever       = journal.SyncNever
+)
+
+// WithJournal persists each rank's lineage ledger to an append-only,
+// CRC-framed journal under dir (one rank-N subdirectory per rank). A run
+// killed at any point resumes from the same directory: journaled tasks
+// replay their recorded outputs and only the remaining frontier executes.
+func WithJournal(dir string) MPIOption { return mpi.WithJournal(dir) }
+
+// WithJournalSync sets the journal's fsync policy (default SyncEveryRecord).
+func WithJournalSync(p SyncPolicy) MPIOption { return mpi.WithJournalSync(p) }
+
+// WithHeartbeat tunes the wire transport's peer-liveness probes: interval
+// between heartbeats and the silence after which a peer is declared lost.
+func WithHeartbeat(interval, timeout time.Duration) MPIOption {
+	return mpi.WithHeartbeat(interval, timeout)
+}
 
 // CharmOptions configures the Charm++ controller.
 type CharmOptions = charm.Options

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/journal"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+// The journal mode benchmarks durable checkpoint/restart: each figure
+// workload runs on 4 in-process ranks four ways — no journal, journaling
+// under each fsync policy — and then once more over the completed journal
+// to measure resume latency (every task replayed, no callback executed).
+// BENCH_journal.json records the journaling overhead and the resume cost.
+
+// journalResult is one workload's measurement.
+type journalResult struct {
+	// PlainMs is the wall clock without any journal.
+	PlainMs float64 `json:"plain_ms"`
+	// JournalMs is the wall clock journaling with fsync-per-record (the
+	// default, crash-durable policy); OverheadPct relates it to PlainMs.
+	JournalMs   float64 `json:"journal_ms"`
+	OverheadPct float64 `json:"journal_overhead_pct"`
+	// RotateSyncMs and NoSyncMs are the relaxed policies (fsync on segment
+	// rotation only / never).
+	RotateSyncMs float64 `json:"journal_sync_rotate_ms"`
+	NoSyncMs     float64 `json:"journal_sync_never_ms"`
+	// ResumeMs is the wall clock of rerunning over the completed journal:
+	// Restored tasks replayed, zero callbacks executed.
+	ResumeMs float64 `json:"resume_ms"`
+	Restored int     `json:"resume_restored_tasks"`
+	// JournalBytes is the on-disk footprint of the per-record-sync journal.
+	JournalBytes int64 `json:"journal_bytes"`
+	Tasks        int   `json:"tasks"`
+}
+
+// journalRun executes the workload once on 4 in-process ranks, journaling
+// under dir (empty = no journal), and returns the wall clock and stats.
+func journalRun(g core.TaskGraph, ranks int, dir string, sync journal.SyncPolicy) (time.Duration, mpi.JournalStats, error) {
+	var opts []mpi.Option
+	if dir != "" {
+		opts = append(opts, mpi.WithJournal(dir), mpi.WithJournalSync(sync))
+	}
+	ctrl := mpi.New(opts...)
+	if err := ctrl.Initialize(g, core.NewGraphMap(ranks, g)); err != nil {
+		return 0, mpi.JournalStats{}, err
+	}
+	cb := faultsDigestCB(g)
+	for _, cid := range g.Callbacks() {
+		if err := ctrl.RegisterCallback(cid, cb); err != nil {
+			return 0, mpi.JournalStats{}, err
+		}
+	}
+	start := time.Now()
+	out, err := ctrl.Run(faultsInputs(g))
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, mpi.JournalStats{}, err
+	}
+	for _, ps := range out {
+		for _, p := range ps {
+			p.Release()
+		}
+	}
+	return elapsed, ctrl.JournalStats(), nil
+}
+
+func dirBytes(dir string) int64 {
+	var n int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}
+
+// measureJournal benchmarks one workload across the journal configurations.
+func measureJournal(g core.TaskGraph, ranks int) (journalResult, error) {
+	plain, _, err := journalRun(g, ranks, "", 0)
+	if err != nil {
+		return journalResult{}, fmt.Errorf("plain: %w", err)
+	}
+
+	base, err := os.MkdirTemp("", "bfbench-journal-")
+	if err != nil {
+		return journalResult{}, err
+	}
+	defer os.RemoveAll(base)
+
+	durDir := filepath.Join(base, "every")
+	durable, js, err := journalRun(g, ranks, durDir, journal.SyncEveryRecord)
+	if err != nil {
+		return journalResult{}, fmt.Errorf("journal sync=every: %w", err)
+	}
+	if js.Executed != g.Size() {
+		return journalResult{}, fmt.Errorf("journal run executed %d of %d tasks", js.Executed, g.Size())
+	}
+	rotate, _, err := journalRun(g, ranks, filepath.Join(base, "rotate"), journal.SyncOnRotate)
+	if err != nil {
+		return journalResult{}, fmt.Errorf("journal sync=rotate: %w", err)
+	}
+	nosync, _, err := journalRun(g, ranks, filepath.Join(base, "never"), journal.SyncNever)
+	if err != nil {
+		return journalResult{}, fmt.Errorf("journal sync=never: %w", err)
+	}
+
+	// Resume over the completed durable journal: everything replays.
+	resume, rjs, err := journalRun(g, ranks, durDir, journal.SyncEveryRecord)
+	if err != nil {
+		return journalResult{}, fmt.Errorf("resume: %w", err)
+	}
+	if rjs.Executed != 0 || rjs.Replayed != g.Size() {
+		return journalResult{}, fmt.Errorf("resume replayed %d and executed %d of %d tasks", rjs.Replayed, rjs.Executed, g.Size())
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return journalResult{
+		PlainMs:      ms(plain),
+		JournalMs:    ms(durable),
+		OverheadPct:  (ms(durable) - ms(plain)) / ms(plain) * 100,
+		RotateSyncMs: ms(rotate),
+		NoSyncMs:     ms(nosync),
+		ResumeMs:     ms(resume),
+		Restored:     rjs.Restored,
+		JournalBytes: dirBytes(durDir),
+		Tasks:        g.Size(),
+	}, nil
+}
+
+// runJournalBench measures the checkpoint/restart benchmarks and rewrites
+// the JSON report at path, preserving an existing baseline_seed section.
+func runJournalBench(path string) error {
+	red, err := graphs.NewReduction(64, 2)
+	if err != nil {
+		return err
+	}
+	kwm, err := graphs.NewKWayMerge(32, 2)
+	if err != nil {
+		return err
+	}
+	bsw, err := graphs.NewBinarySwap(16)
+	if err != nil {
+		return err
+	}
+	workloads := []struct {
+		name string
+		g    core.TaskGraph
+	}{
+		{"reduction-64", red},
+		{"kwaymerge-32", kwm},
+		{"binaryswap-16", bsw},
+	}
+	const ranks = 4
+
+	current := make(map[string]journalResult, len(workloads))
+	for _, w := range workloads {
+		res, err := measureJournal(w.g, ranks)
+		if err != nil {
+			return fmt.Errorf("bfbench: %s: %w", w.name, err)
+		}
+		current[w.name] = res
+		fmt.Printf("%-16s plain %8.1f ms  journal %8.1f ms (%+5.1f%%, rotate %.1f, nosync %.1f)  resume %8.1f ms replaying %d tasks (%d bytes)\n",
+			w.name, res.PlainMs, res.JournalMs, res.OverheadPct, res.RotateSyncMs, res.NoSyncMs,
+			res.ResumeMs, res.Restored, res.JournalBytes)
+	}
+
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bfbench: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	cur, err := json.Marshal(current)
+	if err != nil {
+		return err
+	}
+	report["current"] = cur
+	if _, ok := report["baseline_seed"]; !ok {
+		report["baseline_seed"] = cur
+	}
+	if _, ok := report["note"]; !ok {
+		note, _ := json.Marshal(fmt.Sprintf(
+			"Checkpoint/restart benchmarks: figure workloads on 4 in-process ranks, lineage ledger journaled per fsync policy, then resumed over the completed journal (every task replayed, none executed). Measured %s. Regenerate current with: go run ./cmd/bfbench -journal",
+			time.Now().Format("2006-01-02")))
+		report["note"] = note
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

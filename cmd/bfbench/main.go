@@ -35,6 +35,8 @@ func main() {
 		schedOut    = flag.String("sched-out", "BENCH_sched.json", "report path for -sched (baseline_seed is preserved)")
 		faultsBench = flag.Bool("faults", false, "run the recovery benchmarks (failure-free vs one peer killed) instead of the figures")
 		faultsOut   = flag.String("faults-out", "BENCH_faults.json", "report path for -faults (baseline_seed is preserved)")
+		jnlBench    = flag.Bool("journal", false, "run the checkpoint/restart benchmarks (journaling overhead per fsync policy, resume latency) instead of the figures")
+		jnlOut      = flag.String("journal-out", "BENCH_journal.json", "report path for -journal (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,12 @@ func main() {
 	}
 	if *faultsBench {
 		if err := runFaultsBench(*faultsOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *jnlBench {
+		if err := runJournalBench(*jnlOut); err != nil {
 			log.Fatal(err)
 		}
 		return

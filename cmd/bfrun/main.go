@@ -42,13 +42,18 @@ func main() {
 		faults    = flag.Bool("faults", false, "run under fault injection: kill one peer, recover via replay, verify against serial")
 		killRank  = flag.Int("kill-rank", 1, "with -faults: the rank to kill")
 		killAfter = flag.Int("kill-after", 0, "with -faults: inter-rank messages the victim sends before dying")
+		journal   = flag.String("journal", "", "with -transport tcp: persist per-rank lineage journals under this directory")
+		resume    = flag.String("resume", "", "restart a crashed -journal run from its directory over TCP and verify sink digests against serial")
+		killAll   = flag.Int("kill-all-after", -1, "with -journal: kill EVERY rank (including rank 0) after it sends this many inter-rank messages, seeding a resumable crash")
+		wireKill  = flag.Int("wire-kill-after", -1, "internal: worker kills its own transport after this many inter-rank sends")
+		wireJnl   = flag.String("wire-journal", "", "internal: worker journal directory")
 	)
 	flag.Parse()
 	traceCSV = *traceTo
 	whatIfCores = *whatIfC
 
 	if *wireRank >= 0 {
-		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *n, *blocks)
+		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *n, *blocks, *wireJnl, *wireKill)
 		return
 	}
 	if *faults {
@@ -59,8 +64,12 @@ func main() {
 		runFaults(uc, *ranks, *n, *blocks, *killRank, *killAfter)
 		return
 	}
-	if *transport == "tcp" {
-		runWireParent(*useCase, *runtime, *ranks, *n, *blocks)
+	if *resume != "" {
+		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *resume, -1, true)
+		return
+	}
+	if *transport == "tcp" || *journal != "" {
+		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *journal, *killAll, false)
 		return
 	}
 	if *transport != "mem" {

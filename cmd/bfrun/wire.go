@@ -24,10 +24,13 @@ import (
 	"os/exec"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/faultinject"
 	"github.com/babelflow/babelflow-go/internal/graphs"
 	"github.com/babelflow/babelflow-go/internal/mergetree"
 	"github.com/babelflow/babelflow-go/internal/mpi"
@@ -118,13 +121,20 @@ func setupWireCase(useCase string, ranks, n, blocks int) (wireCase, error) {
 
 // runWireWorker is one rank of a multi-process run: it connects the TCP
 // fabric, executes its sub-graph and prints one digest line per local sink
-// payload for the parent to verify.
-func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int) {
+// payload for the parent to verify. With journalDir set the rank journals
+// its lineage ledger there (and resumes from whatever the directory already
+// holds); killAfter >= 0 arms a deterministic self-kill after that many
+// inter-rank sends, seeding a resumable crash.
+func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int, journalDir string, killAfter int) {
 	wc, err := setupWireCase(useCase, ranks, n, blocks)
 	if err != nil {
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
 	}
-	ctrl := mpi.New(mpi.Options{})
+	var opts []mpi.Option
+	if journalDir != "" {
+		opts = append(opts, mpi.WithJournal(journalDir))
+	}
+	ctrl := mpi.New(opts...)
 	if err := ctrl.Initialize(wc.graph, wc.tmap); err != nil {
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
 	}
@@ -143,8 +153,23 @@ func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int) 
 			local[id] = ps
 		}
 	}
+	var tr fabric.Transport = fab
+	if killAfter >= 0 {
+		tr = faultinject.Wrap(fab, rank, faultinject.Plan{
+			KillRank:  rank,
+			KillAfter: killAfter,
+			Delay:     time.Millisecond,
+		})
+	}
 	start := time.Now()
-	out, err := ctrl.RunRank(rank, fab, local)
+	out, err := ctrl.RunRank(rank, tr, local)
+	if journalDir != "" {
+		// Journal accounting flows to the parent whether the run survived or
+		// crashed — the crash line is what a later -resume is measured by.
+		js := ctrl.JournalStats()
+		fmt.Printf("BFWIRE journal rank=%d restored=%d replayed=%d executed=%d store_errors=%d\n",
+			rank, js.Restored, js.Replayed, js.Executed, js.StoreErrors)
+	}
 	if err != nil {
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
 	}
@@ -178,12 +203,23 @@ func digestLines(out map[core.TaskId][]core.Payload) []string {
 // runWireParent launches one worker process per rank, aggregates their exit
 // status and timing, and verifies the combined sink digests against an
 // in-parent serial reference run.
-func runWireParent(useCase, rt string, ranks, n, blocks int) {
+//
+// journalDir, when set, makes every worker journal under it. killAll >= 0
+// arms every worker's self-kill after that many inter-rank sends — the
+// parent then expects the job to crash (that is the seeded state a later
+// -resume recovers from) and exits zero only if it did. resume marks a
+// restart: digests must match AND the journals must have carried progress
+// (something restored, every restored task replayed, replays + executions
+// covering the whole graph).
+func runWireParent(useCase, rt string, ranks, n, blocks int, journalDir string, killAll int, resume bool) {
 	if rt != "mpi" {
 		log.Fatalf("bfrun: -transport tcp supports -runtime mpi, got %q", rt)
 	}
 	if ranks < 1 {
 		log.Fatalf("bfrun: -ranks must be positive, got %d", ranks)
+	}
+	if killAll >= 0 && journalDir == "" {
+		log.Fatal("bfrun: -kill-all-after needs -journal (a crash without a journal is not resumable)")
 	}
 	wc, err := setupWireCase(useCase, ranks, n, blocks)
 	if err != nil {
@@ -226,14 +262,21 @@ func runWireParent(useCase, rt string, ranks, n, blocks int) {
 	workers := make([]*worker, ranks)
 	start := time.Now()
 	for r := 0; r < ranks; r++ {
-		w := &worker{cmd: exec.Command(exe,
+		args := []string{
 			"-case", useCase,
 			"-n", strconv.Itoa(n),
 			"-blocks", strconv.Itoa(blocks),
 			"-ranks", strconv.Itoa(ranks),
 			"-wire-rank", strconv.Itoa(r),
 			"-wire-addr", addr,
-		)}
+		}
+		if journalDir != "" {
+			args = append(args, "-wire-journal", journalDir)
+		}
+		if killAll >= 0 {
+			args = append(args, "-wire-kill-after", strconv.Itoa(killAll))
+		}
+		w := &worker{cmd: exec.Command(exe, args...)}
 		w.cmd.Stdout = &w.out
 		w.cmd.Stderr = os.Stderr
 		if err := w.cmd.Start(); err != nil {
@@ -243,6 +286,7 @@ func runWireParent(useCase, rt string, ranks, n, blocks int) {
 	}
 	failed := 0
 	got := make(map[string]bool)
+	var js struct{ restored, replayed, executed, storeErrs int }
 	for r, w := range workers {
 		if err := w.cmd.Wait(); err != nil {
 			fmt.Fprintf(os.Stderr, "bfrun: rank %d exited: %v\n", r, err)
@@ -251,14 +295,37 @@ func runWireParent(useCase, rt string, ranks, n, blocks int) {
 		sc := bufio.NewScanner(&w.out)
 		for sc.Scan() {
 			line := sc.Text()
-			if len(line) >= 11 && line[:11] == "BFWIRE sink" {
+			switch {
+			case strings.HasPrefix(line, "BFWIRE sink"):
 				got[line] = true
-			} else if len(line) >= 11 && line[:11] == "BFWIRE done" {
+			case strings.HasPrefix(line, "BFWIRE done"):
+				fmt.Println(line)
+			case strings.HasPrefix(line, "BFWIRE journal"):
+				var rk, re, rp, ex, se int
+				if _, err := fmt.Sscanf(line, "BFWIRE journal rank=%d restored=%d replayed=%d executed=%d store_errors=%d",
+					&rk, &re, &rp, &ex, &se); err == nil {
+					js.restored += re
+					js.replayed += rp
+					js.executed += ex
+					js.storeErrs += se
+				}
 				fmt.Println(line)
 			}
 		}
 	}
 	elapsed := time.Since(start)
+
+	if killAll >= 0 {
+		// Seed phase of a checkpoint/restart exercise: the job must have
+		// crashed with journaled progress for -resume to have work to do.
+		ok := failed > 0 && js.executed > 0
+		fmt.Printf("wire-journal seed %-10s %d tasks over %d processes: %v  crashed_ranks=%d/%d journaled_executions=%d -> resume with -resume %s\n",
+			useCase, wc.graph.Size(), ranks, elapsed.Round(time.Millisecond), failed, ranks, js.executed, journalDir)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	matches := 0
 	for line := range got {
@@ -267,8 +334,19 @@ func runWireParent(useCase, rt string, ranks, n, blocks int) {
 		}
 	}
 	ok := failed == 0 && matches == len(want) && len(got) == len(want)
-	fmt.Printf("wire %-10s %d tasks over %d processes: %v  sinks=%d/%d match-serial=%v\n",
-		useCase, wc.graph.Size(), ranks, elapsed.Round(time.Millisecond), matches, len(want), ok)
+	if resume {
+		// A restart must prove it resumed rather than recomputed: journals
+		// carried completed tasks in, every one of them replayed, and
+		// replays + executions account for exactly the whole graph.
+		covered := js.replayed+js.executed == wc.graph.Size()
+		ok = ok && js.restored > 0 && js.replayed == js.restored && covered
+		fmt.Printf("wire-resume %-10s %d tasks over %d processes: %v  sinks=%d/%d restored=%d replayed=%d executed=%d match-serial=%v\n",
+			useCase, wc.graph.Size(), ranks, elapsed.Round(time.Millisecond), matches, len(want),
+			js.restored, js.replayed, js.executed, ok)
+	} else {
+		fmt.Printf("wire %-10s %d tasks over %d processes: %v  sinks=%d/%d match-serial=%v\n",
+			useCase, wc.graph.Size(), ranks, elapsed.Round(time.Millisecond), matches, len(want), ok)
+	}
 	if !ok {
 		os.Exit(1)
 	}

@@ -18,6 +18,13 @@ import (
 // always correct. Recorded buffers are owned by the ledger; callers must
 // copy before mutating or emitting (a replay may happen more than once).
 //
+// A Ledger may be backed by a durable LedgerStore (NewLedgerBacked), in
+// which case every recorded output is also journaled and the in-memory map
+// becomes a bounded cache: entries confirmed persisted are evicted once the
+// cache exceeds its limit and are re-read from the store on demand, so a
+// long run's ledger footprint stays bounded and a restarted run resumes
+// from whatever the journal retained.
+//
 // A Ledger is safe for concurrent use by the rank's worker pool.
 type Ledger struct {
 	mu       sync.Mutex
@@ -25,14 +32,41 @@ type Ledger struct {
 	attempts map[TaskId]int
 	replays  int
 	execs    int
+
+	store      LedgerStore     // nil for a purely in-memory ledger
+	stored     map[TaskId]bool // persisted in store (safe to evict)
+	evictable  []TaskId        // FIFO of cached+stored ids, eviction order
+	cacheLimit int             // max cached entries when store != nil
+	restored   int             // tasks inherited from the store at open
+	storeErrs  int             // failed store appends (entry stays pinned)
 }
 
-// NewLedger returns an empty ledger.
+// NewLedger returns an empty in-memory ledger.
 func NewLedger() *Ledger {
 	return &Ledger{
 		outs:     make(map[TaskId][][]byte),
 		attempts: make(map[TaskId]int),
 	}
+}
+
+// NewLedgerBacked returns a ledger journaling through store. Tasks already
+// present in the store are immediately replayable — a restarted run skips
+// them (Restored reports how many). cacheLimit bounds the in-memory cache;
+// non-positive selects DefaultLedgerCache. The ledger does not close the
+// store.
+func NewLedgerBacked(store LedgerStore, cacheLimit int) *Ledger {
+	if cacheLimit <= 0 {
+		cacheLimit = DefaultLedgerCache
+	}
+	l := NewLedger()
+	l.store = store
+	l.stored = make(map[TaskId]bool)
+	l.cacheLimit = cacheLimit
+	for _, id := range store.TaskIds() {
+		l.stored[id] = true
+	}
+	l.restored = len(l.stored)
+	return l
 }
 
 // BeginAttempt records that the task is about to execute and returns the
@@ -52,22 +86,65 @@ func (l *Ledger) Attempts(id TaskId) int {
 	return l.attempts[id]
 }
 
-// Record stores the task's serialized outputs (one buffer per output slot).
-// The ledger takes ownership of the buffers.
+// Record stores the task's serialized outputs (one buffer per output slot),
+// journaling them first when the ledger is store-backed. The ledger takes
+// ownership of the buffers. A failed journal append is not fatal: the entry
+// stays pinned in memory (never evicted) so the run proceeds correctly and
+// only durability is degraded.
 func (l *Ledger) Record(id TaskId, outs [][]byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.outs[id] = outs
+	if l.store == nil {
+		return
+	}
+	if err := l.store.Append(id, outs); err != nil {
+		l.storeErrs++
+		delete(l.stored, id)
+		return
+	}
+	if !l.stored[id] {
+		l.stored[id] = true
+	}
+	l.evictable = append(l.evictable, id)
+	l.evictLocked()
+}
+
+// evictLocked drops confirmed-persisted cache entries, oldest first, until
+// the cache fits cacheLimit. Unpersisted entries are pinned.
+func (l *Ledger) evictLocked() {
+	for len(l.outs) > l.cacheLimit && len(l.evictable) > 0 {
+		id := l.evictable[0]
+		l.evictable = l.evictable[1:]
+		if l.stored[id] {
+			delete(l.outs, id)
+		}
+	}
 }
 
 // Outputs returns the recorded wire-form outputs of a completed task, or
-// ok=false when the task must (re-)execute. The returned buffers are owned
-// by the ledger: clone before emitting.
+// ok=false when the task must (re-)execute. Evicted or restored entries are
+// read back from the store (a record that fails its integrity re-check is
+// forgotten, so the task re-executes). The returned buffers are owned by
+// the ledger: clone before emitting.
 func (l *Ledger) Outputs(id TaskId) ([][]byte, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	outs, ok := l.outs[id]
-	return outs, ok
+	if outs, ok := l.outs[id]; ok {
+		return outs, ok
+	}
+	if l.store == nil || !l.stored[id] {
+		return nil, false
+	}
+	outs, ok, err := l.store.Get(id)
+	if err != nil || !ok {
+		delete(l.stored, id)
+		return nil, false
+	}
+	l.outs[id] = outs
+	l.evictable = append(l.evictable, id)
+	l.evictLocked()
+	return outs, true
 }
 
 // CountReplay accounts one ledger replay (a task whose callback was skipped
@@ -93,11 +170,44 @@ func (l *Ledger) Executions() int {
 	return l.execs
 }
 
-// Completed returns how many tasks have recorded outputs.
+// Completed returns how many tasks have recorded outputs, whether cached
+// in memory or spilled to the store.
 func (l *Ledger) Completed() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.store == nil {
+		return len(l.outs)
+	}
+	n := len(l.stored)
+	for id := range l.outs {
+		if !l.stored[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Restored returns how many tasks the ledger inherited from its store at
+// open — the completed work a resumed run does not repeat.
+func (l *Ledger) Restored() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.restored
+}
+
+// Cached returns the number of in-memory cache entries (testing aid).
+func (l *Ledger) Cached() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.outs)
+}
+
+// StoreErrors returns how many journal appends failed; those entries stay
+// pinned in memory so correctness is unaffected.
+func (l *Ledger) StoreErrors() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.storeErrs
 }
 
 // ReassignShards builds the task map of a recovery epoch. alive lists the

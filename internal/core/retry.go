@@ -79,9 +79,10 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 }
 
 // Backoff returns the wait before retry number attempt (1 = the wait after
-// the first failed attempt): BaseBackoff * 2^(attempt-1), capped at
-// MaxBackoff, plus deterministic jitter derived from the attempt number so
-// repeated runs are byte-for-byte reproducible.
+// the first failed attempt): BaseBackoff * 2^(attempt-1) plus deterministic
+// jitter derived from the attempt number (so repeated runs are
+// byte-for-byte reproducible), with the final value — jitter included —
+// capped at MaxBackoff.
 func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	p = p.WithDefaults()
 	if attempt < 1 {
@@ -102,6 +103,11 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 		z ^= z >> 31
 		frac := float64(z%1000) / 1000.0
 		d += time.Duration(float64(d) * p.Jitter * frac)
+	}
+	// MaxBackoff is a hard cap: jitter must not push past it, or retry
+	// storms after long outages wait longer than the documented bound.
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
 	}
 	return d
 }

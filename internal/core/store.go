@@ -1,0 +1,30 @@
+package core
+
+// DefaultLedgerCache is the default bound on a store-backed ledger's
+// in-memory cache (entries, not bytes): large enough that the figure
+// workloads rarely spill, small enough that a long run's ledger stays
+// bounded.
+const DefaultLedgerCache = 4096
+
+// LedgerStore is the durable backend of a lineage Ledger: an append-only
+// record of completed tasks' serialized outputs, implemented by
+// internal/journal over a segmented CRC32C log. The contract mirrors the
+// idempotence rules of the replay path:
+//
+//   - Append must make the record observable to a future Get/TaskIds (per
+//     its durability policy); re-appending a task id replaces the entry.
+//   - Get returns ok=false for any task the store cannot produce intact —
+//     never-journaled, torn away, or corrupt. The caller re-executes the
+//     task, which is always correct.
+//   - Get returns buffers owned by the caller (no aliasing with the
+//     store's internals).
+//   - TaskIds lists every task Get would currently report ok for.
+//
+// Implementations must be safe for concurrent use.
+type LedgerStore interface {
+	Append(id TaskId, outs [][]byte) error
+	Get(id TaskId) ([][]byte, bool, error)
+	TaskIds() []TaskId
+	Sync() error
+	Close() error
+}

@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+// Connection-level fault injection: net.Conn wrappers plugged into
+// wire.Options.WrapConn to corrupt or stall the byte stream between two
+// specific ranks, deterministically. These model the failures the frame
+// CRC32C and heartbeat timeout exist to catch — a flipped bit in transit
+// and a peer that is alive but wedged.
+
+// CorruptNthWrite returns a WrapConn-shaped hook that flips one bit inside
+// the n-th write (1-based) from rank src to rank dst whose size is at least
+// minLen bytes. The size floor lets tests skip heartbeats and target data
+// frames; byteOff selects the flipped byte within the write (clamped to the
+// write's length), so tests can aim inside a frame's body rather than its
+// length prefix.
+func CorruptNthWrite(src, dst, n, minLen, byteOff int) func(localRank, peerRank int, c net.Conn) net.Conn {
+	return func(localRank, peerRank int, c net.Conn) net.Conn {
+		if localRank != src || peerRank != dst {
+			return c
+		}
+		return &corruptConn{Conn: c, nth: n, minLen: minLen, byteOff: byteOff}
+	}
+}
+
+// corruptConn flips one bit in the nth qualifying write.
+type corruptConn struct {
+	net.Conn
+	mu      sync.Mutex
+	nth     int
+	minLen  int
+	byteOff int
+	seen    int
+	fired   bool
+}
+
+func (c *corruptConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	fire := false
+	if !c.fired && len(b) >= c.minLen {
+		c.seen++
+		if c.seen == c.nth {
+			c.fired = true
+			fire = true
+		}
+	}
+	c.mu.Unlock()
+	if !fire {
+		return c.Conn.Write(b)
+	}
+	// The writer reuses arena buffers: corrupt a copy, never the caller's
+	// bytes.
+	off := c.byteOff
+	if off >= len(b) {
+		off = len(b) - 1
+	}
+	cp := append([]byte(nil), b...)
+	cp[off] ^= 0x40
+	n, err := c.Conn.Write(cp)
+	if n > len(b) {
+		n = len(b)
+	}
+	return n, err
+}
+
+// StallAfterWrites returns a WrapConn-shaped hook that silently discards
+// every write from rank src to rank dst after the first n: the connection
+// stays open and readable, but src goes mute — the failure mode only a
+// heartbeat timeout detects.
+func StallAfterWrites(src, dst, n int) func(localRank, peerRank int, c net.Conn) net.Conn {
+	return func(localRank, peerRank int, c net.Conn) net.Conn {
+		if localRank != src || peerRank != dst {
+			return c
+		}
+		return &stallConn{Conn: c, budget: n}
+	}
+}
+
+// stallConn blackholes writes once its budget is spent.
+type stallConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *stallConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	mute := c.budget <= 0
+	if !mute {
+		c.budget--
+	}
+	c.mu.Unlock()
+	if mute {
+		// Pretend success: the sender believes the bytes left, the receiver
+		// hears nothing.
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// FlipBit XORs one bit of the file at path — byte offset off, bit 0-7 —
+// simulating at-rest corruption of a journal segment.
+func FlipBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// TruncateTail chops n bytes off the end of the file at path, simulating a
+// crash that tore the last journal record mid-write.
+func TruncateTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

@@ -1,0 +1,212 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+func TestLedgerStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[core.TaskId][][]byte{
+		1: {[]byte("one-a"), []byte("one-b")},
+		2: {},
+		7: {nil, []byte("seven"), []byte("")},
+	}
+	for id, outs := range want {
+		if err := s.Append(id, outs); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	check := func(s *LedgerStore) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+		}
+		for id, outs := range want {
+			got, ok, err := s.Get(id)
+			if err != nil || !ok {
+				t.Fatalf("get %d: ok=%v err=%v", id, ok, err)
+			}
+			if len(got) != len(outs) {
+				t.Fatalf("task %d: %d slots, want %d", id, len(got), len(outs))
+			}
+			for i := range outs {
+				if !bytes.Equal(got[i], outs[i]) {
+					t.Fatalf("task %d slot %d mismatch", id, i)
+				}
+			}
+		}
+		if _, ok, _ := s.Get(99); ok {
+			t.Fatal("phantom task found")
+		}
+		ids := s.TaskIds()
+		if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 7 {
+			t.Fatalf("TaskIds = %v", ids)
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the index is rebuilt from the segments.
+	s, err = OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	check(s)
+}
+
+func TestLedgerStoreLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(5, [][]byte{[]byte("stale")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(5, [][]byte{[]byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, ok, err := s.Get(5)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("fresh")) {
+		t.Fatalf("got %q, want the re-recorded outputs", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate records, want 1", s.Len())
+	}
+}
+
+func TestLedgerStoreGetCopies(t *testing.T) {
+	s, err := OpenLedgerStore(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(1, [][]byte{[]byte("abcd")}); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := s.Get(1)
+	a[0][0] = 'X'
+	b, _, _ := s.Get(1)
+	if !bytes.Equal(b[0], []byte("abcd")) {
+		t.Fatal("Get returned aliased buffers")
+	}
+}
+
+func TestLedgerStoreSurvivesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := core.TaskId(0); id < 10; id++ {
+		if err := s.Append(id, [][]byte{bytes.Repeat([]byte{byte(id)}, 32)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop 10 bytes off the (single) segment, landing inside
+	// the last record.
+	seg := filepath.Join(dir, "seg-00000001.wal")
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 9 {
+		t.Fatalf("torn tail: %d tasks indexed, want 9", s.Len())
+	}
+	if s.Has(9) {
+		t.Fatal("torn task still indexed")
+	}
+	// The store keeps accepting appends at the clean tail — re-executing the
+	// torn task re-records it.
+	if err := s.Append(9, [][]byte{[]byte("redo")}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get(9)
+	if !ok || !bytes.Equal(got[0], []byte("redo")) {
+		t.Fatal("re-append after torn tail failed")
+	}
+}
+
+func TestLedgerStoreSkipsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []Ref
+	for id := core.TaskId(0); id < 5; id++ {
+		if err := s.Append(id, [][]byte{bytes.Repeat([]byte{byte('A' + id)}, 24)}); err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, s.idx[id])
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside task 2's record body.
+	seg := filepath.Join(dir, "seg-00000001.wal")
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offs[2].off+15); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := f.WriteAt(b[:], offs[2].off+15); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err = OpenLedgerStore(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with corrupt record: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 4 {
+		t.Fatalf("corrupt record: %d tasks indexed, want 4", s.Len())
+	}
+	if s.Has(2) {
+		t.Fatal("corrupt task still indexed — it would not re-execute")
+	}
+	// Records after the corrupt one survive.
+	for _, id := range []core.TaskId{0, 1, 3, 4} {
+		if !s.Has(id) {
+			t.Fatalf("task %d lost alongside the corrupt record", id)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+)
+
+// countingSum wraps sumCB with an execution counter, so resume tests can
+// assert which tasks actually ran their callbacks.
+func countingSum(execs *atomic.Int64) core.Callback {
+	inner := sumCB(1)
+	return func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		execs.Add(1)
+		return inner(in, id)
+	}
+}
+
+func newJournaledController(t *testing.T, g core.TaskGraph, m core.TaskMap, dir string, execs *atomic.Int64) *Controller {
+	t.Helper()
+	c := New(WithJournal(dir))
+	if err := c.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range g.Callbacks() {
+		if err := c.RegisterCallback(cb, countingSum(execs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestJournaledRunResumes runs a reduction with a journal, then runs a
+// fresh controller over the same directory: every task must replay from
+// the journal (zero callback executions) with byte-identical sinks.
+func TestJournaledRunResumes(t *testing.T) {
+	g, _ := graphs.NewReduction(16, 2)
+	m := core.NewModuloMap(3, g.Size())
+	dir := t.TempDir()
+
+	var execs atomic.Int64
+	c1 := newJournaledController(t, g, m, dir, &execs)
+	want, err := c1.Run(reductionInputs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(execs.Load()); got != g.Size() {
+		t.Fatalf("first run executed %d callbacks, want %d", got, g.Size())
+	}
+	js := c1.JournalStats()
+	if js.Restored != 0 || js.Executed != g.Size() || js.Replayed != 0 || js.StoreErrors != 0 {
+		t.Fatalf("first run stats %+v", js)
+	}
+
+	execs.Store(0)
+	c2 := newJournaledController(t, g, m, dir, &execs)
+	got, err := c2.Run(reductionInputs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("resumed run executed %d callbacks, want 0 (all replayed)", n)
+	}
+	js = c2.JournalStats()
+	if js.Restored != g.Size() || js.Replayed != g.Size() || js.Executed != 0 {
+		t.Fatalf("resumed run stats %+v", js)
+	}
+	compareResults(t, want, got)
+}
+
+// TestJournaledRunPartialResume deletes one rank's journal between runs:
+// only that rank's tasks may re-execute, everything else replays.
+func TestJournaledRunPartialResume(t *testing.T) {
+	g, _ := graphs.NewReduction(16, 2)
+	const shards = 3
+	m := core.NewModuloMap(shards, g.Size())
+	dir := t.TempDir()
+
+	var execs atomic.Int64
+	c1 := newJournaledController(t, g, m, dir, &execs)
+	want, err := c1.Run(reductionInputs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const lost = 1
+	if err := os.RemoveAll(filepath.Join(dir, fmt.Sprintf("rank-%d", lost))); err != nil {
+		t.Fatal(err)
+	}
+	execs.Store(0)
+	c2 := newJournaledController(t, g, m, dir, &execs)
+	got, err := c2.Run(reductionInputs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExecs := len(m.Ids(core.ShardId(lost)))
+	if n := int(execs.Load()); n != wantExecs {
+		t.Fatalf("partial resume executed %d callbacks, want %d (rank %d's tasks)", n, wantExecs, lost)
+	}
+	js := c2.JournalStats()
+	if js.Executed != wantExecs || js.Replayed != g.Size()-wantExecs {
+		t.Fatalf("partial resume stats %+v, want executed=%d replayed=%d", js, wantExecs, g.Size()-wantExecs)
+	}
+	compareResults(t, want, got)
+}
+
+// TestJournaledRunRankResumes drives the single-rank entry point (the
+// multi-process path) with a journal: independent RunRank calls over a
+// shared transport journal per rank, and a rerun replays everything.
+func TestJournaledRunRankResumes(t *testing.T) {
+	g, _ := graphs.NewReduction(16, 2)
+	const ranks = 4
+	m := core.NewModuloMap(ranks, g.Size())
+	dir := t.TempDir()
+
+	runAll := func(execs *atomic.Int64) map[core.TaskId][]core.Payload {
+		t.Helper()
+		c := newJournaledController(t, g, m, dir, execs)
+		fab := fabric.New(ranks)
+		parts := make([]map[core.TaskId][]core.Payload, ranks)
+		for id, ps := range reductionInputs(g) {
+			r := int(m.Shard(id))
+			if parts[r] == nil {
+				parts[r] = make(map[core.TaskId][]core.Payload)
+			}
+			parts[r][id] = ps
+		}
+		results := make([]map[core.TaskId][]core.Payload, ranks)
+		errs := make([]error, ranks)
+		var wg sync.WaitGroup
+		for r := 0; r < ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				results[r], errs[r] = c.RunRank(r, fab, parts[r])
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		merged := make(map[core.TaskId][]core.Payload)
+		for _, res := range results {
+			for id, ps := range res {
+				merged[id] = append(merged[id], ps...)
+			}
+		}
+		return merged
+	}
+
+	var execs atomic.Int64
+	want := runAll(&execs)
+	if got := int(execs.Load()); got != g.Size() {
+		t.Fatalf("first run executed %d callbacks, want %d", got, g.Size())
+	}
+	execs.Store(0)
+	got := runAll(&execs)
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("resumed RunRank executed %d callbacks, want 0", n)
+	}
+	compareResults(t, want, got)
+}
+
+// TestWireOptionsCarriesHeartbeatAndFingerprint checks the controller's
+// wire template plumbs WithHeartbeat tuning and the graph fingerprint.
+func TestWireOptionsCarriesHeartbeatAndFingerprint(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	m := core.NewModuloMap(2, g.Size())
+	c := New(WithHeartbeat(50*time.Millisecond, 250*time.Millisecond))
+	if err := c.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range g.Callbacks() {
+		if err := c.RegisterCallback(cb, sumCB(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wo := c.WireOptions()
+	if wo.HeartbeatInterval != 50*time.Millisecond || wo.HeartbeatTimeout != 250*time.Millisecond {
+		t.Fatalf("heartbeat tuning not plumbed: %+v", wo)
+	}
+	if wo.Fingerprint != c.Fingerprint() || wo.Fingerprint == (core.Fingerprint{}) {
+		t.Fatalf("fingerprint not plumbed: %+v", wo.Fingerprint)
+	}
+}

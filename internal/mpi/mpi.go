@@ -31,6 +31,7 @@ package mpi
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,8 @@ import (
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/journal"
+	"github.com/babelflow/babelflow-go/internal/wire"
 )
 
 // TransportFactory builds the transport an in-process Run executes over —
@@ -91,6 +94,24 @@ type Options struct {
 	// over instead of the default in-memory fabric — the seam fault-injection
 	// and custom interconnects plug into.
 	Transport TransportFactory
+	// Journal, when non-empty, is the directory where every rank's lineage
+	// ledger is persisted as a segmented CRC32C record log
+	// (internal/journal): rank r journals under Journal/rank-r. A run
+	// started over an existing journal resumes — journaled tasks replay
+	// their recorded outputs instead of re-executing, so only the
+	// un-journaled frontier runs. Journaling implies fault-tolerant
+	// bookkeeping (sequence-stamped messages, receiver dedup) even outside
+	// RunRecover.
+	Journal string
+	// JournalSync selects the journal's fsync policy. The zero value
+	// (journal.SyncEveryRecord) makes every recorded task crash-durable;
+	// see journal.SyncPolicy for the cheaper relaxations.
+	JournalSync journal.SyncPolicy
+	// HeartbeatInterval and HeartbeatTimeout tune the wire transport's
+	// failure detector for meshes built from this controller's WireOptions
+	// template. Zero keeps the wire defaults (1s interval, 4x timeout).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 }
 
 // apply implements Option, so a plain Options literal can be passed to New
@@ -113,6 +134,66 @@ type Controller struct {
 
 	// Stats from the last Run.
 	lastStats fabric.Stats
+
+	// Stats from the last journaled run (guarded separately: concurrent
+	// RunRank calls on one controller may finish in any order).
+	jmu    sync.Mutex
+	jstats JournalStats
+}
+
+// JournalStats summarizes the last journaled run of a controller: how much
+// completed work the journal carried into the run, how much of it was
+// replayed instead of re-executed, and whether durability degraded.
+type JournalStats struct {
+	// Restored counts tasks inherited from the journal at open — completed
+	// work a resumed run does not repeat.
+	Restored int
+	// Replayed counts tasks whose recorded outputs were re-emitted without
+	// running the callback.
+	Replayed int
+	// Executed counts callback executions.
+	Executed int
+	// StoreErrors counts failed journal appends; the affected entries stay
+	// pinned in memory, so only durability (not correctness) degraded.
+	StoreErrors int
+}
+
+// JournalStats returns the journal counters of the last journaled run (or
+// rank, for RunRank). Zero when the controller has no journal configured.
+func (c *Controller) JournalStats() JournalStats {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.jstats
+}
+
+// recordJournalStats aggregates the given ledgers into the controller's
+// last-run journal counters.
+func (c *Controller) recordJournalStats(leds []*core.Ledger) {
+	var js JournalStats
+	for _, l := range leds {
+		if l == nil {
+			continue
+		}
+		js.Restored += l.Restored()
+		js.Replayed += l.Replays()
+		js.Executed += l.Executions()
+		js.StoreErrors += l.StoreErrors()
+	}
+	c.jmu.Lock()
+	c.jstats = js
+	c.jmu.Unlock()
+}
+
+// openLedger opens rank's slice of the controller's journal directory and
+// returns a ledger journaling through it. The caller owns the store and
+// must Close it after the run.
+func (c *Controller) openLedger(rank int) (*core.Ledger, *journal.LedgerStore, error) {
+	dir := filepath.Join(c.opt.Journal, fmt.Sprintf("rank-%d", rank))
+	store, err := journal.OpenLedgerStore(dir, journal.Options{Sync: c.opt.JournalSync})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: rank %d journal: %w", rank, err)
+	}
+	return core.NewLedgerBacked(store, 0), store, nil
 }
 
 // New returns an MPI controller. Configuration is functional-options style:
@@ -224,6 +305,31 @@ func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]c
 	}
 
 	ranks := c.tmap.ShardCount()
+
+	// Journaled runs give every rank a durable ledger before any task runs:
+	// a fresh directory journals progress, an existing one resumes from it.
+	var leds []*core.Ledger
+	if c.opt.Journal != "" {
+		leds = make([]*core.Ledger, ranks)
+		stores := make([]*journal.LedgerStore, ranks)
+		for r := 0; r < ranks; r++ {
+			led, store, err := c.openLedger(r)
+			if err != nil {
+				for _, s := range stores[:r] {
+					s.Close()
+				}
+				return nil, err
+			}
+			leds[r], stores[r] = led, store
+		}
+		defer func() {
+			c.recordJournalStats(leds)
+			for _, s := range stores {
+				s.Close()
+			}
+		}()
+	}
+
 	var fab fabric.Transport
 	switch {
 	case c.opt.Transport != nil:
@@ -260,6 +366,10 @@ func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]c
 		abort:   abort,
 		results: results,
 		resMu:   &resMu,
+		leds:    leds,
+	}
+	if leds != nil {
+		env.seq = make([]atomic.Uint64, ranks)
 	}
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
@@ -314,6 +424,17 @@ func (c *Controller) Fingerprint() core.Fingerprint {
 	return core.GraphFingerprint(c.graph, c.reg.Ids())
 }
 
+// WireOptions returns the wire transport template this controller implies:
+// its graph fingerprint plus any heartbeat tuning (WithHeartbeat). Callers
+// building a mesh fill in Rank/Ranks/Addr (wire.Mesh does so itself).
+func (c *Controller) WireOptions() wire.Options {
+	return wire.Options{
+		Fingerprint:       c.Fingerprint(),
+		HeartbeatInterval: c.opt.HeartbeatInterval,
+		HeartbeatTimeout:  c.opt.HeartbeatTimeout,
+	}
+}
+
 // RunRank executes exactly one rank of the dataflow over the provided
 // transport — the multi-process entry point. Where Run spawns every rank as
 // a goroutine over an in-memory fabric sharing one work-stealing executor,
@@ -365,6 +486,23 @@ func (c *Controller) runRankOn(ctx context.Context, rank int, tr fabric.Transpor
 		return nil, err
 	}
 
+	// A journal-configured plain run (RunRank without a recovery
+	// coordinator) opens its own durable ledger: outputs journal as tasks
+	// complete, and a restart over the same directory replays them.
+	if led == nil && c.opt.Journal != "" {
+		var store *journal.LedgerStore
+		var err error
+		led, store, err = c.openLedger(rank)
+		if err != nil {
+			tr.Cancel()
+			return nil, err
+		}
+		defer func() {
+			c.recordJournalStats([]*core.Ledger{led})
+			store.Close()
+		}()
+	}
+
 	var pool *fabric.Pool
 	if !c.opt.Inline {
 		// All workers home on the one local rank; peer deques stay empty.
@@ -406,9 +544,10 @@ func (c *Controller) runRankOn(ctx context.Context, rank int, tr fabric.Transpor
 		abort:   abort,
 		results: results,
 		resMu:   &resMu,
-		led:     led,
 	}
 	if led != nil {
+		env.leds = make([]*core.Ledger, tr.Ranks())
+		env.leds[rank] = led
 		env.seq = make([]atomic.Uint64, tr.Ranks())
 	}
 	if err := c.runRank(rank, env, initial); err != nil {
@@ -475,8 +614,18 @@ type runEnv struct {
 	abort   func(error)
 	results map[core.TaskId][]core.Payload
 	resMu   *sync.Mutex
-	led     *core.Ledger
+	leds    []*core.Ledger  // per-rank ledgers; nil outside ledgered runs
 	seq     []atomic.Uint64 // nil outside fault-tolerant runs
+}
+
+// ledger returns rank's lineage ledger, or nil when the run keeps none.
+// RunContext shares one env across every in-process rank, so ledgers are
+// indexed rather than a single field.
+func (e *runEnv) ledger(rank int) *core.Ledger {
+	if e.leds == nil {
+		return nil
+	}
+	return e.leds[rank]
 }
 
 // runRank is the per-rank controller loop: it drains the rank's mailbox,
@@ -497,6 +646,7 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 
 	st := core.NewDataflowState(c.graph)
 	remaining := len(local)
+	led := env.ledger(rank)
 
 	// execute runs one ready task on whichever worker picked it up and
 	// routes its outputs. A failing task records the cause and cancels the
@@ -505,8 +655,8 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 	// wire forms are re-routed downstream without re-running the callback —
 	// so a recovery epoch only pays for the undelivered frontier.
 	execute := func(t core.Task, in []core.Payload, scratch []fabric.Message) []fabric.Message {
-		if env.led != nil {
-			if rec, ok := env.led.Outputs(t.Id); ok {
+		if led != nil {
+			if rec, ok := led.Outputs(t.Id); ok {
 				// The inputs were assembled only to satisfy readiness; the
 				// replayed outputs come from the ledger.
 				for i := range in {
@@ -518,7 +668,7 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 					copy(cp, b)
 					out[s] = core.Buffer(cp)
 				}
-				env.led.CountReplay()
+				led.CountReplay()
 				if c.replayObs != nil {
 					c.replayObs.TaskReplayed(t.Id, env.tmap.Shard(t.Id), t.Callback)
 				}
@@ -536,16 +686,16 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 			in[i] = in[i].Own()
 		}
 		var attempt uint32
-		if env.led != nil {
-			attempt = uint32(env.led.BeginAttempt(t.Id))
+		if led != nil {
+			attempt = uint32(led.BeginAttempt(t.Id))
 		}
 		out, err := c.runTask(t, in, env.tmap.Shard(t.Id))
 		if err != nil {
 			env.abort(err)
 			return scratch
 		}
-		if env.led != nil {
-			recordOutputs(env.led, t, out)
+		if led != nil {
+			recordOutputs(led, t, out)
 		}
 		scratch, err = c.route(rank, env, t, attempt, out, scratch)
 		if err != nil {
@@ -613,7 +763,7 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 	// fill a second input slot and corrupt readiness accounting.
 	batch := make([]fabric.Message, 64)
 	var seen []map[uint64]struct{}
-	if env.led != nil {
+	if led != nil {
 		seen = make([]map[uint64]struct{}, env.fab.Ranks())
 	}
 	for remaining > 0 {

@@ -1,6 +1,11 @@
 package mpi
 
-import "github.com/babelflow/babelflow-go/internal/core"
+import (
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/journal"
+)
 
 // Option configures a Controller at construction. Two kinds of values
 // implement it: the functional options below (WithWorkers, WithRetry, …)
@@ -47,4 +52,29 @@ func WithInline(inline bool) Option {
 // (see Options.FIFO).
 func WithFIFO(fifo bool) Option {
 	return optionFunc(func(o *Options) { o.FIFO = fifo })
+}
+
+// WithJournal persists every rank's lineage ledger under dir (rank r under
+// dir/rank-r) as a crash-safe record log, making runs resumable: a
+// controller started over an existing journal replays journaled outputs
+// and executes only the remaining frontier (see Options.Journal).
+func WithJournal(dir string) Option {
+	return optionFunc(func(o *Options) { o.Journal = dir })
+}
+
+// WithJournalSync selects the journal's fsync policy (see
+// Options.JournalSync).
+func WithJournalSync(p journal.SyncPolicy) Option {
+	return optionFunc(func(o *Options) { o.JournalSync = p })
+}
+
+// WithHeartbeat tunes the wire failure detector: how often idle
+// connections heartbeat and how long silence may last before a peer is
+// declared lost. Flows into meshes built from the controller's WireOptions
+// template (see Options.HeartbeatInterval).
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return optionFunc(func(o *Options) {
+		o.HeartbeatInterval = interval
+		o.HeartbeatTimeout = timeout
+	})
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/journal"
 )
 
 // ConnectFunc builds the per-rank transports of one recovery epoch. It is
@@ -89,9 +90,32 @@ func (c *Controller) RunRecover(ctx context.Context, ro RecoverOptions) (map[cor
 		alive[i] = core.ShardId(i)
 	}
 	// Ledgers persist across epochs, keyed by the original (physical) shard.
+	// With a journal configured they also persist across process restarts:
+	// each shard's ledger journals to Journal/rank-i and a rerun over the
+	// same directory resumes from whatever was recorded before the crash.
 	ledgers := make([]*core.Ledger, origRanks)
-	for i := range ledgers {
-		ledgers[i] = core.NewLedger()
+	if c.opt.Journal != "" {
+		stores := make([]*journal.LedgerStore, origRanks)
+		for i := range ledgers {
+			led, store, err := c.openLedger(i)
+			if err != nil {
+				for _, s := range stores[:i] {
+					s.Close()
+				}
+				return nil, rep, err
+			}
+			ledgers[i], stores[i] = led, store
+		}
+		defer func() {
+			c.recordJournalStats(ledgers)
+			for _, s := range stores {
+				s.Close()
+			}
+		}()
+	} else {
+		for i := range ledgers {
+			ledgers[i] = core.NewLedger()
+		}
 	}
 	wantSinks := expectedSinks(c.graph)
 

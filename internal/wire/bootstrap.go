@@ -235,10 +235,10 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 }
 
 // readControl reads one whole (small) handshake frame from a raw
-// connection.
+// connection, verifying its CRC32C.
 func readControl(c net.Conn, deadline time.Time) (byte, []byte, error) {
 	c.SetReadDeadline(deadline)
-	typ, n, err := readFrame(c)
+	typ, n, crc, err := readFrame(c)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -247,6 +247,9 @@ func readControl(c net.Conn, deadline time.Time) (byte, []byte, error) {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c, body); err != nil {
+		return 0, nil, err
+	}
+	if err := verifyBody(typ, body, crc); err != nil {
 		return 0, nil, err
 	}
 	return typ, body, nil

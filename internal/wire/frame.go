@@ -2,16 +2,19 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/babelflow/babelflow-go/internal/core"
 )
 
-// Wire frame format. Every frame is length-prefixed:
+// Wire frame format. Every frame is length-prefixed and checksummed:
 //
-//	u32  length of the rest of the frame (type byte + body)
+//	u32  length of the type byte + body (i.e. 1 + len(body))
 //	u8   frame type
+//	u32  CRC32C (Castagnoli) of the body
 //	...  body
 //
 // Bodies by type:
@@ -29,7 +32,11 @@ import (
 //	frameAccept:    empty (handshake confirmation)
 //
 // All integers are little-endian. The length prefix never exceeds
-// maxFrameSize; larger frames poison the connection.
+// maxFrameSize; larger frames poison the connection. A frame whose body
+// does not match its CRC32C fails decode with a typed ErrCorruptFrame —
+// the receiver treats the connection as lost (a flipped bit means the
+// stream can no longer be trusted) and the recovery layer re-executes
+// around it, exactly as for a crashed peer.
 const (
 	frameData byte = iota + 1
 	frameHeartbeat
@@ -41,27 +48,51 @@ const (
 )
 
 const (
-	frameHeaderSize = 5            // u32 length + u8 type
-	dataHeaderSize  = 28           // u64 src + u64 dest + u64 seq + u32 attempt
-	maxFrameSize    = 1 << 30      // hard ceiling on a single frame
-	fingerprintSize = 32           // sha256
-	maxAddrLen      = 1<<16 - 1    // address strings are u16-length-prefixed
+	frameHeaderSize = 9         // u32 length + u8 type + u32 crc32c(body)
+	dataHeaderSize  = 28        // u64 src + u64 dest + u64 seq + u32 attempt
+	maxFrameSize    = 1 << 30   // hard ceiling on a single frame
+	fingerprintSize = 32        // sha256
+	maxAddrLen      = 1<<16 - 1 // address strings are u16-length-prefixed
 )
 
-// putFrameHeader writes the 5-byte frame header for a body of n bytes.
-func putFrameHeader(dst []byte, typ byte, n int) {
-	binary.LittleEndian.PutUint32(dst, uint32(n+1))
-	dst[4] = typ
+// DataFrameOverhead is the number of framing bytes preceding the payload of
+// a data frame (frame header plus data header). Exported for fault
+// injectors that aim at payload bytes: a write of at least
+// DataFrameOverhead+1 bytes carries payload, while control frames
+// (heartbeats, goodbyes) are far smaller.
+const DataFrameOverhead = frameHeaderSize + dataHeaderSize
+
+// castagnoli is the CRC32C table, hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptFrame marks a frame whose body failed its CRC32C check: the
+// byte stream is untrustworthy, so the receiver declares the peer lost.
+var ErrCorruptFrame = errors.New("wire: corrupt frame")
+
+// finishFrame stamps the frame header of b (whose first frameHeaderSize
+// bytes are reserved and whose remainder is the body) and returns b.
+func finishFrame(b []byte, typ byte) []byte {
+	body := b[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(body)+1))
+	b[4] = typ
+	binary.LittleEndian.PutUint32(b[5:9], crc32.Checksum(body, castagnoli))
+	return b
 }
 
-// encodeDataFrame appends one data frame carrying payload to dst.
+// encodeDataFrame appends one data frame carrying payload to dst. The CRC
+// is accumulated over the data header and the payload without staging them
+// in a contiguous scratch buffer.
 func encodeDataFrame(dst []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) []byte {
 	var hdr [frameHeaderSize + dataHeaderSize]byte
-	putFrameHeader(hdr[:], frameData, dataHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+dataHeaderSize+len(payload)))
+	hdr[4] = frameData
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], uint64(src))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+8:], uint64(dest))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+16:], seq)
 	binary.LittleEndian.PutUint32(hdr[frameHeaderSize+24:], attempt)
+	crc := crc32.Update(0, castagnoli, hdr[frameHeaderSize:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], crc)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }
@@ -73,21 +104,38 @@ func dataFrameSize(n int) int { return frameHeaderSize + dataHeaderSize + n }
 // controlFrame returns an encoded empty-body frame.
 func controlFrame(typ byte) []byte {
 	var b [frameHeaderSize]byte
-	putFrameHeader(b[:], typ, 0)
-	return b[:]
+	return finishFrame(b[:], typ)
 }
 
-// readFrame reads one frame header and returns its type and body length.
-func readFrame(r io.Reader) (typ byte, n int, err error) {
+// readFrame reads one frame header and returns its type, body length and
+// the body's expected CRC32C. The caller reads the body and verifies.
+func readFrame(r io.Reader) (typ byte, n int, crc uint32, err error) {
+	return readFrameLimit(r, maxFrameSize)
+}
+
+// readFrameLimit is readFrame with an explicit frame-size ceiling: the
+// declared length is validated before any body allocation, so a hostile or
+// corrupt length prefix costs nothing. (The fuzz harness uses a small
+// limit; production paths use maxFrameSize.)
+func readFrameLimit(r io.Reader, max int) (typ byte, n int, crc uint32, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	l := binary.LittleEndian.Uint32(hdr[:4])
-	if l < 1 || l > maxFrameSize {
-		return 0, 0, fmt.Errorf("wire: frame length %d out of range", l)
+	l := binary.LittleEndian.Uint32(hdr[0:4])
+	if l < 1 || l > uint32(max) {
+		return 0, 0, 0, fmt.Errorf("wire: frame length %d out of range", l)
 	}
-	return hdr[4], int(l) - 1, nil
+	return hdr[4], int(l) - 1, binary.LittleEndian.Uint32(hdr[5:9]), nil
+}
+
+// verifyBody checks a fully read frame body against the header's CRC32C.
+func verifyBody(typ byte, body []byte, crc uint32) error {
+	if got := crc32.Checksum(body, castagnoli); got != crc {
+		return fmt.Errorf("%w: type %d, %d-byte body, crc %08x != header %08x",
+			ErrCorruptFrame, typ, len(body), got, crc)
+	}
+	return nil
 }
 
 // hello is the handshake announcement either side of a connection sends
@@ -103,13 +151,13 @@ type hello struct {
 func encodeHello(h hello) []byte {
 	body := 4 + 4 + 4 + fingerprintSize + 2 + len(h.Addr)
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
-	putFrameHeader(b, frameHello, body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Epoch))
 	b = append(b, h.Fingerprint[:]...)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Addr)))
-	return append(b, h.Addr...)
+	b = append(b, h.Addr...)
+	return finishFrame(b, frameHello)
 }
 
 func decodeHello(body []byte) (hello, error) {
@@ -140,13 +188,12 @@ func encodeWelcome(addrs []string) ([]byte, error) {
 		body += 2 + len(a)
 	}
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
-	putFrameHeader(b, frameWelcome, body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(addrs)))
 	for _, a := range addrs {
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(a)))
 		b = append(b, a...)
 	}
-	return b, nil
+	return finishFrame(b, frameWelcome), nil
 }
 
 func decodeWelcome(body []byte) ([]string, error) {
@@ -179,6 +226,6 @@ func decodeWelcome(body []byte) ([]string, error) {
 
 func encodeReject(reason string) []byte {
 	b := make([]byte, frameHeaderSize, frameHeaderSize+len(reason))
-	putFrameHeader(b, frameReject, len(reason))
-	return append(b, reason...)
+	b = append(b, reason...)
+	return finishFrame(b, frameReject)
 }

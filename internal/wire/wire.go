@@ -37,6 +37,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sort"
@@ -89,6 +90,11 @@ type Options struct {
 	// flow, same fingerprint check) instead of corrupting the new epoch's
 	// dataflow. Plain runs leave it zero.
 	Epoch int
+	// WrapConn, when non-nil, wraps every established data connection after
+	// the handshake — a fault-injection hook (bit flips, stalls) used by
+	// the conformance suite. localRank is this fabric's rank, peerRank the
+	// connection's remote end.
+	WrapConn func(localRank, peerRank int, c net.Conn) net.Conn
 }
 
 func (o *Options) setDefaults() error {
@@ -170,6 +176,9 @@ func Connect(opt Options) (*Fabric, error) {
 	for r, c := range conns {
 		if c == nil {
 			continue
+		}
+		if opt.WrapConn != nil {
+			c = opt.WrapConn(opt.Rank, r, c)
 		}
 		p := &peer{rank: r, conn: c, outbox: fabric.NewMailbox()}
 		p.lastWrite.Store(time.Now().UnixNano())
@@ -515,7 +524,10 @@ func (f *Fabric) readLoop(p *peer) {
 			if f.cancelled.Load() || p.departed.Load() {
 				return
 			}
-			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			// Both sentinels are wrapped: recovery classifies this as peer
+			// loss, while errors.Is(err, ErrCorruptFrame) still identifies
+			// an integrity failure.
+			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%w)", f.opt.Rank, p.rank, ErrPeerLost, err))
 			return
 		}
 		switch typ {
@@ -544,10 +556,11 @@ func (f *Fabric) readLoop(p *peer) {
 	}
 }
 
-// readOne reads the next frame, blocking. Data frames return the decoded
-// message; control frames return their type with a zero message.
+// readOne reads the next frame, blocking, verifying its CRC32C. Data
+// frames return the decoded message; control frames return their type with
+// a zero message.
 func (f *Fabric) readOne(p *peer, br *connReader) (fabric.Message, byte, error) {
-	typ, n, err := readFrame(br)
+	typ, n, crc, err := readFrame(br)
 	if err != nil {
 		return fabric.Message{}, 0, err
 	}
@@ -556,16 +569,19 @@ func (f *Fabric) readOne(p *peer, br *connReader) (fabric.Message, byte, error) 
 		if n != 0 {
 			return fabric.Message{}, 0, fmt.Errorf("wire: control frame with %d-byte body", n)
 		}
+		if err := verifyBody(typ, nil, crc); err != nil {
+			return fabric.Message{}, 0, err
+		}
 		return fabric.Message{}, typ, nil
 	case frameData:
-		m, err := f.readDataBody(p, br, n)
+		m, err := f.readDataBody(p, br, n, crc)
 		return m, frameData, err
 	default:
 		return fabric.Message{}, 0, fmt.Errorf("wire: unexpected frame type %d in data phase", typ)
 	}
 }
 
-func (f *Fabric) readDataBody(p *peer, br io.Reader, n int) (fabric.Message, error) {
+func (f *Fabric) readDataBody(p *peer, br io.Reader, n int, crc uint32) (fabric.Message, error) {
 	if n < dataHeaderSize {
 		return fabric.Message{}, fmt.Errorf("wire: data frame of %d bytes", n)
 	}
@@ -579,7 +595,15 @@ func (f *Fabric) readDataBody(p *peer, br io.Reader, n int) (fabric.Message, err
 	attempt := le32(hdr[24:])
 	payload := core.GrabBuffer(n - dataHeaderSize)
 	if _, err := io.ReadFull(br, payload); err != nil {
+		core.ReleaseBuffer(payload)
 		return fabric.Message{}, err
+	}
+	got := crc32.Update(0, castagnoli, hdr[:])
+	got = crc32.Update(got, castagnoli, payload)
+	if got != crc {
+		core.ReleaseBuffer(payload)
+		return fabric.Message{}, fmt.Errorf("%w: data frame src %d dest %d, crc %08x != header %08x",
+			ErrCorruptFrame, src, dest, got, crc)
 	}
 	return fabric.Message{
 		From: p.rank, To: f.opt.Rank, Src: src, Dest: dest,
@@ -603,13 +627,16 @@ func (f *Fabric) tryReadBuffered(p *peer, br *connReader) (fabric.Message, bool,
 	if hdr[4] != frameData {
 		return fabric.Message{}, false, nil
 	}
-	if !br.buffered(frameHeaderSize + l) {
+	// The whole frame on the wire is the header plus the body (l counts the
+	// type byte, which lives inside the header).
+	if !br.buffered(frameHeaderSize + l - 1) {
 		return fabric.Message{}, false, nil
 	}
-	if _, _, err := readFrame(br); err != nil {
+	_, _, crc, err := readFrame(br)
+	if err != nil {
 		return fabric.Message{}, false, err
 	}
-	m, err := f.readDataBody(p, br, l-1)
+	m, err := f.readDataBody(p, br, l-1, crc)
 	if err != nil {
 		return fabric.Message{}, false, err
 	}
