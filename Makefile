@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal figures smoke-wire smoke-faults smoke-resume fuzz-wire
+.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal figures smoke-wire smoke-faults smoke-resume fuzz-wire perf-smoke
 
 ## check: the CI gate — vet, build, the full test suite under the race
 ## detector, the fault-injection smoke (kill one peer, recover, verify the
@@ -26,7 +26,8 @@ bench-fastpath:
 	$(GO) run ./cmd/bfbench -fastpath
 
 ## bench-wire: regenerate the transport benchmark report — in-memory fabric
-## vs loopback TCP (BENCH_net.json; the baseline_seed section is preserved).
+## vs loopback sockets at every tier (BENCH_net.json; the baseline_seed
+## section is preserved).
 bench-wire:
 	$(GO) run ./cmd/bfbench -wire
 
@@ -84,3 +85,12 @@ smoke-resume:
 ## go test -fuzz=FuzzFrameDecode ./internal/wire).
 fuzz-wire:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/wire
+
+## perf-smoke: the CI perf job — every wire benchmark (all transport tiers)
+## and every journal append benchmark (all fsync policies) at a fixed
+## iteration count so hot-path regressions fail loudly, then the wire
+## package under the race detector.
+perf-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/wire
+	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/journal
+	$(GO) test -race -count=1 ./internal/wire

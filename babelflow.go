@@ -52,6 +52,7 @@ import (
 	"github.com/babelflow/babelflow-go/internal/legion"
 	"github.com/babelflow/babelflow-go/internal/mpi"
 	"github.com/babelflow/babelflow-go/internal/trace"
+	"github.com/babelflow/babelflow-go/internal/wire"
 )
 
 // Core EDSL types, re-exported from the internal core package.
@@ -228,7 +229,8 @@ func WithTransport(t mpi.TransportFactory) MPIOption { return mpi.WithTransport(
 func WithObserver(obs Observer) MPIOption { return mpi.WithObserver(obs) }
 
 // SyncPolicy selects when a lineage journal fsyncs: SyncEveryRecord
-// (default, crash-durable), SyncOnRotate, or SyncNever.
+// (default, crash-durable), SyncOnRotate, SyncNever, or SyncGroupCommit
+// (near-SyncNever append cost with a bounded, observable durability lag).
 type SyncPolicy = journal.SyncPolicy
 
 // Journal fsync policies; see SyncPolicy.
@@ -236,6 +238,7 @@ const (
 	SyncEveryRecord = journal.SyncEveryRecord
 	SyncOnRotate    = journal.SyncOnRotate
 	SyncNever       = journal.SyncNever
+	SyncGroupCommit = journal.SyncGroupCommit
 )
 
 // WithJournal persists each rank's lineage ledger to an append-only,
@@ -246,6 +249,31 @@ func WithJournal(dir string) MPIOption { return mpi.WithJournal(dir) }
 
 // WithJournalSync sets the journal's fsync policy (default SyncEveryRecord).
 func WithJournalSync(p SyncPolicy) MPIOption { return mpi.WithJournalSync(p) }
+
+// WithJournalGroupCommit selects SyncGroupCommit with the given commit
+// window: the journal fsyncs once per interval, or every records appends,
+// whichever comes first. Zero values keep the defaults (2ms, 64 records).
+// Appends return immediately; a crash loses at most one window, which
+// resume re-executes.
+func WithJournalGroupCommit(interval time.Duration, records int) MPIOption {
+	return mpi.WithJournalGroupCommit(interval, records)
+}
+
+// WireTier selects the transport between rank pairs of a wire mesh:
+// TierAuto (default) uses unix-domain sockets between co-located ranks and
+// TCP across hosts; TierTCP and TierUnix force one transport.
+type WireTier = wire.Tier
+
+// Wire transport tiers; see WireTier.
+const (
+	TierAuto = wire.TierAuto
+	TierTCP  = wire.TierTCP
+	TierUnix = wire.TierUnix
+)
+
+// WithWireTier sets the wire transport tier for meshes built from the
+// controller's WireOptions template.
+func WithWireTier(t WireTier) MPIOption { return mpi.WithWireTier(t) }
 
 // WithHeartbeat tunes the wire transport's peer-liveness probes: interval
 // between heartbeats and the silence after which a peer is declared lost.

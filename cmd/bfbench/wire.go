@@ -15,15 +15,21 @@ import (
 )
 
 // The wire mode benchmarks the transport layer head to head: the same
-// message patterns over the in-memory fabric and over real loopback TCP
-// (internal/wire), recording round-trip latency, streaming throughput and
-// steady-state allocation counts in BENCH_net.json. The baseline_seed
-// section of an existing report is preserved so the first measurements
-// survive regeneration.
+// message patterns over the in-memory fabric and over the wire transport
+// (internal/wire) at each tier, recording round-trip latency, streaming
+// throughput and steady-state allocation counts in BENCH_net.json. The
+// baseline_seed section of an existing report is preserved so the first
+// measurements survive regeneration.
+//
+// Row naming: "tcp-*" rows bootstrap over a loopback TCP rendezvous with
+// default options — the same configuration the seed measured — which since
+// the same-host tier means TierAuto, riding unix-domain sockets between
+// the co-located benchmark ranks. "tcp-forced-*" pins TierTCP (the
+// pre-tier data path) and "unix-*" pins TierUnix.
 
-// tcpPair bootstraps a 2-rank wire mesh over loopback and returns the two
-// per-rank fabrics plus a teardown.
-func tcpPair() (send, recv *wire.Fabric, stop func(), err error) {
+// wirePair bootstraps a 2-rank wire mesh over loopback at the given tier
+// and returns the two per-rank fabrics plus a teardown.
+func wirePair(tier wire.Tier) (send, recv *wire.Fabric, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, nil, err
@@ -32,7 +38,7 @@ func tcpPair() (send, recv *wire.Fabric, stop func(), err error) {
 	errs := make([]error, 2)
 	var wg sync.WaitGroup
 	for r := 0; r < 2; r++ {
-		o := wire.Options{Rank: r, Ranks: 2, Addr: ln.Addr().String()}
+		o := wire.Options{Rank: r, Ranks: 2, Addr: ln.Addr().String(), Tier: tier}
 		if r == 0 {
 			o.Listener = ln
 		}
@@ -162,27 +168,37 @@ func memPair() (fabric.Transport, fabric.Transport, func()) {
 	return f, f, func() {}
 }
 
-func loopbackPair() (fabric.Transport, fabric.Transport, func()) {
-	send, recv, stop, err := tcpPair()
-	if err != nil {
-		panic(err)
+func loopbackPair(tier wire.Tier) func() (fabric.Transport, fabric.Transport, func()) {
+	return func() (fabric.Transport, fabric.Transport, func()) {
+		send, recv, stop, err := wirePair(tier)
+		if err != nil {
+			panic(err)
+		}
+		return send, recv, stop
 	}
-	return send, recv, stop
 }
 
 // runWire measures the transport benchmarks and rewrites the JSON report at
 // path, preserving an existing baseline_seed section.
 func runWire(path string) error {
+	auto := loopbackPair(wire.TierAuto)
+	tcp := loopbackPair(wire.TierTCP)
+	unix := loopbackPair(wire.TierUnix)
 	benches := []struct {
 		name string
 		fn   func(*testing.B)
 	}{
 		{"BenchmarkWireLatency/mem-64B", benchLatency(memPair)},
-		{"BenchmarkWireLatency/tcp-64B", benchLatency(loopbackPair)},
+		{"BenchmarkWireLatency/tcp-64B", benchLatency(auto)},
+		{"BenchmarkWireLatency/tcp-forced-64B", benchLatency(tcp)},
+		{"BenchmarkWireLatency/unix-64B", benchLatency(unix)},
 		{"BenchmarkWireThroughput/mem-64B", benchThroughput(memPair, 64, false)},
-		{"BenchmarkWireThroughput/tcp-64B", benchThroughput(loopbackPair, 64, true)},
+		{"BenchmarkWireThroughput/tcp-64B", benchThroughput(auto, 64, true)},
+		{"BenchmarkWireThroughput/tcp-forced-64B", benchThroughput(tcp, 64, true)},
+		{"BenchmarkWireThroughput/unix-64B", benchThroughput(unix, 64, true)},
 		{"BenchmarkWireThroughput/mem-4KiB", benchThroughput(memPair, 4096, false)},
-		{"BenchmarkWireThroughput/tcp-4KiB", benchThroughput(loopbackPair, 4096, true)},
+		{"BenchmarkWireThroughput/tcp-4KiB", benchThroughput(auto, 4096, true)},
+		{"BenchmarkWireThroughput/unix-4KiB", benchThroughput(unix, 4096, true)},
 	}
 	current := make(map[string]benchResult, len(benches))
 	for _, bm := range benches {
@@ -211,12 +227,10 @@ func runWire(path string) error {
 	if _, ok := report["baseline_seed"]; !ok {
 		report["baseline_seed"] = cur
 	}
-	if _, ok := report["note"]; !ok {
-		note, _ := json.Marshal(fmt.Sprintf(
-			"Transport benchmarks: in-memory fabric vs loopback TCP (internal/wire), measured %s. Latency is one 64B round trip; throughput streams credit-windowed 64-message batches. Regenerate current with: go run ./cmd/bfbench -wire",
-			time.Now().Format("2006-01-02")))
-		report["note"] = note
-	}
+	note, _ := json.Marshal(fmt.Sprintf(
+		"Transport benchmarks: in-memory fabric vs the wire transport (internal/wire) over loopback, measured %s. Latency is one 64B round trip; throughput streams credit-windowed 64-message batches. tcp-* rows use the default options the seed measured (now TierAuto, which rides unix-domain sockets between these co-located ranks); tcp-forced-* pins TierTCP, the pre-tier data path; unix-* pins TierUnix. Regenerate current with: go run ./cmd/bfbench -wire",
+		time.Now().Format("2006-01-02")))
+	report["note"] = note
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -47,13 +47,14 @@ func main() {
 		killAll   = flag.Int("kill-all-after", -1, "with -journal: kill EVERY rank (including rank 0) after it sends this many inter-rank messages, seeding a resumable crash")
 		wireKill  = flag.Int("wire-kill-after", -1, "internal: worker kills its own transport after this many inter-rank sends")
 		wireJnl   = flag.String("wire-journal", "", "internal: worker journal directory")
+		wireTier  = flag.String("wire-tier", "auto", "with -transport tcp: transport between co-located ranks (auto | tcp | unix)")
 	)
 	flag.Parse()
 	traceCSV = *traceTo
 	whatIfCores = *whatIfC
 
 	if *wireRank >= 0 {
-		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *n, *blocks, *wireJnl, *wireKill)
+		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *wireTier, *n, *blocks, *wireJnl, *wireKill)
 		return
 	}
 	if *faults {
@@ -65,11 +66,11 @@ func main() {
 		return
 	}
 	if *resume != "" {
-		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *resume, -1, true)
+		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *wireTier, *resume, -1, true)
 		return
 	}
 	if *transport == "tcp" || *journal != "" {
-		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *journal, *killAll, false)
+		runWireParent(*useCase, *runtime, *ranks, *n, *blocks, *wireTier, *journal, *killAll, false)
 		return
 	}
 	if *transport != "mem" {

@@ -125,8 +125,12 @@ func setupWireCase(useCase string, ranks, n, blocks int) (wireCase, error) {
 // its lineage ledger there (and resumes from whatever the directory already
 // holds); killAfter >= 0 arms a deterministic self-kill after that many
 // inter-rank sends, seeding a resumable crash.
-func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int, journalDir string, killAfter int) {
+func runWireWorker(useCase string, rank, ranks int, addr, tierName string, n, blocks int, journalDir string, killAfter int) {
 	wc, err := setupWireCase(useCase, ranks, n, blocks)
+	if err != nil {
+		log.Fatalf("bfrun: rank %d: %v", rank, err)
+	}
+	tier, err := wire.ParseTier(tierName)
 	if err != nil {
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
 	}
@@ -142,7 +146,7 @@ func runWireWorker(useCase string, rank, ranks int, addr string, n, blocks int, 
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
 	}
 	fab, err := wire.Connect(wire.Options{
-		Rank: rank, Ranks: ranks, Addr: addr, Fingerprint: ctrl.Fingerprint(),
+		Rank: rank, Ranks: ranks, Addr: addr, Tier: tier, Fingerprint: ctrl.Fingerprint(),
 	})
 	if err != nil {
 		log.Fatalf("bfrun: rank %d: %v", rank, err)
@@ -211,9 +215,12 @@ func digestLines(out map[core.TaskId][]core.Payload) []string {
 // restart: digests must match AND the journals must have carried progress
 // (something restored, every restored task replayed, replays + executions
 // covering the whole graph).
-func runWireParent(useCase, rt string, ranks, n, blocks int, journalDir string, killAll int, resume bool) {
+func runWireParent(useCase, rt string, ranks, n, blocks int, tierName, journalDir string, killAll int, resume bool) {
 	if rt != "mpi" {
 		log.Fatalf("bfrun: -transport tcp supports -runtime mpi, got %q", rt)
+	}
+	if _, err := wire.ParseTier(tierName); err != nil {
+		log.Fatal("bfrun: ", err)
 	}
 	if ranks < 1 {
 		log.Fatalf("bfrun: -ranks must be positive, got %d", ranks)
@@ -269,6 +276,7 @@ func runWireParent(useCase, rt string, ranks, n, blocks int, journalDir string, 
 			"-ranks", strconv.Itoa(ranks),
 			"-wire-rank", strconv.Itoa(r),
 			"-wire-addr", addr,
+			"-wire-tier", tierName,
 		}
 		if journalDir != "" {
 			args = append(args, "-wire-journal", journalDir)

@@ -29,15 +29,16 @@ func countingCallback(cb core.Callback, execs *atomic.Int64) core.Callback {
 
 // journaledWireRun drives one journaled multi-process-shaped run: one
 // controller per rank (as separate OS processes would have), each RunRank
-// on its own loopback TCP fabric, optionally wrapped with fault injection.
-// It returns the merged sink results, the per-rank errors, and the summed
-// journal stats.
-func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload, dir string, inject func(rank int, tr fabric.Transport) fabric.Transport) (map[core.TaskId][]core.Payload, []error, mpi.JournalStats) {
+// on its own loopback fabric at the given transport tier, optionally
+// wrapped with fault injection. journalOpts extends the per-rank controller
+// configuration (journal sync policy, commit window). It returns the merged
+// sink results, the per-rank errors, and the summed journal stats.
+func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload, dir string, tier wire.Tier, journalOpts []mpi.Option, inject func(rank int, tr fabric.Transport) fabric.Transport) (map[core.TaskId][]core.Payload, []error, mpi.JournalStats) {
 	t.Helper()
 	ranks := m.ShardCount()
 	ctrls := make([]*mpi.Controller, ranks)
 	for r := range ctrls {
-		ctrls[r] = mpi.New(mpi.WithJournal(dir))
+		ctrls[r] = mpi.New(append([]mpi.Option{mpi.WithJournal(dir)}, journalOpts...)...)
 		if err := ctrls[r].Initialize(g, m); err != nil {
 			t.Fatal(err)
 		}
@@ -48,6 +49,7 @@ func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Ca
 		}
 	}
 	fabrics := connectWireMesh(t, ranks, ctrls[0].Fingerprint(), wire.Options{
+		Tier:              tier,
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  500 * time.Millisecond,
 	})
@@ -90,11 +92,14 @@ func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Ca
 }
 
 // TestResumeAfterKillingAllRanks is the checkpoint/restart acceptance
-// sweep: every figure workload runs journaled on 4 ranks over loopback TCP,
-// EVERY rank — including rank 0 — is killed after its N-th inter-rank send,
-// and a second run over the same journal directory must produce sinks
-// byte-identical to the serial reference while re-executing only the tasks
-// the journals did not retain.
+// sweep: every figure workload runs journaled on 4 ranks over loopback
+// sockets at each transport tier, EVERY rank — including rank 0 — is killed
+// after its N-th inter-rank send, and a second run over the same journal
+// directory must produce sinks byte-identical to the serial reference while
+// re-executing only the tasks the journals did not retain. The
+// unix/group-commit configuration additionally crashes every rank with its
+// commit window still open (interval and record threshold too large to ever
+// fire mid-run), proving the watermark semantics survive an unclean death.
 func TestResumeAfterKillingAllRanks(t *testing.T) {
 	mk := func(g core.TaskGraph, err error) core.TaskGraph {
 		t.Helper()
@@ -108,72 +113,94 @@ func TestResumeAfterKillingAllRanks(t *testing.T) {
 		"binaryswap": mk(graphAsTaskGraph(graphs.NewBinarySwap(8))),
 		"kwaymerge":  mk(graphAsTaskGraph(graphs.NewKWayMerge(8, 2))),
 	}
+	configs := []struct {
+		name string
+		tier wire.Tier
+		opts []mpi.Option
+	}{
+		{"tcp", wire.TierTCP, nil},
+		{"unix", wire.TierUnix, nil},
+		{"unix_groupcommit", wire.TierUnix, []mpi.Option{mpi.WithJournalGroupCommit(time.Hour, 1<<20)}},
+	}
 	const ranks = 4
 	for name, g := range cases {
-		for _, killAfter := range []int{0, 2} {
-			name, g, killAfter := name, g, killAfter
-			t.Run(fmt.Sprintf("%s/killall_after%d", name, killAfter), func(t *testing.T) {
-				t.Parallel()
-				cb := mixCallback(g)
-				initial := externalInputsFor(g)
-				want := serialReference(t, g, cb, initial)
-				m := core.NewGraphMap(ranks, g)
-				dir := t.TempDir()
+		for _, cfg := range configs {
+			for _, killAfter := range []int{0, 2} {
+				name, g, cfg, killAfter := name, g, cfg, killAfter
+				t.Run(fmt.Sprintf("%s/%s/killall_after%d", name, cfg.name, killAfter), func(t *testing.T) {
+					t.Parallel()
+					cb := mixCallback(g)
+					initial := externalInputsFor(g)
+					want := serialReference(t, g, cb, initial)
+					m := core.NewGraphMap(ranks, g)
+					dir := t.TempDir()
 
-				// Seed run: every rank is its own victim, so the whole job
-				// dies mid-flight — the all-processes-crashed scenario.
-				var seedExecs atomic.Int64
-				_, errs, _ := journaledWireRun(t, g, m, countingCallback(cb, &seedExecs), initial, dir,
-					func(rank int, tr fabric.Transport) fabric.Transport {
-						return faultinject.Wrap(tr, rank, faultinject.Plan{
-							KillRank:  rank,
-							KillAfter: killAfter,
-							Delay:     time.Millisecond,
+					// Seed run: every rank is its own victim, so the whole job
+					// dies mid-flight — the all-processes-crashed scenario.
+					var seedExecs atomic.Int64
+					_, errs, _ := journaledWireRun(t, g, m, countingCallback(cb, &seedExecs), initial, dir, cfg.tier, cfg.opts,
+						func(rank int, tr fabric.Transport) fabric.Transport {
+							return faultinject.Wrap(tr, rank, faultinject.Plan{
+								KillRank:  rank,
+								KillAfter: killAfter,
+								Delay:     time.Millisecond,
+							})
 						})
-					})
-				failed := 0
-				for _, err := range errs {
-					if err != nil {
-						failed++
+					failed := 0
+					for _, err := range errs {
+						if err != nil {
+							failed++
+						}
 					}
-				}
-				if failed == 0 {
-					t.Fatal("kill-all seed run completed without a single failure")
-				}
+					if failed == 0 {
+						t.Fatal("kill-all seed run completed without a single failure")
+					}
 
-				// Resume: a fresh mesh and fresh controllers over the same
-				// journal directory.
-				var resExecs atomic.Int64
-				got, errs, js := journaledWireRun(t, g, m, countingCallback(cb, &resExecs), initial, dir, nil)
-				for r, err := range errs {
-					if err != nil {
-						t.Fatalf("resume rank %d: %v", r, err)
+					// Resume: a fresh mesh and fresh controllers over the same
+					// journal directory.
+					var resExecs atomic.Int64
+					got, errs, js := journaledWireRun(t, g, m, countingCallback(cb, &resExecs), initial, dir, cfg.tier, cfg.opts, nil)
+					for r, err := range errs {
+						if err != nil {
+							t.Fatalf("resume rank %d: %v", r, err)
+						}
 					}
-				}
-				assertSameSinks(t, want, got)
-				if js.Restored == 0 {
-					t.Error("resume restored nothing: seed run journaled no progress")
-				}
-				if js.Replayed != js.Restored {
-					t.Errorf("replayed %d tasks, restored %d — every restored task must replay", js.Replayed, js.Restored)
-				}
-				wantExec := g.Size() - js.Restored
-				if int(resExecs.Load()) != wantExec || js.Executed != wantExec {
-					t.Errorf("resume executed %d callbacks (stats %d), want exactly the %d un-journaled tasks",
-						resExecs.Load(), js.Executed, wantExec)
-				}
-				t.Logf("seed executed=%d failed_ranks=%d; resume restored=%d replayed=%d executed=%d",
-					seedExecs.Load(), failed, js.Restored, js.Replayed, js.Executed)
-			})
+					assertSameSinks(t, want, got)
+					if js.Restored == 0 {
+						t.Error("resume restored nothing: seed run journaled no progress")
+					}
+					if js.Replayed != js.Restored {
+						t.Errorf("replayed %d tasks, restored %d — every restored task must replay", js.Replayed, js.Restored)
+					}
+					wantExec := g.Size() - js.Restored
+					if int(resExecs.Load()) != wantExec || js.Executed != wantExec {
+						t.Errorf("resume executed %d callbacks (stats %d), want exactly the %d un-journaled tasks",
+							resExecs.Load(), js.Executed, wantExec)
+					}
+					t.Logf("seed executed=%d failed_ranks=%d; resume restored=%d replayed=%d executed=%d",
+						seedExecs.Load(), failed, js.Restored, js.Replayed, js.Executed)
+				})
+			}
 		}
 	}
 }
 
 // TestCorruptFrameTriggersRecovery flips one payload bit in transit during
-// the first epoch of a fault-tolerant run: the receiver must classify the
-// corrupt frame as a lost peer, and the recovery epoch must still deliver
-// sinks byte-identical to serial.
+// the first epoch of a fault-tolerant run, once per transport tier: the
+// receiver must classify the corrupt frame as a lost peer on TCP and unix
+// alike (the CRC sits in the frame, not the transport), and the recovery
+// epoch must still deliver sinks byte-identical to serial.
 func TestCorruptFrameTriggersRecovery(t *testing.T) {
+	for _, tc := range conformanceTiers {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			corruptFrameRecovery(t, tc.tier)
+		})
+	}
+}
+
+func corruptFrameRecovery(t *testing.T, tier wire.Tier) {
 	g, err := graphs.NewReduction(8, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +227,7 @@ func TestCorruptFrameTriggersRecovery(t *testing.T) {
 		opt := wire.Options{
 			Fingerprint:       fp,
 			Epoch:             epoch,
+			Tier:              tier,
 			HeartbeatInterval: 50 * time.Millisecond,
 			HeartbeatTimeout:  500 * time.Millisecond,
 		}
@@ -234,11 +262,11 @@ func TestCorruptFrameTriggersRecovery(t *testing.T) {
 	t.Logf("epochs=%d lost=%v replayed=%d executed=%d", rep.Epochs, rep.LostShards, rep.Replayed, rep.Executed)
 }
 
-// resumeDamagedJournal journals a full in-process run, damages rank 0's
-// first journal segment with damage, then resumes with a fresh controller:
-// the sinks must match and only the tasks whose records were lost may
-// re-execute.
-func resumeDamagedJournal(t *testing.T, damage func(segment string) error) {
+// resumeDamagedJournal journals a full in-process run (seedOpts extends the
+// seed controller's journal configuration), damages rank 0's first journal
+// segment with damage, then resumes with a fresh controller: the sinks must
+// match and only the tasks whose records were lost may re-execute.
+func resumeDamagedJournal(t *testing.T, damage func(segment string) error, seedOpts ...mpi.Option) {
 	g, err := graphs.NewReduction(16, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -249,9 +277,9 @@ func resumeDamagedJournal(t *testing.T, damage func(segment string) error) {
 	m := core.NewGraphMap(4, g)
 	dir := t.TempDir()
 
-	run := func(execs *atomic.Int64) (map[core.TaskId][]core.Payload, mpi.JournalStats) {
+	run := func(execs *atomic.Int64, opts ...mpi.Option) (map[core.TaskId][]core.Payload, mpi.JournalStats) {
 		t.Helper()
-		c := mpi.New(mpi.WithJournal(dir))
+		c := mpi.New(append([]mpi.Option{mpi.WithJournal(dir)}, opts...)...)
 		if err := c.Initialize(g, m); err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +296,7 @@ func resumeDamagedJournal(t *testing.T, damage func(segment string) error) {
 	}
 
 	var execs atomic.Int64
-	run(&execs)
+	run(&execs, seedOpts...)
 	if int(execs.Load()) != g.Size() {
 		t.Fatalf("seed run executed %d callbacks, want %d", execs.Load(), g.Size())
 	}
@@ -334,4 +362,16 @@ func TestResumeWithCorruptJournalRecord(t *testing.T) {
 		}
 		return faultinject.FlipBit(seg, info.Size()/2, 3)
 	})
+}
+
+// TestResumeGroupCommitCrashMidWindow seeds the journal under group commit
+// with a commit window too large to ever close mid-run, then tears the tail
+// off rank 0's first segment — the on-disk image of a host that crashed
+// before the window's fsync landed. The resume must replay every surviving
+// record, re-execute only the torn ones, and still match serial
+// byte-for-byte.
+func TestResumeGroupCommitCrashMidWindow(t *testing.T) {
+	resumeDamagedJournal(t, func(seg string) error {
+		return faultinject.TruncateTail(seg, 5)
+	}, mpi.WithJournalGroupCommit(time.Hour, 1<<20))
 }

@@ -70,8 +70,9 @@ func partitionInitial(m core.TaskMap, initial map[core.TaskId][]core.Payload) []
 }
 
 // runOverWire executes the graph on the MPI controller with every rank on
-// its own TCP fabric and merges the per-rank sink outputs.
-func runOverWire(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload) map[core.TaskId][]core.Payload {
+// its own loopback fabric at the given transport tier and merges the
+// per-rank sink outputs.
+func runOverWire(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload, tier wire.Tier) map[core.TaskId][]core.Payload {
 	t.Helper()
 	ranks := m.ShardCount()
 	ctrl := mpi.New(mpi.Options{})
@@ -83,7 +84,7 @@ func runOverWire(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callbac
 			t.Fatal(err)
 		}
 	}
-	fabrics := connectWireMesh(t, ranks, ctrl.Fingerprint(), wire.Options{})
+	fabrics := connectWireMesh(t, ranks, ctrl.Fingerprint(), wire.Options{Tier: tier})
 	parts := partitionInitial(m, initial)
 
 	results := make([]map[core.TaskId][]core.Payload, ranks)
@@ -148,9 +149,23 @@ func serialReference(t *testing.T, g core.TaskGraph, cb core.Callback, initial m
 	return want
 }
 
+// conformanceTiers enumerates the transport tiers every wire conformance
+// sweep must pass with byte-identical results: forced TCP (the cross-host
+// path) and forced unix-domain sockets (the same-host path). TierAuto needs
+// no row of its own — in-process ranks are co-located, so auto resolves to
+// the unix path these sweeps already pin.
+var conformanceTiers = []struct {
+	name string
+	tier wire.Tier
+}{
+	{"tcp", wire.TierTCP},
+	{"unix", wire.TierUnix},
+}
+
 // TestWireFigureWorkloads runs every figure communication pattern of the
-// paper on the MPI controller over real loopback TCP with 4 ranks and
-// checks the sinks byte-for-byte against the serial reference.
+// paper on the MPI controller over real loopback sockets with 4 ranks, at
+// each transport tier, and checks the sinks byte-for-byte against the serial
+// reference.
 func TestWireFigureWorkloads(t *testing.T) {
 	mk := func(g core.TaskGraph, err error) core.TaskGraph {
 		t.Helper()
@@ -167,14 +182,17 @@ func TestWireFigureWorkloads(t *testing.T) {
 		"neighbor3d": mk(graphAsTaskGraph(graphs.NewNeighbor3D(2, 2, 2))),
 	}
 	for name, g := range cases {
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			cb := mixCallback(g)
-			initial := externalInputsFor(g)
-			want := serialReference(t, g, cb, initial)
-			got := runOverWire(t, g, core.NewGraphMap(4, g), cb, initial)
-			assertSameSinks(t, want, got)
-		})
+		for _, tc := range conformanceTiers {
+			name, g, tc := name, g, tc
+			t.Run(name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				cb := mixCallback(g)
+				initial := externalInputsFor(g)
+				want := serialReference(t, g, cb, initial)
+				got := runOverWire(t, g, core.NewGraphMap(4, g), cb, initial, tc.tier)
+				assertSameSinks(t, want, got)
+			})
+		}
 	}
 }
 
@@ -183,13 +201,19 @@ func graphAsTaskGraph[G core.TaskGraph](g G, err error) (core.TaskGraph, error) 
 	return g, err
 }
 
-// TestWireRandomDAGConformance is the TCP analogue of the cross-controller
-// fuzz: random DAGs executed over 4 real loopback fabrics must match the
-// serial reference byte-for-byte.
+// TestWireRandomDAGConformance is the socket analogue of the
+// cross-controller fuzz: random DAGs executed over 4 real loopback fabrics
+// (TierAuto — the default tier selection) must match the serial reference
+// byte-for-byte. Alternating trials force TCP so the fuzz also covers the
+// cross-host framing path.
 func TestWireRandomDAGConformance(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		trial := trial
-		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+		tier := wire.TierAuto
+		if trial%2 == 1 {
+			tier = wire.TierTCP
+		}
+		t.Run(fmt.Sprintf("trial%d_%s", trial, tier), func(t *testing.T) {
 			t.Parallel()
 			g := randomDAG(6+trial*7, uint64(4000+trial))
 			if err := core.Validate(g); err != nil {
@@ -198,7 +222,7 @@ func TestWireRandomDAGConformance(t *testing.T) {
 			cb := mixCallback(g)
 			initial := externalInputsFor(g)
 			want := serialReference(t, g, cb, initial)
-			got := runOverWire(t, g, core.NewGraphMap(4, g), cb, initial)
+			got := runOverWire(t, g, core.NewGraphMap(4, g), cb, initial, tier)
 			assertSameSinks(t, want, got)
 		})
 	}

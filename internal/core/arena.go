@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Wire-buffer arena: a set of size-classed sync.Pool free lists backing the
@@ -28,6 +29,38 @@ const (
 
 var arenaPools [arenaMaxBits + 1]sync.Pool
 
+// arenaBox carries a pooled buffer's slice header between Release and Grab.
+// The boxes recycle through their own pool, so neither direction allocates
+// in steady state: a pool of bare []byte values would box the slice header
+// into the interface on every Put, costing one heap allocation per released
+// buffer — on the wire receive path, one per message.
+type arenaBox struct{ b []byte }
+
+var arenaBoxes = sync.Pool{New: func() any { return new(arenaBox) }}
+
+// Arena accounting: an opt-in grabs-minus-releases counter for leak
+// regression tests. The flag is checked with one atomic load on the hot
+// path; production runs leave it disabled.
+var (
+	arenaTrack       atomic.Bool
+	arenaOutstanding atomic.Int64
+)
+
+// ArenaAccounting enables or disables outstanding-buffer accounting and
+// resets the counter. Tests bracket a scenario with
+// ArenaAccounting(true) … ArenaOutstanding() to prove every grabbed buffer
+// was released (or deliberately escaped).
+func ArenaAccounting(on bool) {
+	arenaOutstanding.Store(0)
+	arenaTrack.Store(on)
+}
+
+// ArenaOutstanding returns grabs minus releases since accounting was last
+// enabled. Buffers handed off to consumers (which, per the ownership rule,
+// escape the arena) count as outstanding — scope the accounting window to
+// paths whose buffers must all come back.
+func ArenaOutstanding() int64 { return arenaOutstanding.Load() }
+
 // arenaClass returns the smallest class whose capacity holds n, or -1 when n
 // is outside the pooled range.
 func arenaClass(n int) int {
@@ -48,12 +81,19 @@ func arenaClass(n int) int {
 // one when the matching pool is empty or n is outside the pooled range. The
 // contents are unspecified; the caller is expected to overwrite them fully.
 func GrabBuffer(n int) []byte {
+	if arenaTrack.Load() {
+		arenaOutstanding.Add(1)
+	}
 	c := arenaClass(n)
 	if c < 0 {
 		return make([]byte, n)
 	}
 	if v := arenaPools[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		box := v.(*arenaBox)
+		b := box.b[:n]
+		box.b = nil
+		arenaBoxes.Put(box)
+		return b
 	}
 	return make([]byte, n, 1<<c)
 }
@@ -64,6 +104,9 @@ func GrabBuffer(n int) []byte {
 // dropped. The caller must guarantee no reference to the buffer survives
 // the call.
 func ReleaseBuffer(b []byte) {
+	if arenaTrack.Load() {
+		arenaOutstanding.Add(-1)
+	}
 	if cap(b) == 0 {
 		return
 	}
@@ -73,6 +116,7 @@ func ReleaseBuffer(b []byte) {
 	if c < arenaMinBits || c > arenaMaxBits {
 		return
 	}
-	b = b[:0]
-	arenaPools[c].Put(&b)
+	box := arenaBoxes.Get().(*arenaBox)
+	box.b = b[:0]
+	arenaPools[c].Put(box)
 }

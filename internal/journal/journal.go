@@ -17,8 +17,10 @@
 //
 // Appends go to the highest-numbered segment; a segment exceeding
 // Options.SegmentBytes is sealed and a new one started. Durability is
-// governed by Options.Sync: every record, on rotation only, or never
-// (leaving flushes to the OS).
+// governed by Options.Sync: every record, on rotation only, never (leaving
+// flushes to the OS), or group commit — a background committer that
+// amortizes one fsync across a bounded window of appends and publishes the
+// crash-safe prefix through the Committed watermark.
 //
 // Crash and corruption rules, applied when a journal is opened:
 //
@@ -45,6 +47,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -60,6 +63,13 @@ const (
 	// SyncNever leaves flushing to the OS (and to Sync/Close). Fastest;
 	// a crash may lose any unflushed suffix.
 	SyncNever
+	// SyncGroupCommit amortizes fsyncs across a commit window: Append
+	// returns as soon as the record is written, and a background committer
+	// fsyncs when CommitRecords appends have accumulated or CommitInterval
+	// has elapsed since the last commit, whichever comes first. The
+	// Committed watermark reports how many records are crash-safe; a crash
+	// loses at most one commit window, which replay re-executes.
+	SyncGroupCommit
 )
 
 func (p SyncPolicy) String() string {
@@ -70,6 +80,8 @@ func (p SyncPolicy) String() string {
 		return "on-rotate"
 	case SyncNever:
 		return "never"
+	case SyncGroupCommit:
+		return "group-commit"
 	}
 	return fmt.Sprintf("SyncPolicy(%d)", int(p))
 }
@@ -85,6 +97,14 @@ type Options struct {
 	MaxRecordBytes int
 	// Sync is the fsync policy. The zero value is SyncEveryRecord.
 	Sync SyncPolicy
+	// CommitInterval bounds how long a record appended under
+	// SyncGroupCommit may wait for its fsync. Zero selects 2ms. Ignored by
+	// the other policies.
+	CommitInterval time.Duration
+	// CommitRecords is the append count that triggers an early group
+	// commit before the interval elapses. Zero selects 64. Ignored by the
+	// other policies.
+	CommitRecords int
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +113,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = 256 << 20
+	}
+	if o.CommitInterval <= 0 {
+		o.CommitInterval = 2 * time.Millisecond
+	}
+	if o.CommitRecords <= 0 {
+		o.CommitRecords = 64
 	}
 	return o
 }
@@ -142,18 +168,29 @@ type Stats struct {
 	CorruptSkipped int
 	// TornBytes counts bytes truncated from segment tails at Open.
 	TornBytes int64
+	// Committed is the crash-safe watermark: how many of Records were
+	// covered by an fsync (see Log.Committed).
+	Committed int
 }
 
 // Log is an append-only segmented record log. It is safe for concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	opt    Options
-	dir    string
-	segs   []*segment
-	refs   []Ref // valid records in append order (scan + appends)
-	stats  Stats
-	dirty  bool // unsynced appends on the active segment
-	closed bool
+	mu        sync.Mutex
+	opt       Options
+	dir       string
+	segs      []*segment
+	refs      []Ref // valid records in append order (scan + appends)
+	stats     Stats
+	dirty     bool // unsynced appends on the active segment
+	closed    bool
+	committed int   // records covered by an fsync (crash-safe watermark)
+	syncErr   error // sticky background-commit failure (group commit only)
+
+	// Group-commit machinery (nil under the other policies).
+	commitWake chan struct{} // capacity 1: poked when CommitRecords accumulate
+	commitStop chan struct{}
+	commitDone chan struct{}
+	stopOnce   sync.Once
 }
 
 // Open opens (or creates) the journal at dir, scanning existing segments,
@@ -190,6 +227,15 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 	}
 	l.stats.Segments = len(l.segs)
+	// Records that survived the open scan are on stable storage by
+	// definition — the watermark starts at the full scanned count.
+	l.committed = l.stats.Records
+	if opt.Sync == SyncGroupCommit {
+		l.commitWake = make(chan struct{}, 1)
+		l.commitStop = make(chan struct{})
+		l.commitDone = make(chan struct{})
+		go l.commitLoop()
+	}
 	return l, nil
 }
 
@@ -274,13 +320,20 @@ func (l *Log) addSegment() error {
 
 // Append frames body with its length and CRC32C and appends it to the
 // active segment, rotating first when the segment is full, then fsyncs per
-// the sync policy. The returned Ref reads the record back. body is not
-// retained.
+// the sync policy. Under SyncGroupCommit it returns as soon as the record
+// is written — durability arrives with the next group commit, observable
+// through Committed — and surfaces any earlier background fsync failure.
+// The returned Ref reads the record back. body is not retained.
 func (l *Log) Append(body []byte) (Ref, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return Ref{}, ErrClosed
+	}
+	if l.syncErr != nil {
+		// A failed group commit leaves the durability of every later record
+		// unknowable; refuse further appends instead of lying.
+		return Ref{}, l.syncErr
 	}
 	if len(body) > l.opt.MaxRecordBytes {
 		return Ref{}, fmt.Errorf("journal: record of %d bytes exceeds MaxRecordBytes %d", len(body), l.opt.MaxRecordBytes)
@@ -306,13 +359,80 @@ func (l *Log) Append(body []byte) (Ref, error) {
 	l.stats.Records++
 	l.stats.Bytes += int64(len(body))
 	l.dirty = true
-	if l.opt.Sync == SyncEveryRecord {
+	switch l.opt.Sync {
+	case SyncEveryRecord:
 		if err := active.f.Sync(); err != nil {
 			return Ref{}, fmt.Errorf("journal: fsync: %w", err)
 		}
 		l.dirty = false
+		l.committed = l.stats.Records
+	case SyncGroupCommit:
+		if l.stats.Records-l.committed >= l.opt.CommitRecords {
+			select {
+			case l.commitWake <- struct{}{}:
+			default:
+			}
+		}
 	}
 	return ref, nil
+}
+
+// commitLoop is the group committer: it fsyncs the active segment whenever
+// the commit interval elapses with unsynced appends, or sooner when
+// CommitRecords accumulate. An fsync failure is recorded sticky and stops
+// the loop — every subsequent Append reports it.
+func (l *Log) commitLoop() {
+	defer close(l.commitDone)
+	t := time.NewTicker(l.opt.CommitInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.commitStop:
+			return
+		case <-t.C:
+		case <-l.commitWake:
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		err := l.syncLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// syncLocked fsyncs the active segment if it has unsynced appends,
+// advancing the committed watermark. A failure under group commit is
+// recorded sticky.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.segs[len(l.segs)-1].f.Sync(); err != nil {
+		err = fmt.Errorf("journal: fsync: %w", err)
+		if l.opt.Sync == SyncGroupCommit {
+			l.syncErr = err
+		}
+		return err
+	}
+	l.dirty = false
+	l.committed = l.stats.Records
+	return nil
+}
+
+// Committed returns the crash-safe watermark: the number of records (in
+// append order) covered by an fsync. Everything past it is written but may
+// be lost to a crash — the replay layer re-executes it. Under
+// SyncEveryRecord the watermark always equals Stats().Records; under
+// SyncGroupCommit it trails by at most one commit window.
+func (l *Log) Committed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
 }
 
 // rotateLocked seals the active segment (fsyncing it unless the policy is
@@ -324,6 +444,7 @@ func (l *Log) rotateLocked() error {
 			return fmt.Errorf("journal: fsync on rotate: %w", err)
 		}
 		l.dirty = false
+		l.committed = l.stats.Records
 	}
 	return l.addSegment()
 }
@@ -385,25 +506,34 @@ func (l *Log) Scan(fn func(ref Ref, body []byte) error) error {
 	return nil
 }
 
-// Sync fsyncs the active segment if it has unsynced appends.
+// Sync fsyncs the active segment if it has unsynced appends, advancing the
+// committed watermark. It surfaces a sticky background-commit failure.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if !l.dirty {
-		return nil
+	if l.syncErr != nil {
+		return l.syncErr
 	}
-	if err := l.segs[len(l.segs)-1].f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+	return l.syncLocked()
+}
+
+// stopCommitter shuts the group committer down (idempotent; no-op for the
+// other policies) and waits for it to exit, so Close never races a
+// background fsync.
+func (l *Log) stopCommitter() {
+	if l.commitStop == nil {
+		return
 	}
-	l.dirty = false
-	return nil
+	l.stopOnce.Do(func() { close(l.commitStop) })
+	<-l.commitDone
 }
 
 // Close syncs and closes every segment. The log is unusable afterwards.
 func (l *Log) Close() error {
+	l.stopCommitter()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -418,11 +548,17 @@ func (l *Log) Close() error {
 		if l.dirty && i == len(l.segs)-1 {
 			if err := seg.f.Sync(); err != nil && first == nil {
 				first = err
+			} else if err == nil {
+				l.dirty = false
+				l.committed = l.stats.Records
 			}
 		}
 		if err := seg.f.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if first == nil && l.syncErr != nil {
+		first = l.syncErr
 	}
 	return first
 }
@@ -431,7 +567,9 @@ func (l *Log) Close() error {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	s := l.stats
+	s.Committed = l.committed
+	return s
 }
 
 // Dir returns the journal directory.

@@ -271,7 +271,7 @@ func TestAppendRejectsOversizedRecord(t *testing.T) {
 }
 
 func TestSyncPolicies(t *testing.T) {
-	for _, pol := range []SyncPolicy{SyncEveryRecord, SyncOnRotate, SyncNever} {
+	for _, pol := range []SyncPolicy{SyncEveryRecord, SyncOnRotate, SyncNever, SyncGroupCommit} {
 		t.Run(pol.String(), func(t *testing.T) {
 			dir := t.TempDir()
 			l, err := Open(dir, Options{Sync: pol, SegmentBytes: 128})

@@ -137,6 +137,11 @@ func (s *LedgerStore) Len() int {
 // Sync flushes unsynced appends to stable storage.
 func (s *LedgerStore) Sync() error { return s.log.Sync() }
 
+// Committed returns the underlying log's crash-safe watermark: how many
+// journaled records are guaranteed to survive a crash. Under group commit
+// the ledger uses it to tell replayable history from the at-risk window.
+func (s *LedgerStore) Committed() int { return s.log.Committed() }
+
 // Close syncs and closes the underlying log.
 func (s *LedgerStore) Close() error { return s.log.Close() }
 

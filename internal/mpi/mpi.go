@@ -107,11 +107,22 @@ type Options struct {
 	// (journal.SyncEveryRecord) makes every recorded task crash-durable;
 	// see journal.SyncPolicy for the cheaper relaxations.
 	JournalSync journal.SyncPolicy
+	// JournalCommitInterval and JournalCommitRecords tune the
+	// journal.SyncGroupCommit policy's commit window (time and record
+	// bounds). Zero keeps the journal defaults (2ms, 64 records); both are
+	// ignored by the other sync policies.
+	JournalCommitInterval time.Duration
+	JournalCommitRecords  int
 	// HeartbeatInterval and HeartbeatTimeout tune the wire transport's
 	// failure detector for meshes built from this controller's WireOptions
 	// template. Zero keeps the wire defaults (1s interval, 4x timeout).
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// WireTier selects the wire transport tier for meshes built from this
+	// controller's WireOptions template: wire.TierAuto (default) rides
+	// unix-domain sockets between co-located ranks and TCP across hosts;
+	// wire.TierTCP and wire.TierUnix force one transport.
+	WireTier wire.Tier
 }
 
 // apply implements Option, so a plain Options literal can be passed to New
@@ -189,7 +200,11 @@ func (c *Controller) recordJournalStats(leds []*core.Ledger) {
 // must Close it after the run.
 func (c *Controller) openLedger(rank int) (*core.Ledger, *journal.LedgerStore, error) {
 	dir := filepath.Join(c.opt.Journal, fmt.Sprintf("rank-%d", rank))
-	store, err := journal.OpenLedgerStore(dir, journal.Options{Sync: c.opt.JournalSync})
+	store, err := journal.OpenLedgerStore(dir, journal.Options{
+		Sync:           c.opt.JournalSync,
+		CommitInterval: c.opt.JournalCommitInterval,
+		CommitRecords:  c.opt.JournalCommitRecords,
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("mpi: rank %d journal: %w", rank, err)
 	}
@@ -432,6 +447,7 @@ func (c *Controller) WireOptions() wire.Options {
 		Fingerprint:       c.Fingerprint(),
 		HeartbeatInterval: c.opt.HeartbeatInterval,
 		HeartbeatTimeout:  c.opt.HeartbeatTimeout,
+		Tier:              c.opt.WireTier,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/journal"
+	"github.com/babelflow/babelflow-go/internal/wire"
 )
 
 // Option configures a Controller at construction. Two kinds of values
@@ -66,6 +67,25 @@ func WithJournal(dir string) Option {
 // Options.JournalSync).
 func WithJournalSync(p journal.SyncPolicy) Option {
 	return optionFunc(func(o *Options) { o.JournalSync = p })
+}
+
+// WithJournalGroupCommit selects the journal.SyncGroupCommit fsync policy
+// with the given commit window: a background committer fsyncs once per
+// interval (or every records appends, whichever comes first), amortizing
+// durability across the window. Zero values keep the journal defaults
+// (2ms, 64 records).
+func WithJournalGroupCommit(interval time.Duration, records int) Option {
+	return optionFunc(func(o *Options) {
+		o.JournalSync = journal.SyncGroupCommit
+		o.JournalCommitInterval = interval
+		o.JournalCommitRecords = records
+	})
+}
+
+// WithWireTier selects the wire transport tier for meshes built from the
+// controller's WireOptions template (see Options.WireTier).
+func WithWireTier(t wire.Tier) Option {
+	return optionFunc(func(o *Options) { o.WireTier = t })
 }
 
 // WithHeartbeat tunes the wire failure detector: how often idle

@@ -4,15 +4,21 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 )
 
 // bootstrap establishes the full connection mesh for one rank and returns
 // the per-rank connections (nil at the local rank). Rank 0 plays
 // rendezvous server: it accepts a registration from every other rank,
-// verifies the fingerprint and replies with the address table. The
-// registration connections double as rank 0's data connections; the
-// remaining pairs are completed by every rank dialing all lower ranks.
+// verifies the fingerprint and replies with the endpoint table. The
+// registration connections double as rank 0's data connections (co-located
+// pairs then upgrade them to the unix tier); the remaining pairs are
+// completed by every rank dialing all lower ranks over whichever transport
+// the tier selects.
 func bootstrap(opt Options) ([]net.Conn, error) {
 	conns := make([]net.Conn, opt.Ranks)
 	if opt.Ranks == 1 {
@@ -32,17 +38,29 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	ln := opt.Listener
 	if ln == nil {
 		var err error
-		ln, err = net.Listen("tcp", opt.Addr)
+		ln, err = net.Listen(rendezvousNetwork(opt.Addr), opt.Addr)
 		if err != nil {
 			return nil, fmt.Errorf("wire: rendezvous listen: %w", err)
 		}
 	}
 	defer ln.Close()
-	if tl, ok := ln.(*net.TCPListener); ok {
-		tl.SetDeadline(deadline)
+	setListenerDeadline(ln, deadline)
+
+	// Rank 0's unix data listener: co-located peers re-dial it after the
+	// welcome, upgrading their registration connection off TCP.
+	uln, ucleanup, err := unixDataListener(opt, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if ucleanup != nil {
+		defer ucleanup()
 	}
 
-	addrs := make([]string, opt.Ranks)
+	eps := make([]endpoint, opt.Ranks)
+	eps[0] = endpoint{HostID: opt.HostID}
+	if uln != nil {
+		eps[0].Unix = uln.Addr().String()
+	}
 	registered := 0
 	for registered < opt.Ranks-1 {
 		c, err := ln.Accept()
@@ -57,18 +75,22 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 			closeAll(conns)
 			return nil, fmt.Errorf("wire: rendezvous: %w", err)
 		}
-		if reason := vetHello(opt, h, 1, conns); reason != "" {
+		reason := vetHello(opt, h, 1, conns)
+		if reason == "" && opt.Tier == TierUnix && h.Endpoint.HostID != opt.HostID {
+			reason = fmt.Sprintf("tier unix requires co-location, but rank %d is on a different host", h.Rank)
+		}
+		if reason != "" {
 			writeConn(c, deadline, encodeReject(reason))
 			c.Close()
 			closeAll(conns)
 			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
 		}
 		conns[h.Rank] = c
-		addrs[h.Rank] = h.Addr
+		eps[h.Rank] = h.Endpoint
 		registered++
 	}
 
-	welcome, err := encodeWelcome(addrs)
+	welcome, err := encodeWelcome(eps)
 	if err != nil {
 		closeAll(conns)
 		return nil, err
@@ -79,12 +101,59 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 			return nil, fmt.Errorf("wire: rendezvous: welcome to rank %d: %w", r, err)
 		}
 	}
+
+	// Upgrade pass: every co-located peer now re-dials over the unix
+	// listener. The predicate (tier allows, rank 0 has a unix listener,
+	// host identities match) is computed identically on both sides — the
+	// tier itself is vetted during the handshake — so the expected set is
+	// exact.
+	if uln != nil {
+		expect := make(map[int]bool)
+		for r := 1; r < opt.Ranks; r++ {
+			if eps[r].HostID == opt.HostID {
+				expect[r] = true
+			}
+		}
+		for len(expect) > 0 {
+			c, err := uln.Accept()
+			if err != nil {
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rendezvous: waiting for %d unix upgrade(s): %w", len(expect), err)
+			}
+			h, err := readHello(c, deadline)
+			if err != nil {
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rendezvous: upgrade: %w", err)
+			}
+			reason := vetCommon(opt, h)
+			if reason == "" && !expect[h.Rank] {
+				reason = fmt.Sprintf("unexpected unix upgrade from rank %d", h.Rank)
+			}
+			if reason != "" {
+				writeConn(c, deadline, encodeReject(reason))
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+			}
+			if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rendezvous: upgrade accept to rank %d: %w", h.Rank, err)
+			}
+			conns[h.Rank].Close() // retire the TCP registration connection
+			conns[h.Rank] = c
+			delete(expect, h.Rank)
+		}
+	}
 	return conns, nil
 }
 
 func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Conn, error) {
-	// The rank's own data listener, dialed by every higher rank. It lives on
-	// the same host family as the rendezvous address with an ephemeral port.
+	// The rank's own data listeners, dialed by every higher rank. The TCP
+	// one lives on the same host family as the rendezvous address with an
+	// ephemeral port; the unix one (tier permitting) under a private temp
+	// directory.
 	host, _, err := net.SplitHostPort(opt.Addr)
 	if err != nil || host == "" {
 		host = "127.0.0.1"
@@ -94,16 +163,27 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 		return nil, fmt.Errorf("wire: rank %d data listen: %w", opt.Rank, err)
 	}
 	defer ln.Close()
-	if tl, ok := ln.(*net.TCPListener); ok {
-		tl.SetDeadline(deadline)
+	setListenerDeadline(ln, deadline)
+	uln, ucleanup, err := unixDataListener(opt, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if ucleanup != nil {
+		defer ucleanup()
 	}
 
-	// Register with rank 0 and receive the address table.
-	c0, err := dialRetry(opt.Addr, deadline)
+	self := endpoint{TCP: ln.Addr().String(), HostID: opt.HostID}
+	if uln != nil {
+		self.Unix = uln.Addr().String()
+	}
+
+	// Register with rank 0 and receive the endpoint table.
+	c0, err := dialRetry(rendezvousNetwork(opt.Addr), opt.Addr, deadline)
 	if err != nil {
 		return nil, fmt.Errorf("wire: rank %d: rendezvous %s: %w", opt.Rank, opt.Addr, err)
 	}
-	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Fingerprint: opt.Fingerprint, Addr: ln.Addr().String()}
+	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Tier: opt.Tier,
+		Fingerprint: opt.Fingerprint, Endpoint: self}
 	if err := writeConn(c0, deadline, encodeHello(h)); err != nil {
 		c0.Close()
 		return nil, fmt.Errorf("wire: rank %d: register: %w", opt.Rank, err)
@@ -121,79 +201,196 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 		c0.Close()
 		return nil, fmt.Errorf("wire: rank %d: unexpected frame %d from rendezvous", opt.Rank, typ)
 	}
-	addrs, err := decodeWelcome(body)
-	if err != nil || len(addrs) != opt.Ranks {
+	eps, err := decodeWelcome(body)
+	if err != nil || len(eps) != opt.Ranks {
 		c0.Close()
 		return nil, fmt.Errorf("wire: rank %d: bad welcome: %v", opt.Rank, err)
 	}
 	conns[0] = c0
 
+	// Upgrade the rank-0 link to the unix tier when co-located (the exact
+	// mirror of rank 0's expectation — see bootstrapRoot).
+	if opt.Tier != TierTCP && eps[0].Unix != "" && eps[0].HostID == opt.HostID {
+		uc, err := dialRetry("unix", eps[0].Unix, deadline)
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("wire: rank %d: unix upgrade to rank 0: %w", opt.Rank, err)
+		}
+		if err := shakeHands(opt, uc, 0, self, deadline); err != nil {
+			uc.Close()
+			closeAll(conns)
+			return nil, err
+		}
+		c0.Close()
+		conns[0] = uc
+	} else if opt.Tier == TierUnix {
+		closeAll(conns)
+		return nil, fmt.Errorf("%w: rank %d: tier unix requires co-location with rank 0", ErrHandshake, opt.Rank)
+	}
+
 	// Dial every lower rank's data listener; higher ranks dial us.
 	for j := 1; j < opt.Rank; j++ {
-		c, err := dialRetry(addrs[j], deadline)
+		network, addr, err := pickEndpoint(opt, eps[j], j)
 		if err != nil {
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addrs[j], err)
+			return nil, err
 		}
-		hj := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Fingerprint: opt.Fingerprint}
-		if err := writeConn(c, deadline, encodeHello(hj)); err != nil {
-			c.Close()
-			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: hello to rank %d: %w", opt.Rank, j, err)
-		}
-		typ, body, err := readControl(c, deadline)
+		c, err := dialRetry(network, addr, deadline)
 		if err != nil {
-			c.Close()
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: reply from rank %d: %w", opt.Rank, j, err)
+			return nil, fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addr, err)
 		}
-		if typ == frameReject {
+		if err := shakeHands(opt, c, j, endpoint{HostID: opt.HostID}, deadline); err != nil {
 			c.Close()
 			closeAll(conns)
-			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, j, body)
-		}
-		if typ != frameAccept {
-			c.Close()
-			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: unexpected frame %d from rank %d", opt.Rank, typ, j)
+			return nil, err
 		}
 		conns[j] = c
 	}
 
-	// Accept every higher rank.
-	for need := opt.Ranks - 1 - opt.Rank; need > 0; {
-		c, err := ln.Accept()
-		if err != nil {
-			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: waiting for %d higher rank(s): %w", opt.Rank, need, err)
+	// Accept every higher rank, over whichever of the two listeners it
+	// chose to dial.
+	if need := opt.Ranks - 1 - opt.Rank; need > 0 {
+		income := acceptFrom(need+2, ln, uln)
+		for ; need > 0; need-- {
+			in := <-income
+			if in.err != nil {
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rank %d: waiting for %d higher rank(s): %w", opt.Rank, need, in.err)
+			}
+			c := in.c
+			h, err := readHello(c, deadline)
+			if err != nil {
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rank %d: %w", opt.Rank, err)
+			}
+			if reason := vetHello(opt, h, opt.Rank+1, conns); reason != "" {
+				writeConn(c, deadline, encodeReject(reason))
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+			}
+			if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
+				c.Close()
+				closeAll(conns)
+				return nil, fmt.Errorf("wire: rank %d: accept to rank %d: %w", opt.Rank, h.Rank, err)
+			}
+			conns[h.Rank] = c
 		}
-		h, err := readHello(c, deadline)
-		if err != nil {
-			c.Close()
-			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: %w", opt.Rank, err)
-		}
-		if reason := vetHello(opt, h, opt.Rank+1, conns); reason != "" {
-			writeConn(c, deadline, encodeReject(reason))
-			c.Close()
-			closeAll(conns)
-			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
-		}
-		if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
-			c.Close()
-			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: accept to rank %d: %w", opt.Rank, h.Rank, err)
-		}
-		conns[h.Rank] = c
-		need--
 	}
 	return conns, nil
 }
 
+// pickEndpoint selects the transport for a pairwise dial to rank j: unix
+// when the tier allows it and both ranks share a host (and j opened a unix
+// listener), TCP otherwise. TierUnix turns a TCP fallback into an error.
+func pickEndpoint(opt Options, ep endpoint, j int) (network, addr string, err error) {
+	if opt.Tier != TierTCP && ep.Unix != "" && ep.HostID == opt.HostID {
+		return "unix", ep.Unix, nil
+	}
+	if opt.Tier == TierUnix {
+		return "", "", fmt.Errorf("%w: rank %d: tier unix requires co-location with rank %d", ErrHandshake, opt.Rank, j)
+	}
+	return "tcp", ep.TCP, nil
+}
+
+// shakeHands runs the dialing side of a pairwise handshake on an
+// established connection: send hello, require accept.
+func shakeHands(opt Options, c net.Conn, j int, self endpoint, deadline time.Time) error {
+	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Tier: opt.Tier,
+		Fingerprint: opt.Fingerprint, Endpoint: self}
+	if err := writeConn(c, deadline, encodeHello(h)); err != nil {
+		return fmt.Errorf("wire: rank %d: hello to rank %d: %w", opt.Rank, j, err)
+	}
+	typ, body, err := readControl(c, deadline)
+	if err != nil {
+		return fmt.Errorf("wire: rank %d: reply from rank %d: %w", opt.Rank, j, err)
+	}
+	switch typ {
+	case frameAccept:
+		return nil
+	case frameReject:
+		return fmt.Errorf("%w: rank %d: %s", ErrHandshake, j, body)
+	}
+	return fmt.Errorf("wire: rank %d: unexpected frame %d from rank %d", opt.Rank, typ, j)
+}
+
+type accepted struct {
+	c   net.Conn
+	err error
+}
+
+// acceptFrom multiplexes Accept across the given listeners (nils skipped)
+// onto one channel. The channel is buffered generously so the acceptor
+// goroutines never block after the caller stops reading; each goroutine
+// exits on its listener's first error (deadline or close).
+func acceptFrom(buffer int, lns ...net.Listener) <-chan accepted {
+	ch := make(chan accepted, 2*buffer)
+	for _, l := range lns {
+		if l == nil {
+			continue
+		}
+		go func(l net.Listener) {
+			for {
+				c, err := l.Accept()
+				ch <- accepted{c, err}
+				if err != nil {
+					return
+				}
+			}
+		}(l)
+	}
+	return ch
+}
+
+// unixDataListener opens this rank's unix-domain data listener in a private
+// temp directory, returning (nil, nil, nil) under TierTCP. A listen failure
+// is fatal under TierUnix and silently degrades to TCP-only under TierAuto
+// (the rank simply advertises no unix endpoint). The cleanup removes the
+// socket directory; data listeners only live for the bootstrap.
+func unixDataListener(opt Options, deadline time.Time) (net.Listener, func(), error) {
+	if opt.Tier == TierTCP {
+		return nil, nil, nil
+	}
+	dir, err := os.MkdirTemp("", "bfwire-")
+	if err == nil {
+		var ln net.Listener
+		ln, err = net.Listen("unix", filepath.Join(dir, fmt.Sprintf("r%d.sock", opt.Rank)))
+		if err == nil {
+			setListenerDeadline(ln, deadline)
+			return ln, func() { ln.Close(); os.RemoveAll(dir) }, nil
+		}
+		os.RemoveAll(dir)
+	}
+	if opt.Tier == TierUnix {
+		return nil, nil, fmt.Errorf("wire: rank %d: tier unix: data listen: %w", opt.Rank, err)
+	}
+	return nil, nil, nil
+}
+
+// rendezvousNetwork infers the rendezvous transport from the address form:
+// a filesystem path (or abstract socket name) is a unix listener, anything
+// else is TCP host:port.
+func rendezvousNetwork(addr string) string {
+	if strings.HasPrefix(addr, "/") || strings.HasPrefix(addr, "@") {
+		return "unix"
+	}
+	return "tcp"
+}
+
+func setListenerDeadline(ln net.Listener, deadline time.Time) {
+	switch l := ln.(type) {
+	case *net.TCPListener:
+		l.SetDeadline(deadline)
+	case *net.UnixListener:
+		l.SetDeadline(deadline)
+	}
+}
+
 // vetHello validates a peer's handshake announcement: rank in [minRank,
-// Ranks), not yet connected, agreeing rank count, matching recovery epoch
-// and matching graph fingerprint. It returns a refusal reason, or "" when
-// the peer is sound.
+// Ranks), not yet connected, and the shared vetCommon checks. It returns a
+// refusal reason, or "" when the peer is sound.
 func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 	if h.Rank < minRank || h.Rank >= opt.Ranks {
 		return fmt.Sprintf("rank %d out of range [%d,%d)", h.Rank, minRank, opt.Ranks)
@@ -201,11 +398,20 @@ func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 	if conns[h.Rank] != nil {
 		return fmt.Sprintf("rank %d already connected", h.Rank)
 	}
+	return vetCommon(opt, h)
+}
+
+// vetCommon checks the handshake fields every connection must agree on:
+// rank count, recovery epoch, transport tier and graph fingerprint.
+func vetCommon(opt Options, h hello) string {
 	if h.Ranks != opt.Ranks {
 		return fmt.Sprintf("rank count mismatch: peer says %d, local says %d", h.Ranks, opt.Ranks)
 	}
 	if h.Epoch != opt.Epoch {
 		return fmt.Sprintf("recovery epoch mismatch: peer says %d, local says %d (stale rejoin)", h.Epoch, opt.Epoch)
+	}
+	if h.Tier != opt.Tier {
+		return fmt.Sprintf("transport tier mismatch: peer says %v, local says %v", h.Tier, opt.Tier)
 	}
 	if h.Fingerprint != opt.Fingerprint {
 		return fmt.Sprintf("graph fingerprint mismatch: peer %s, local %s", h.Fingerprint, opt.Fingerprint)
@@ -213,14 +419,14 @@ func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 	return ""
 }
 
-// dialRetry dials addr with exponential backoff until the deadline —
-// peers come up in arbitrary order, so refused connections are expected
-// during bootstrap.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+// dialRetry dials addr on the given network with exponential backoff until
+// the deadline — peers come up in arbitrary order, so refused connections
+// (and not-yet-created socket paths) are expected during bootstrap.
+func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {
 	backoff := 10 * time.Millisecond
 	for {
 		d := net.Dialer{Deadline: deadline}
-		c, err := d.Dial("tcp", addr)
+		c, err := d.Dial(network, addr)
 		if err == nil {
 			return c, nil
 		}
@@ -232,6 +438,25 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 			backoff = 500 * time.Millisecond
 		}
 	}
+}
+
+// hostIDOnce caches the real host identity: the hostname qualified by the
+// kernel boot id, so two containers sharing a hostname image (or two hosts
+// with the default name) are still told apart. Sockets cross container
+// boundaries only when the temp filesystem is shared, which tracks the
+// boot id in every supported deployment.
+var (
+	hostIDOnce   sync.Once
+	hostIDCached string
+)
+
+func defaultHostID() string {
+	hostIDOnce.Do(func() {
+		name, _ := os.Hostname()
+		boot, _ := os.ReadFile("/proc/sys/kernel/random/boot_id")
+		hostIDCached = name + "/" + strings.TrimSpace(string(boot))
+	})
+	return hostIDCached
 }
 
 // readControl reads one whole (small) handshake frame from a raw

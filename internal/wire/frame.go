@@ -24,10 +24,12 @@ import (
 //	frameHeartbeat: empty
 //	frameGoodbye:   empty — the peer has flushed everything it will ever
 //	                send; a subsequent EOF on the connection is clean
-//	frameHello:     u32 rank | u32 ranks | u32 epoch | 32-byte fingerprint |
-//	                u16 addr length | advertised data address (dialer side)
-//	frameWelcome:   u32 n | n × (u16 addr length | address), the data
-//	                address table indexed by rank (rendezvous reply)
+//	frameHello:     u32 rank | u32 ranks | u32 epoch | u8 tier |
+//	                32-byte fingerprint | u16+tcp data address |
+//	                u16+unix data address | u16+host id
+//	frameWelcome:   u32 n | n × (u16+tcp addr | u16+unix addr | u16+host
+//	                id), the endpoint table indexed by rank (rendezvous
+//	                reply); co-located ranks use the unix endpoints
 //	frameReject:    reason string (handshake refusal)
 //	frameAccept:    empty (handshake confirmation)
 //
@@ -79,20 +81,30 @@ func finishFrame(b []byte, typ byte) []byte {
 	return b
 }
 
-// encodeDataFrame appends one data frame carrying payload to dst. The CRC
-// is accumulated over the data header and the payload without staging them
-// in a contiguous scratch buffer.
-func encodeDataFrame(dst []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) []byte {
-	var hdr [frameHeaderSize + dataHeaderSize]byte
+// encodeDataHeader stamps the complete framing of one data frame — frame
+// header plus data header — into hdr, which must be exactly
+// DataFrameOverhead bytes. The CRC is accumulated over the data header and
+// the payload, but the payload itself is NOT copied: the vectored write
+// path hands hdr and the payload to the kernel as adjacent iovecs.
+func encodeDataHeader(hdr []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) {
+	_ = hdr[DataFrameOverhead-1]
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+dataHeaderSize+len(payload)))
 	hdr[4] = frameData
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], uint64(src))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+8:], uint64(dest))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+16:], seq)
 	binary.LittleEndian.PutUint32(hdr[frameHeaderSize+24:], attempt)
-	crc := crc32.Update(0, castagnoli, hdr[frameHeaderSize:])
+	crc := crc32.Update(0, castagnoli, hdr[frameHeaderSize:DataFrameOverhead])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[5:9], crc)
+}
+
+// encodeDataFrame appends one data frame carrying payload to dst — the
+// contiguous form used when the connection cannot take vectored writes
+// (fault-injection wrappers, which count whole-batch Write calls).
+func encodeDataFrame(dst []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) []byte {
+	var hdr [DataFrameOverhead]byte
+	encodeDataHeader(hdr[:], src, dest, seq, attempt, payload)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }
@@ -138,65 +150,103 @@ func verifyBody(typ byte, body []byte, crc uint32) error {
 	return nil
 }
 
+// endpoint is one rank's advertised data endpoints: its TCP listener, its
+// unix-domain listener (empty when the rank could not or should not open
+// one) and an opaque host identity used to decide co-location.
+type endpoint struct {
+	TCP    string
+	Unix   string
+	HostID string
+}
+
 // hello is the handshake announcement either side of a connection sends
 // first.
 type hello struct {
 	Rank        int
 	Ranks       int
 	Epoch       int
+	Tier        Tier
 	Fingerprint core.Fingerprint
-	Addr        string // advertised data listener address ("" on peer dials)
+	Endpoint    endpoint // advertised data endpoints (zero on peer dials)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// takeString consumes one u16-length-prefixed string from body at off,
+// returning the string and the new offset, or -1 on truncation.
+func takeString(body []byte, off int) (string, int) {
+	if len(body) < off+2 {
+		return "", -1
+	}
+	l := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if len(body) < off+l {
+		return "", -1
+	}
+	return string(body[off : off+l]), off + l
 }
 
 func encodeHello(h hello) []byte {
-	body := 4 + 4 + 4 + fingerprintSize + 2 + len(h.Addr)
+	ep := h.Endpoint
+	body := 4 + 4 + 4 + 1 + fingerprintSize + 6 + len(ep.TCP) + len(ep.Unix) + len(ep.HostID)
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Epoch))
+	b = append(b, byte(h.Tier))
 	b = append(b, h.Fingerprint[:]...)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Addr)))
-	b = append(b, h.Addr...)
+	b = appendString(b, ep.TCP)
+	b = appendString(b, ep.Unix)
+	b = appendString(b, ep.HostID)
 	return finishFrame(b, frameHello)
 }
 
 func decodeHello(body []byte) (hello, error) {
 	var h hello
-	if len(body) < 4+4+4+fingerprintSize+2 {
+	if len(body) < 4+4+4+1+fingerprintSize+6 {
 		return h, fmt.Errorf("wire: hello frame truncated (%d bytes)", len(body))
 	}
 	h.Rank = int(binary.LittleEndian.Uint32(body))
 	h.Ranks = int(binary.LittleEndian.Uint32(body[4:]))
 	h.Epoch = int(binary.LittleEndian.Uint32(body[8:]))
-	copy(h.Fingerprint[:], body[12:12+fingerprintSize])
-	off := 12 + fingerprintSize
-	n := int(binary.LittleEndian.Uint16(body[off:]))
-	off += 2
-	if len(body) != off+n {
+	h.Tier = Tier(body[12])
+	copy(h.Fingerprint[:], body[13:13+fingerprintSize])
+	off := 13 + fingerprintSize
+	h.Endpoint.TCP, off = takeString(body, off)
+	if off >= 0 {
+		h.Endpoint.Unix, off = takeString(body, off)
+	}
+	if off >= 0 {
+		h.Endpoint.HostID, off = takeString(body, off)
+	}
+	if off != len(body) {
 		return h, fmt.Errorf("wire: hello frame length mismatch")
 	}
-	h.Addr = string(body[off:])
 	return h, nil
 }
 
-func encodeWelcome(addrs []string) ([]byte, error) {
+func encodeWelcome(eps []endpoint) ([]byte, error) {
 	body := 4
-	for _, a := range addrs {
-		if len(a) > maxAddrLen {
-			return nil, fmt.Errorf("wire: address too long: %q", a)
+	for _, ep := range eps {
+		if len(ep.TCP) > maxAddrLen || len(ep.Unix) > maxAddrLen || len(ep.HostID) > maxAddrLen {
+			return nil, fmt.Errorf("wire: endpoint string too long: %+v", ep)
 		}
-		body += 2 + len(a)
+		body += 6 + len(ep.TCP) + len(ep.Unix) + len(ep.HostID)
 	}
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(addrs)))
-	for _, a := range addrs {
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(a)))
-		b = append(b, a...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(eps)))
+	for _, ep := range eps {
+		b = appendString(b, ep.TCP)
+		b = appendString(b, ep.Unix)
+		b = appendString(b, ep.HostID)
 	}
 	return finishFrame(b, frameWelcome), nil
 }
 
-func decodeWelcome(body []byte) ([]string, error) {
+func decodeWelcome(body []byte) ([]endpoint, error) {
 	if len(body) < 4 {
 		return nil, fmt.Errorf("wire: welcome frame truncated")
 	}
@@ -204,24 +254,26 @@ func decodeWelcome(body []byte) ([]string, error) {
 	if n > 1<<20 {
 		return nil, fmt.Errorf("wire: welcome table of %d entries", n)
 	}
-	addrs := make([]string, 0, n)
+	eps := make([]endpoint, 0, n)
 	off := 4
 	for i := 0; i < n; i++ {
-		if len(body) < off+2 {
+		var ep endpoint
+		ep.TCP, off = takeString(body, off)
+		if off >= 0 {
+			ep.Unix, off = takeString(body, off)
+		}
+		if off >= 0 {
+			ep.HostID, off = takeString(body, off)
+		}
+		if off < 0 {
 			return nil, fmt.Errorf("wire: welcome frame truncated at entry %d", i)
 		}
-		l := int(binary.LittleEndian.Uint16(body[off:]))
-		off += 2
-		if len(body) < off+l {
-			return nil, fmt.Errorf("wire: welcome frame truncated at entry %d", i)
-		}
-		addrs = append(addrs, string(body[off:off+l]))
-		off += l
+		eps = append(eps, ep)
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("wire: welcome frame length mismatch")
 	}
-	return addrs, nil
+	return eps, nil
 }
 
 func encodeReject(reason string) []byte {

@@ -121,7 +121,8 @@ func TestOversizedDeclaredLength(t *testing.T) {
 }
 
 func TestHandshakeFramesChecksummed(t *testing.T) {
-	h := hello{Rank: 2, Ranks: 4, Epoch: 1, Addr: "127.0.0.1:9999"}
+	h := hello{Rank: 2, Ranks: 4, Epoch: 1, Tier: TierAuto,
+		Endpoint: endpoint{TCP: "127.0.0.1:9999", Unix: "/tmp/r2.sock", HostID: "host-a/boot"}}
 	enc := encodeHello(h)
 	typ, n, crc, err := readFrame(bytes.NewReader(enc))
 	if err != nil || typ != frameHello {
@@ -149,8 +150,8 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(controlFrame(frameHeartbeat))
 	f.Add(encodeDataFrame(nil, 1, 2, 3, 4, []byte("seed payload")))
-	f.Add(encodeHello(hello{Rank: 1, Ranks: 2, Addr: "a:1"}))
-	w, _ := encodeWelcome([]string{"x:1", "y:2"})
+	f.Add(encodeHello(hello{Rank: 1, Ranks: 2, Endpoint: endpoint{TCP: "a:1", HostID: "h"}}))
+	w, _ := encodeWelcome([]endpoint{{TCP: "x:1", HostID: "h"}, {TCP: "y:2", Unix: "/tmp/y.sock", HostID: "h"}})
 	f.Add(w)
 	// Truncated header seed.
 	f.Add([]byte{5, 0, 0})

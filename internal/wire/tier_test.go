@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// connectMeshWith bootstraps n in-process fabrics, letting the caller
+// adjust each rank's options (tier, host identity) before Connect. Errors
+// are returned, not fatal, so refusal paths are testable.
+func connectMeshWith(t *testing.T, n int, adjust func(rank int, o *Options)) ([]*Fabric, []error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics := make([]*Fabric, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		o := Options{Rank: r, Ranks: n, Addr: ln.Addr().String(), DialTimeout: 5 * time.Second}
+		if r == 0 {
+			o.Listener = ln
+		}
+		if adjust != nil {
+			adjust(r, &o)
+		}
+		wg.Add(1)
+		go func(r int, o Options) {
+			defer wg.Done()
+			fabrics[r], errs[r] = Connect(o)
+		}(r, o)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		for _, f := range fabrics {
+			if f != nil {
+				f.Kill()
+			}
+		}
+	})
+	return fabrics, errs
+}
+
+func requireMesh(t *testing.T, fabrics []*Fabric, errs []error) {
+	t.Helper()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	_ = fabrics
+}
+
+// expectNetworks asserts the transport of every pair in the mesh.
+func expectNetworks(t *testing.T, fabrics []*Fabric, want func(i, j int) string) {
+	t.Helper()
+	for i, f := range fabrics {
+		for j := range fabrics {
+			if i == j {
+				continue
+			}
+			if got, w := f.PeerNetwork(j), want(i, j); got != w {
+				t.Errorf("rank %d -> %d over %q, want %q", i, j, got, w)
+			}
+		}
+	}
+}
+
+// roundTrip proves the mesh actually carries data: every rank sends to
+// every other rank and receives from every other rank.
+func roundTrip(t *testing.T, fabrics []*Fabric) {
+	t.Helper()
+	n := len(fabrics)
+	for i, f := range fabrics {
+		for j := range fabrics {
+			if i == j {
+				continue
+			}
+			payload := core.Buffer([]byte{byte(i), byte(j)})
+			if err := f.Send(fabric.Message{From: i, To: j, Payload: payload}); err != nil {
+				t.Fatalf("send %d -> %d: %v", i, j, err)
+			}
+		}
+	}
+	for i, f := range fabrics {
+		for k := 0; k < n-1; k++ {
+			m, ok := f.Recv(i)
+			if !ok {
+				t.Fatalf("rank %d: mesh closed after %d receives", i, k)
+			}
+			w, err := m.Payload.Wire()
+			if err != nil || len(w) != 2 || int(w[1]) != i {
+				t.Fatalf("rank %d: bad payload %v (err %v)", i, w, err)
+			}
+		}
+	}
+}
+
+func TestTierAutoCoLocatedUsesUnix(t *testing.T) {
+	// All ranks share the real host identity, so TierAuto must put every
+	// pair — including rank 0's upgraded registration conns — on unix.
+	fabrics, errs := connectMeshWith(t, 3, nil)
+	requireMesh(t, fabrics, errs)
+	expectNetworks(t, fabrics, func(i, j int) string { return "unix" })
+	roundTrip(t, fabrics)
+}
+
+func TestTierAutoSplitHosts(t *testing.T) {
+	// Ranks 0 and 1 share host "a"; rank 2 lives on host "b". Only the 0-1
+	// pair may ride unix; every pair touching rank 2 stays TCP.
+	host := func(r int) string {
+		if r < 2 {
+			return "host-a"
+		}
+		return "host-b"
+	}
+	fabrics, errs := connectMeshWith(t, 3, func(r int, o *Options) { o.HostID = host(r) })
+	requireMesh(t, fabrics, errs)
+	expectNetworks(t, fabrics, func(i, j int) string {
+		if host(i) == host(j) {
+			return "unix"
+		}
+		return "tcp"
+	})
+	roundTrip(t, fabrics)
+}
+
+func TestTierTCPForcesTCP(t *testing.T) {
+	fabrics, errs := connectMeshWith(t, 3, func(r int, o *Options) { o.Tier = TierTCP })
+	requireMesh(t, fabrics, errs)
+	expectNetworks(t, fabrics, func(i, j int) string { return "tcp" })
+	roundTrip(t, fabrics)
+}
+
+func TestTierUnixStrict(t *testing.T) {
+	fabrics, errs := connectMeshWith(t, 3, func(r int, o *Options) { o.Tier = TierUnix })
+	requireMesh(t, fabrics, errs)
+	expectNetworks(t, fabrics, func(i, j int) string { return "unix" })
+	roundTrip(t, fabrics)
+}
+
+func TestTierUnixRejectsCrossHost(t *testing.T) {
+	_, errs := connectMeshWith(t, 2, func(r int, o *Options) {
+		o.Tier = TierUnix
+		if r == 1 {
+			o.HostID = "elsewhere"
+		}
+	})
+	failed := false
+	for _, err := range errs {
+		if err != nil {
+			failed = true
+			if !errors.Is(err, ErrHandshake) {
+				t.Fatalf("cross-host tier unix failed with %v, want ErrHandshake", err)
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("tier unix bootstrapped across distinct host identities")
+	}
+}
+
+func TestTierMismatchRejected(t *testing.T) {
+	_, errs := connectMeshWith(t, 2, func(r int, o *Options) {
+		if r == 1 {
+			o.Tier = TierTCP
+		}
+	})
+	failed := false
+	for _, err := range errs {
+		if err != nil && errors.Is(err, ErrHandshake) {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatalf("tier mismatch bootstrapped: %v", errs)
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for s, want := range map[string]Tier{"": TierAuto, "auto": TierAuto, "tcp": TierTCP, "unix": TierUnix} {
+		got, err := ParseTier(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseTier(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTier("carrier-pigeon"); err == nil {
+		t.Fatal("ParseTier accepted nonsense")
+	}
+	for _, tier := range []Tier{TierAuto, TierTCP, TierUnix} {
+		back, err := ParseTier(tier.String())
+		if err != nil || back != tier {
+			t.Fatalf("round-trip %v: %v, %v", tier, back, err)
+		}
+	}
+}
