@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal figures smoke-wire smoke-faults smoke-resume fuzz-wire perf-smoke
+.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal bench-serve figures smoke-wire smoke-faults smoke-resume smoke-serve fuzz-wire perf-smoke
 
 ## check: the CI gate — vet, build, the full test suite under the race
 ## detector, the fault-injection smoke (kill one peer, recover, verify the
-## sinks against serial) and the resume smoke (kill every rank, restart
-## from the journals, verify the sinks against serial).
-check: vet build race smoke-faults smoke-resume
+## sinks against serial), the resume smoke (kill every rank, restart
+## from the journals, verify the sinks against serial) and the service
+## smoke (bfserve on a loopback port, the three use cases submitted over
+## HTTP, digests verified, drained).
+check: vet build race smoke-faults smoke-resume smoke-serve
 
 build:
 	$(GO) build ./...
@@ -80,6 +82,20 @@ smoke-resume:
 		./bin/bfrun -case $$c -resume $$dir -ranks 4; \
 		rm -rf $$dir; \
 	done
+
+## smoke-serve: start a real bfserve instance on a loopback port, submit
+## the three use cases over HTTP, verify every digest against the one-shot
+## serial reference, drain and shut down.
+smoke-serve:
+	$(GO) build -o bin/bfserve ./cmd/bfserve
+	./bin/bfserve -smoke
+
+## bench-serve: regenerate the resident-service benchmark report — warm
+## mpi.Service.Submit vs cold one-shot runs (in-memory and socket-mesh
+## tiers) plus sustained admission-path throughput (BENCH_serve.json;
+## baseline_seed preserved).
+bench-serve:
+	$(GO) run ./cmd/bfbench -serve
 
 ## fuzz-wire: short fuzz smoke of the wire frame decoder (longer runs:
 ## go test -fuzz=FuzzFrameDecode ./internal/wire).

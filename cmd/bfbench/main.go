@@ -37,6 +37,8 @@ func main() {
 		faultsOut   = flag.String("faults-out", "BENCH_faults.json", "report path for -faults (baseline_seed is preserved)")
 		jnlBench    = flag.Bool("journal", false, "run the checkpoint/restart benchmarks (journaling overhead per fsync policy, resume latency) instead of the figures")
 		jnlOut      = flag.String("journal-out", "BENCH_journal.json", "report path for -journal (baseline_seed is preserved)")
+		serveBench  = flag.Bool("serve", false, "run the resident-service benchmarks (warm submit vs one-shot, sustained throughput) instead of the figures")
+		serveOut    = flag.String("serve-out", "BENCH_serve.json", "report path for -serve (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,12 @@ func main() {
 	}
 	if *jnlBench {
 		if err := runJournalBench(*jnlOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serveBench {
+		if err := runServeBench(*serveOut); err != nil {
 			log.Fatal(err)
 		}
 		return

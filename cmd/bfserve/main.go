@@ -1,0 +1,216 @@
+// Command bfserve runs the long-lived streaming dataflow service: one warm
+// rank fabric and worker pool serving many graph submissions over an HTTP
+// control plane.
+//
+// Usage:
+//
+//	bfserve                          # serve on :8080
+//	bfserve -addr :9000 -ranks 8
+//	bfserve -journal /var/lib/bf     # per-run journals under the root
+//	bfserve -oneshot mergetree -params n=16,blocks=4
+//	bfserve -smoke                   # self-test: serve on a loopback port,
+//	                                 # submit the three use cases over HTTP,
+//	                                 # verify digests, drain, shut down
+//
+// Control plane:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/submit \
+//	     -d '{"program":"mergetree","params":{"n":16,"blocks":4},"wait":true}'
+//	curl -s localhost:8080/runs/1
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		ranks    = flag.Int("ranks", 4, "warm fabric rank count")
+		workers  = flag.Int("workers", 0, "executor pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "admission queue depth (full queue sheds with 429)")
+		inflight = flag.Int("inflight", 0, "max concurrently executing runs (0 = ranks)")
+		journal  = flag.String("journal", "", "journal root for per-run lineage journals")
+		params   = flag.String("params", "", "program parameters as k=v,k=v (for -oneshot)")
+		oneshot  = flag.String("oneshot", "", "run one program on the serial reference, print its digest, exit")
+		smoke    = flag.Bool("smoke", false, "loopback self-test: submit the three use cases over HTTP, verify digests, shut down")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Ranks:       *ranks,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxInflight: *inflight,
+		Journal:     *journal,
+	}
+
+	if *oneshot != "" {
+		p, err := parseParams(*params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		digest, err := serve.DefaultRegistry().ReferenceDigest(*oneshot, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s\n", *oneshot, digest)
+		return
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	done := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	log.Printf("bfserve: %d ranks, queue depth %d, listening on %s", s.Ranks(), *queue, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("bfserve: %v, draining", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("bfserve: http shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bfserve: drained")
+}
+
+// parseParams turns "n=16,blocks=4" into serve.Params.
+func parseParams(s string) (serve.Params, error) {
+	p := serve.Params{}
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bfserve: bad parameter %q (want k=v)", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bfserve: parameter %s: %w", k, err)
+		}
+		p[k] = n
+	}
+	return p, nil
+}
+
+// runSmoke is the end-to-end self-test `make smoke-serve` drives: a real
+// bfserve instance on a loopback port, the paper's three use cases
+// submitted over HTTP, every digest checked against the one-shot serial
+// reference, then a clean drain.
+func runSmoke(cfg serve.Config) error {
+	reg := serve.DefaultRegistry()
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("bfserve smoke: %d ranks on %s\n", s.Ranks(), base)
+
+	cases := []struct {
+		program string
+		params  serve.Params
+	}{
+		{"mergetree", serve.Params{"n": 16, "blocks": 4}},
+		{"render", serve.Params{"n": 16, "blocks": 4}},
+		{"register", serve.Params{"grid": 3, "tile": 16}},
+	}
+	for _, tc := range cases {
+		want, err := reg.ReferenceDigest(tc.program, tc.params)
+		if err != nil {
+			return fmt.Errorf("smoke: reference %s: %w", tc.program, err)
+		}
+		body, _ := json.Marshal(serve.SubmitRequest{Program: tc.program, Params: tc.params, Wait: true})
+		resp, err := http.Post(base+"/submit", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return fmt.Errorf("smoke: submit %s: %w", tc.program, err)
+		}
+		var st serve.RunStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("smoke: %s: decode: %w", tc.program, err)
+		}
+		if resp.StatusCode != http.StatusOK || st.State != serve.StateDone {
+			return fmt.Errorf("smoke: %s: status %d, state %s, err %q", tc.program, resp.StatusCode, st.State, st.Error)
+		}
+		if st.Digest != want {
+			return fmt.Errorf("smoke: %s: digest %s != reference %s", tc.program, st.Digest, want)
+		}
+		fmt.Printf("  %-10s run %d  done in %.1f ms (queue wait %.1f ms)  digest %s... ok\n",
+			tc.program, st.ID, st.MakespanMs, st.QueueWaitMs, st.Digest[:12])
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var m serve.Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if m.Completed != uint64(len(cases)) || m.Failed != 0 {
+		return fmt.Errorf("smoke: metrics disagree: %+v", m)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("bfserve smoke: %d runs, all digests match the serial reference\n", len(cases))
+	return nil
+}

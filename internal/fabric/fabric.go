@@ -105,6 +105,10 @@ type Message struct {
 	// controllers so receivers can drop redelivered duplicates. Zero means
 	// the message carries no dedup identity.
 	Seq uint64
+	// Run identifies the graph instance this message belongs to when many
+	// runs multiplex over one transport (see Demux). Zero means the
+	// transport carries a single unmultiplexed run — the one-shot Run path.
+	Run uint64
 	// Attempt is the execution attempt of the producing task (1 = first
 	// run, 0 = unknown/replay); carried for tracing and diagnostics.
 	Attempt uint32

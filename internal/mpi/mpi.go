@@ -123,6 +123,36 @@ type Options struct {
 	// unix-domain sockets between co-located ranks and TCP across hosts;
 	// wire.TierTCP and wire.TierUnix force one transport.
 	WireTier wire.Tier
+
+	// Validation bookkeeping stamped by the functional options so
+	// conflicting combinations surface as errors at Initialize instead of
+	// silently letting the last option win. The struct form leaves these
+	// zero and is validated on its field values alone.
+	syncSet  bool
+	syncWas  journal.SyncPolicy
+	groupSet bool
+	optErr   error
+}
+
+// validate rejects option combinations with no coherent meaning: an
+// explicit WithJournalSync policy fighting WithJournalGroupCommit, or a
+// negative commit window. It returns the first error a functional option
+// recorded while being applied.
+func (o *Options) validate() error {
+	if o.optErr != nil {
+		return o.optErr
+	}
+	if o.syncSet && o.groupSet && o.syncWas != journal.SyncGroupCommit {
+		return fmt.Errorf("mpi: WithJournalSync(%v) conflicts with WithJournalGroupCommit (which implies %v); pass one of them",
+			o.syncWas, journal.SyncGroupCommit)
+	}
+	if o.JournalCommitInterval < 0 {
+		return fmt.Errorf("mpi: negative journal commit interval %v", o.JournalCommitInterval)
+	}
+	if o.JournalCommitRecords < 0 {
+		return fmt.Errorf("mpi: negative journal commit record bound %d", o.JournalCommitRecords)
+	}
+	return nil
 }
 
 // apply implements Option, so a plain Options literal can be passed to New
@@ -211,6 +241,36 @@ func (c *Controller) openLedger(rank int) (*core.Ledger, *journal.LedgerStore, e
 	return core.NewLedgerBacked(store, 0), store, nil
 }
 
+// openLedgers opens one durable ledger per rank under the controller's
+// journal directory. The returned close function records the run's journal
+// counters and closes every store exactly once — callers may defer it on
+// every exit path (including error and cancellation unwinds) without
+// double-closing. On an open error the stores opened so far are closed
+// before returning.
+func (c *Controller) openLedgers(ranks int) (leds []*core.Ledger, close func(), err error) {
+	leds = make([]*core.Ledger, ranks)
+	stores := make([]*journal.LedgerStore, ranks)
+	for r := 0; r < ranks; r++ {
+		led, store, err := c.openLedger(r)
+		if err != nil {
+			for _, s := range stores[:r] {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		leds[r], stores[r] = led, store
+	}
+	var once sync.Once
+	return leds, func() {
+		once.Do(func() {
+			c.recordJournalStats(leds)
+			for _, s := range stores {
+				s.Close()
+			}
+		})
+	}, nil
+}
+
 // New returns an MPI controller. Configuration is functional-options style:
 //
 //	mpi.New(mpi.WithWorkers(4), mpi.WithRetry(policy))
@@ -244,6 +304,9 @@ func New(opts ...Option) *Controller {
 // assigned tasks, nor is there a limit per rank — running a graph on fewer
 // ranks trades distributed for shared-memory parallelism.
 func (c *Controller) Initialize(g core.TaskGraph, m core.TaskMap) error {
+	if err := c.opt.validate(); err != nil {
+		return err
+	}
 	if g == nil {
 		return fmt.Errorf("mpi: nil task graph")
 	}
@@ -325,24 +388,13 @@ func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]c
 	// a fresh directory journals progress, an existing one resumes from it.
 	var leds []*core.Ledger
 	if c.opt.Journal != "" {
-		leds = make([]*core.Ledger, ranks)
-		stores := make([]*journal.LedgerStore, ranks)
-		for r := 0; r < ranks; r++ {
-			led, store, err := c.openLedger(r)
-			if err != nil {
-				for _, s := range stores[:r] {
-					s.Close()
-				}
-				return nil, err
-			}
-			leds[r], stores[r] = led, store
+		var closeLeds func()
+		var err error
+		leds, closeLeds, err = c.openLedgers(ranks)
+		if err != nil {
+			return nil, err
 		}
-		defer func() {
-			c.recordJournalStats(leds)
-			for _, s := range stores {
-				s.Close()
-			}
-		}()
+		defer closeLeds()
 	}
 
 	var fab fabric.Transport
@@ -357,8 +409,23 @@ func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]c
 	var pool *fabric.Pool
 	if !c.opt.Inline {
 		pool = c.newPool(ranks)
+		defer pool.Close()
 	}
 
+	results, err := c.runAllRanks(ctx, fab, pool, leds, initial)
+	c.lastStats = fab.Snapshot()
+	return results, err
+}
+
+// runAllRanks drives every rank of one dataflow execution over fab,
+// dispatching onto pool (nil = inline execution). It owns abort propagation
+// and result merging but neither the transport nor the pool — both outlive
+// the call, which is what lets a resident Service run a stream of graphs
+// over one warm fabric and executor (each Submit passing its run's demuxed
+// transport view). One-shot paths (RunContext) build and tear down a fresh
+// pair per call.
+func (c *Controller) runAllRanks(ctx context.Context, fab fabric.Transport, pool *fabric.Pool, leds []*core.Ledger, initial map[core.TaskId][]core.Payload) (map[core.TaskId][]core.Payload, error) {
+	ranks := c.tmap.ShardCount()
 	results := make(map[core.TaskId][]core.Payload)
 	var resMu sync.Mutex
 	var firstErr error
@@ -397,11 +464,7 @@ func (c *Controller) RunContext(ctx context.Context, initial map[core.TaskId][]c
 		}(r)
 	}
 	wg.Wait()
-	if pool != nil {
-		pool.Close()
-	}
 
-	c.lastStats = fab.Snapshot()
 	errMu.Lock()
 	defer errMu.Unlock()
 	if firstErr != nil {

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/babelflow/babelflow-go/internal/core"
@@ -64,21 +65,32 @@ func WithJournal(dir string) Option {
 }
 
 // WithJournalSync selects the journal's fsync policy (see
-// Options.JournalSync).
+// Options.JournalSync). Combining it with WithJournalGroupCommit is an
+// error unless the policy is journal.SyncGroupCommit — the two options
+// would otherwise silently overwrite each other depending on order.
 func WithJournalSync(p journal.SyncPolicy) Option {
-	return optionFunc(func(o *Options) { o.JournalSync = p })
+	return optionFunc(func(o *Options) {
+		o.JournalSync = p
+		o.syncSet, o.syncWas = true, p
+	})
 }
 
 // WithJournalGroupCommit selects the journal.SyncGroupCommit fsync policy
 // with the given commit window: a background committer fsyncs once per
 // interval (or every records appends, whichever comes first), amortizing
-// durability across the window. Zero values keep the journal defaults
-// (2ms, 64 records).
+// durability across the window. Both bounds must be positive — a zero or
+// negative window is rejected at Initialize with a clear error rather than
+// silently degrading durability. (The journal's own defaults are 2ms and
+// 64 records.)
 func WithJournalGroupCommit(interval time.Duration, records int) Option {
 	return optionFunc(func(o *Options) {
 		o.JournalSync = journal.SyncGroupCommit
 		o.JournalCommitInterval = interval
 		o.JournalCommitRecords = records
+		o.groupSet = true
+		if interval <= 0 || records <= 0 {
+			o.optErr = fmt.Errorf("mpi: WithJournalGroupCommit window must be positive, got interval %v, records %d", interval, records)
+		}
 	})
 }
 

@@ -10,7 +10,6 @@ import (
 
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
-	"github.com/babelflow/babelflow-go/internal/journal"
 )
 
 // ConnectFunc builds the per-rank transports of one recovery epoch. It is
@@ -93,26 +92,17 @@ func (c *Controller) RunRecover(ctx context.Context, ro RecoverOptions) (map[cor
 	// With a journal configured they also persist across process restarts:
 	// each shard's ledger journals to Journal/rank-i and a rerun over the
 	// same directory resumes from whatever was recorded before the crash.
-	ledgers := make([]*core.Ledger, origRanks)
+	var ledgers []*core.Ledger
 	if c.opt.Journal != "" {
-		stores := make([]*journal.LedgerStore, origRanks)
-		for i := range ledgers {
-			led, store, err := c.openLedger(i)
-			if err != nil {
-				for _, s := range stores[:i] {
-					s.Close()
-				}
-				return nil, rep, err
-			}
-			ledgers[i], stores[i] = led, store
+		var closeLeds func()
+		var err error
+		ledgers, closeLeds, err = c.openLedgers(origRanks)
+		if err != nil {
+			return nil, rep, err
 		}
-		defer func() {
-			c.recordJournalStats(ledgers)
-			for _, s := range stores {
-				s.Close()
-			}
-		}()
+		defer closeLeds()
 	} else {
+		ledgers = make([]*core.Ledger, origRanks)
 		for i := range ledgers {
 			ledgers[i] = core.NewLedger()
 		}

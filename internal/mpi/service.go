@@ -1,0 +1,217 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// Submission is one graph instance handed to a resident Service: the graph,
+// an optional task map (nil places tasks contiguously with
+// core.NewGraphMap), a callback registration hook and the dataflow's
+// external inputs.
+type Submission struct {
+	Graph core.TaskGraph
+	// Map places tasks on the service's ranks. Nil selects
+	// core.NewGraphMap(ranks, Graph). A non-nil map must shard over exactly
+	// the service's rank count.
+	Map core.TaskMap
+	// Register binds the graph's callbacks on the per-run controller — the
+	// same shape the use-case configs expose (cfg.Register(c, graph)).
+	Register func(core.CallbackRegistrar) error
+	// Initial is the dataflow's full set of external inputs. The run
+	// consumes them; submit fresh payloads per instance.
+	Initial map[core.TaskId][]core.Payload
+}
+
+// Service is the resident execution session the streaming server is built
+// on: it splits controller lifecycle from graph lifecycle. Where Run
+// builds a fabric, a work-stealing pool and per-rank journals for one graph
+// and tears everything down again, a Service keeps one transport (behind a
+// run demultiplexer), one warm executor pool and one journal root alive
+// across an arbitrary stream of Submit calls. Each submission becomes a
+// numbered run: a cheap per-run controller attaches to the warm fabric
+// through its own fabric.RunTransport view, executes, and detaches —
+// concurrent submissions interleave freely over the shared infrastructure
+// without seeing each other's messages.
+type Service struct {
+	opt   Options
+	ranks int
+	base  fabric.Transport
+	demux *fabric.Demux
+	pool  *fabric.Pool
+
+	next   atomic.Uint64 // run id allocator; ids start at 1 (0 = unmultiplexed)
+	active sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewService builds a resident execution session over ranks logical ranks.
+// It accepts the same options as New; Workers sizes the warm pool (the
+// graph-size clamp of one-shot runs does not apply — the pool serves many
+// graphs), Journal roots per-run journal directories (run id under the
+// root), and Transport substitutes the warm fabric (it must be receivable
+// for every rank in-process, like the default in-memory fabric).
+func NewService(ranks int, opts ...Option) (*Service, error) {
+	var opt Options
+	for _, o := range opts {
+		o.apply(&opt)
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("mpi: service needs at least one rank, got %d", ranks)
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Blocking {
+		// Rendezvous sends park the sender until the receiver dequeues; with
+		// many runs sharing rank mailboxes that coupling deadlocks.
+		return nil, fmt.Errorf("mpi: service does not support blocking sends")
+	}
+
+	var base fabric.Transport
+	if opt.Transport != nil {
+		base = opt.Transport(ranks)
+	} else {
+		base = fabric.New(ranks)
+	}
+	local := make([]int, ranks)
+	for i := range local {
+		local[i] = i
+	}
+	s := &Service{
+		opt:   opt,
+		ranks: ranks,
+		base:  base,
+		demux: fabric.NewDemux(base, local...),
+	}
+	if !opt.Inline {
+		n := opt.Workers
+		if opt.NoSteal && n < ranks {
+			n = ranks
+		}
+		s.pool = fabric.NewPool(ranks, fabric.RoundRobinHomes(n, ranks),
+			fabric.PoolOptions{FIFO: opt.FIFO, NoSteal: opt.NoSteal})
+	}
+	return s, nil
+}
+
+// Ranks returns the session's logical rank count — the shard count every
+// submission's task map must match.
+func (s *Service) Ranks() int { return s.ranks }
+
+// Runs returns the number of submissions currently attached to the fabric.
+func (s *Service) Runs() int { return s.demux.Runs() }
+
+// Submit executes one graph instance over the warm fabric and pool,
+// returning its sink outputs and (for journaled services) the run's journal
+// counters. Safe for concurrent use: each call gets a private run id, a
+// private transport view and — when the service journals — a private
+// journal directory (<root>/run-<id>), so interleaved submissions cannot
+// interfere. A finished ctx cancels only this run.
+func (s *Service) Submit(ctx context.Context, sub Submission) (map[core.TaskId][]core.Payload, JournalStats, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, JournalStats{}, fmt.Errorf("mpi: service closed")
+	}
+	s.active.Add(1)
+	s.mu.Unlock()
+	defer s.active.Done()
+
+	if sub.Graph == nil {
+		return nil, JournalStats{}, fmt.Errorf("mpi: submission has no graph")
+	}
+	tmap := sub.Map
+	if tmap == nil {
+		tmap = core.NewGraphMap(s.ranks, sub.Graph)
+	}
+	if got := tmap.ShardCount(); got != s.ranks {
+		return nil, JournalStats{}, fmt.Errorf("mpi: submission map shards over %d ranks, service has %d", got, s.ranks)
+	}
+
+	id := s.next.Add(1)
+	// Per-run controller: construction is cheap (critical paths are cached
+	// per graph fingerprint), and isolating registries per run lets
+	// submissions carry entirely different graphs and callbacks.
+	opt := s.opt
+	opt.Transport = nil
+	if opt.Journal != "" {
+		opt.Journal = filepath.Join(opt.Journal, fmt.Sprintf("run-%d", id))
+	}
+	ctrl := New(opt)
+	if err := ctrl.Initialize(sub.Graph, tmap); err != nil {
+		return nil, JournalStats{}, err
+	}
+	if sub.Register != nil {
+		if err := sub.Register(ctrl); err != nil {
+			return nil, JournalStats{}, err
+		}
+	}
+	if err := ctrl.reg.Covers(sub.Graph); err != nil {
+		return nil, JournalStats{}, err
+	}
+	if err := core.CheckInitial(sub.Graph, sub.Initial); err != nil {
+		return nil, JournalStats{}, err
+	}
+
+	var leds []*core.Ledger
+	closeLeds := func() {}
+	if opt.Journal != "" {
+		var err error
+		leds, closeLeds, err = ctrl.openLedgers(s.ranks)
+		if err != nil {
+			return nil, JournalStats{}, err
+		}
+		defer closeLeds() // exactly-once: safe beside the explicit call below
+	}
+
+	view, err := s.demux.Open(id)
+	if err != nil {
+		return nil, JournalStats{}, err
+	}
+	defer s.demux.Release(id)
+
+	results, err := ctrl.runAllRanks(ctx, view, s.pool, leds, sub.Initial)
+	closeLeds() // record journal counters before reading them
+	return results, ctrl.JournalStats(), err
+}
+
+// Close drains the session: it stops accepting submissions, waits for
+// active runs to finish, then releases the pool, the demultiplexer and the
+// warm transport. Idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.active.Wait()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	s.demux.Close()
+	switch t := s.base.(type) {
+	case interface{ Shutdown(time.Duration) error }:
+		t.Shutdown(5 * time.Second)
+	default:
+		s.base.Cancel()
+	}
+	s.demux.Wait()
+	return nil
+}

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/journal"
+)
+
+// openFDs counts this process's open file descriptors, or -1 where
+// /proc/self/fd is unavailable (non-Linux).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestOpenLedgersCloseIdempotent is the double-close regression guard: the
+// close function every teardown path defers must be safe to invoke any
+// number of times, including beside an explicit call.
+func TestOpenLedgersCloseIdempotent(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	c := New(WithJournal(t.TempDir()), WithJournalSync(journal.SyncNever))
+	if err := c.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
+		t.Fatal(err)
+	}
+	_, closeLeds, err := c.openLedgers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeLeds()
+	after := openFDs()
+	closeLeds()
+	if again := openFDs(); after >= 0 && again != after {
+		t.Fatalf("second close changed fd count: %d -> %d", after, again)
+	}
+	closeLeds() // third call: still a no-op
+}
+
+// TestJournalClosedOnError checks a journaled run whose callback fails
+// still closes every per-rank journal: the fd count returns to its
+// baseline, and the directory can immediately be reopened for a resumed
+// run that completes and matches the serial reference.
+func TestJournalClosedOnError(t *testing.T) {
+	g, _ := graphs.NewReduction(8, 2)
+	m := core.NewModuloMap(2, g.Size())
+	initial := reductionInputs(g)
+	want := serialReduction(t, g, initial)
+	dir := t.TempDir()
+	boom := errors.New("boom")
+
+	reg := func(c *Controller, failRoot bool) {
+		c.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
+		c.RegisterCallback(graphs.ReduceMidCB, sumCB(1))
+		if failRoot {
+			c.RegisterCallback(graphs.ReduceRootCB, func([]core.Payload, core.TaskId) ([]core.Payload, error) {
+				return nil, boom
+			})
+		} else {
+			c.RegisterCallback(graphs.ReduceRootCB, sumCB(1))
+		}
+	}
+
+	base := openFDs()
+	fail := New(WithJournal(dir), WithJournalSync(journal.SyncNever))
+	if err := fail.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	reg(fail, true)
+	if _, err := fail.Run(cloneInitial(initial)); !errors.Is(err, boom) {
+		t.Fatalf("failing run: err=%v, want boom", err)
+	}
+	if base >= 0 {
+		if after := openFDs(); after > base {
+			t.Fatalf("failed run leaked %d fds (%d -> %d)", after-base, base, after)
+		}
+	}
+
+	// The journals were closed cleanly, so a resumed run over the same
+	// directory replays the journaled prefix and completes.
+	resume := New(WithJournal(dir), WithJournalSync(journal.SyncNever))
+	if err := resume.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	reg(resume, false)
+	got, err := resume.Run(cloneInitial(initial))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	compareResults(t, want, got)
+	js := resume.JournalStats()
+	if js.Restored == 0 || js.Replayed == 0 {
+		t.Fatalf("resume did not replay the journaled prefix: %+v", js)
+	}
+}
+
+// TestJournalClosedOnCancel checks a cancelled journaled run closes its
+// journals (no fd growth) and leaves the directory resumable.
+func TestJournalClosedOnCancel(t *testing.T) {
+	g, _ := graphs.NewReduction(8, 2)
+	m := core.NewModuloMap(2, g.Size())
+	initial := reductionInputs(g)
+	dir := t.TempDir()
+
+	base := openFDs()
+	c := New(WithJournal(dir), WithJournalSync(journal.SyncNever))
+	if err := c.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
+	c.RegisterCallback(graphs.ReduceMidCB, sumCB(1))
+	c.RegisterCallback(graphs.ReduceRootCB, sumCB(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunContext(ctx, cloneInitial(initial)); !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("cancelled run: err=%v, want ErrCancelled", err)
+	}
+	if base >= 0 {
+		if after := openFDs(); after > base {
+			t.Fatalf("cancelled run leaked %d fds (%d -> %d)", after-base, base, after)
+		}
+	}
+
+	resume := New(WithJournal(dir), WithJournalSync(journal.SyncNever))
+	if err := resume.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	resume.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
+	resume.RegisterCallback(graphs.ReduceMidCB, sumCB(1))
+	resume.RegisterCallback(graphs.ReduceRootCB, sumCB(1))
+	if _, err := resume.Run(cloneInitial(initial)); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+}
+
+// TestRunRankJournalClosedOnError checks the single-rank teardown path
+// (RunRank with a journal) also releases its store on failure.
+func TestRunRankJournalClosedOnError(t *testing.T) {
+	g, _ := graphs.NewReduction(4, 2)
+	m := core.NewModuloMap(1, g.Size())
+	dir := t.TempDir()
+
+	base := openFDs()
+	c := New(WithJournal(dir), WithJournalSync(journal.SyncNever))
+	if err := c.Initialize(g, m); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
+	c.RegisterCallback(graphs.ReduceMidCB, sumCB(1))
+	// A failing root unwinds RunRank after it opened its journal.
+	c.RegisterCallback(graphs.ReduceRootCB, func([]core.Payload, core.TaskId) ([]core.Payload, error) {
+		return nil, errors.New("boom")
+	})
+	if _, err := c.RunRank(0, fabric.New(1), reductionInputs(g)); err == nil {
+		t.Fatal("RunRank with a failing root should fail")
+	}
+	if base >= 0 {
+		if after := openFDs(); after > base {
+			t.Fatalf("failed RunRank leaked %d fds (%d -> %d)", after-base, base, after)
+		}
+	}
+}

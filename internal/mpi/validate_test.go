@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/journal"
+)
+
+// initErr builds a controller with the given options and returns the error
+// Initialize surfaces — where option validation lands.
+func initErr(t *testing.T, opts ...Option) error {
+	t.Helper()
+	g, _ := graphs.NewReduction(4, 2)
+	c := New(opts...)
+	return c.Initialize(g, core.NewModuloMap(2, g.Size()))
+}
+
+func TestOptionValidationConflictingSync(t *testing.T) {
+	err := initErr(t, WithJournalSync(journal.SyncNever), WithJournalGroupCommit(time.Millisecond, 8))
+	if err == nil {
+		t.Fatal("WithJournalSync(SyncNever) + WithJournalGroupCommit accepted")
+	}
+	if !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflict error not descriptive: %v", err)
+	}
+	// Order must not matter: the combination is rejected either way.
+	if err := initErr(t, WithJournalGroupCommit(time.Millisecond, 8), WithJournalSync(journal.SyncNever)); err == nil {
+		t.Fatal("reversed order accepted")
+	}
+}
+
+func TestOptionValidationCompatibleSync(t *testing.T) {
+	// An explicit SyncGroupCommit policy agrees with the group-commit
+	// window option; only genuinely conflicting policies are rejected.
+	if err := initErr(t, WithJournalSync(journal.SyncGroupCommit), WithJournalGroupCommit(time.Millisecond, 8)); err != nil {
+		t.Fatalf("compatible combination rejected: %v", err)
+	}
+	if err := initErr(t, WithJournalSync(journal.SyncNever)); err != nil {
+		t.Fatalf("lone WithJournalSync rejected: %v", err)
+	}
+	if err := initErr(t, WithJournalGroupCommit(time.Millisecond, 8)); err != nil {
+		t.Fatalf("lone WithJournalGroupCommit rejected: %v", err)
+	}
+}
+
+func TestOptionValidationCommitWindow(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		interval time.Duration
+		records  int
+	}{
+		{"zero_interval", 0, 8},
+		{"zero_records", time.Millisecond, 0},
+		{"negative_interval", -time.Millisecond, 8},
+		{"negative_records", time.Millisecond, -1},
+	} {
+		if err := initErr(t, WithJournalGroupCommit(tc.interval, tc.records)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestOptionValidationStructForm(t *testing.T) {
+	// The struct form keeps zero-means-default semantics (legacy callers),
+	// but negative windows are still rejected.
+	if err := initErr(t, Options{JournalSync: journal.SyncGroupCommit}); err != nil {
+		t.Fatalf("struct form with zero windows rejected: %v", err)
+	}
+	if err := initErr(t, Options{JournalCommitInterval: -time.Second}); err == nil {
+		t.Error("struct form negative interval accepted")
+	}
+	if err := initErr(t, Options{JournalCommitRecords: -4}); err == nil {
+		t.Error("struct form negative record bound accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+)
+
+// SinkDigest reduces a run's sink outputs to a stable hex digest: the
+// payloads' wire forms hashed in (task id, slot) order. Two runs of the
+// same program are byte-identical exactly when their digests match — the
+// service's conformance currency, cheap enough to compute per run and
+// small enough to ship in a status response.
+func SinkDigest(out map[core.TaskId][]core.Payload) (string, error) {
+	ids := make([]core.TaskId, 0, len(out))
+	for id := range out {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	h := sha256.New()
+	var scratch [8]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(id))
+		h.Write(scratch[:])
+		for slot, p := range out[id] {
+			w, err := p.Wire()
+			if err != nil {
+				return "", fmt.Errorf("serve: sink %d slot %d: %w", id, slot, err)
+			}
+			binary.LittleEndian.PutUint64(scratch[:], uint64(slot))
+			h.Write(scratch[:])
+			binary.LittleEndian.PutUint64(scratch[:], uint64(len(w)))
+			h.Write(scratch[:])
+			h.Write(w)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// releaseSinks drops every sink payload reference after digesting.
+func releaseSinks(out map[core.TaskId][]core.Payload) {
+	for _, ps := range out {
+		for _, p := range ps {
+			p.Release()
+		}
+	}
+}

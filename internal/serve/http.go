@@ -1,0 +1,144 @@
+// HTTP control plane: submit/status/cancel plus per-run and aggregate
+// metrics, mapped onto the Server's typed errors (ErrOverloaded → 429,
+// unknown names → 404, closed → 503).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SubmitRequest is the POST /submit body.
+type SubmitRequest struct {
+	// Program names a registered program.
+	Program string `json:"program"`
+	// Params carries the program's integer knobs.
+	Params Params `json:"params,omitempty"`
+	// Wait, when true, holds the response until the run finishes and
+	// returns its terminal status (digest included) instead of 202.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Handler returns the control-plane mux:
+//
+//	POST /submit            admit a run ({"program","params","wait"})
+//	GET  /runs              recent runs, newest first
+//	GET  /runs/{id}         one run's status
+//	POST /runs/{id}/cancel  abort a queued or running run
+//	GET  /programs          the registered program set
+//	GET  /metrics           aggregate counters and latency percentiles
+//	GET  /healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Runs())
+	})
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := runID(w, r)
+		if !ok {
+			return
+		}
+		st, err := s.Get(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /runs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := runID(w, r)
+		if !ok {
+			return
+		}
+		st, err := s.Cancel(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /programs", func(w http.ResponseWriter, r *http.Request) {
+		type info struct {
+			Name  string `json:"name"`
+			About string `json:"about"`
+		}
+		var out []info
+		for _, name := range s.reg.Names() {
+			p, _ := s.reg.Lookup(name)
+			out = append(out, info{p.Name, p.About})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"ranks":     s.Ranks(),
+			"uptime_ms": float64(s.Uptime()) / float64(time.Millisecond),
+		})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "serve: bad submit body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.Submit(req.Program, req.Params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	st, err = s.Wait(r.Context(), st.ID)
+	if err != nil {
+		// The client went away or timed out; the run itself continues.
+		writeJSON(w, http.StatusGatewayTimeout, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// runID parses the {id} path segment, writing a 400 on failure.
+func runID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "serve: bad run id", http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+// writeError maps the server's typed errors onto status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownRun):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

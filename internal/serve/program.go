@@ -1,0 +1,319 @@
+// Program registry: the named dataflows a bfserve instance is willing to
+// execute. A submission names a program plus integer parameters; the
+// program builds a fresh mpi.Submission per run — graph, callbacks and
+// newly allocated external inputs (runs consume their inputs).
+//
+// Two families ship by default: synthetic prototypes over the figure
+// graphs (reduction, broadcast, k-way merge, binary swap) with a
+// deterministic hash-mix callback, sized by parameters — the service
+// benchmark and smoke currency; and the paper's three use cases
+// (mergetree, render, register) wired exactly as cmd/bfrun wires them.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/graphs"
+	"github.com/babelflow/babelflow-go/internal/mergetree"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+	"github.com/babelflow/babelflow-go/internal/register"
+	"github.com/babelflow/babelflow-go/internal/render"
+)
+
+// Params carries a submission's integer knobs (graph size, payload bytes,
+// …). Missing keys fall back to per-program defaults.
+type Params map[string]int
+
+// get returns p[key] or def when absent or non-positive.
+func (p Params) get(key string, def int) int {
+	if v, ok := p[key]; ok && v > 0 {
+		return v
+	}
+	return def
+}
+
+// Program is one named dataflow the service can run.
+type Program struct {
+	// Name is the submission key.
+	Name string
+	// About is a one-line description surfaced by the HTTP control plane.
+	About string
+	// Build constructs a fresh submission for one run.
+	Build func(p Params) (mpi.Submission, error)
+}
+
+// Registry maps program names to builders.
+type Registry struct {
+	byName map[string]Program
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Program)}
+}
+
+// Add registers a program, replacing any previous holder of the name.
+func (r *Registry) Add(p Program) {
+	if _, dup := r.byName[p.Name]; !dup {
+		r.names = append(r.names, p.Name)
+		sort.Strings(r.names)
+	}
+	r.byName[p.Name] = p
+}
+
+// Lookup returns the named program.
+func (r *Registry) Lookup(name string) (Program, bool) {
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// Names lists the registered programs in sorted order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// Build constructs a fresh submission for the named program.
+func (r *Registry) Build(name string, p Params) (mpi.Submission, error) {
+	prog, ok := r.byName[name]
+	if !ok {
+		return mpi.Submission{}, fmt.Errorf("serve: unknown program %q (have %v)", name, r.names)
+	}
+	return prog.Build(p)
+}
+
+// ReferenceDigest executes the named program one-shot on the serial
+// reference controller and digests its sinks — the ground truth a warm
+// service run's digest must match byte for byte.
+func (r *Registry) ReferenceDigest(name string, p Params) (string, error) {
+	sub, err := r.Build(name, p)
+	if err != nil {
+		return "", err
+	}
+	ser := core.NewSerial()
+	if err := ser.Initialize(sub.Graph, nil); err != nil {
+		return "", err
+	}
+	if sub.Register != nil {
+		if err := sub.Register(ser); err != nil {
+			return "", err
+		}
+	}
+	out, err := ser.Run(sub.Initial)
+	if err != nil {
+		return "", err
+	}
+	defer releaseSinks(out)
+	return SinkDigest(out)
+}
+
+// DefaultRegistry returns the stock program set.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Add(Program{
+		Name:  "reduction",
+		About: "k-ary reduction tree over hash-mix tasks (blocks, valence, payload)",
+		Build: func(p Params) (mpi.Submission, error) {
+			g, err := graphs.NewReduction(p.get("blocks", 8), p.get("valence", 2))
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return prototypeSubmission(g, p), nil
+		},
+	})
+	r.Add(Program{
+		Name:  "broadcast",
+		About: "k-ary broadcast tree over hash-mix tasks (blocks, valence, payload)",
+		Build: func(p Params) (mpi.Submission, error) {
+			g, err := graphs.NewBroadcast(p.get("blocks", 8), p.get("valence", 2))
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return prototypeSubmission(g, p), nil
+		},
+	})
+	r.Add(Program{
+		Name:  "kwaymerge",
+		About: "k-way merge (reduce + broadcast back) over hash-mix tasks (blocks, valence, payload)",
+		Build: func(p Params) (mpi.Submission, error) {
+			g, err := graphs.NewKWayMerge(p.get("blocks", 8), p.get("valence", 2))
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return prototypeSubmission(g, p), nil
+		},
+	})
+	r.Add(Program{
+		Name:  "binaryswap",
+		About: "binary-swap compositing exchange over hash-mix tasks (blocks, payload)",
+		Build: func(p Params) (mpi.Submission, error) {
+			g, err := graphs.NewBinarySwap(p.get("blocks", 8))
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return prototypeSubmission(g, p), nil
+		},
+	})
+	r.Add(Program{
+		Name:  "mergetree",
+		About: "distributed merge-tree segmentation use case (n, blocks)",
+		Build: func(p Params) (mpi.Submission, error) {
+			n, blocks := p.get("n", 32), p.get("blocks", 8)
+			field := data.SyntheticHCCI(n, n, n, 8, 2026)
+			decomp, err := data.NewDecomposition(n, n, n, 2, 2, blocks/4)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			graph, err := mergetree.NewGraph(blocks, 2)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			cfg := mergetree.Config{Decomp: decomp, Threshold: 0.3}
+			initial, err := cfg.InitialInputs(field, graph)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return mpi.Submission{
+				Graph:    graph,
+				Register: func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
+				Initial:  initial,
+			}, nil
+		},
+	})
+	r.Add(Program{
+		Name:  "render",
+		About: "volume-render + tree compositing use case (n, blocks)",
+		Build: func(p Params) (mpi.Submission, error) {
+			n, blocks := p.get("n", 32), p.get("blocks", 8)
+			field := data.SyntheticHCCI(n, n, n, 6, 7)
+			decomp, err := data.NewDecomposition(n, n, n, 2, 2, blocks/4)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			cfg := render.Config{
+				Decomp: decomp,
+				Camera: render.Camera{Width: n, Height: n},
+				TF:     render.TransferFunction{Lo: 0.25, Hi: 1.5, Opacity: 0.4},
+			}
+			graph, err := graphs.NewReduction(blocks, 2)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			initial, err := cfg.InitialInputs(field, graph.LeafIds())
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return mpi.Submission{
+				Graph:    graph,
+				Register: func(c core.CallbackRegistrar) error { return cfg.RegisterReduction(c, graph) },
+				Initial:  initial,
+			}, nil
+		},
+	})
+	r.Add(Program{
+		Name:  "register",
+		About: "image-registration neighborhood-exchange use case (grid, tile)",
+		Build: func(p Params) (mpi.Submission, error) {
+			cfg := register.Config{
+				GridW:   p.get("grid", 3),
+				GridH:   p.get("grid", 3),
+				Tile:    p.get("tile", 24),
+				Overlap: 0.2,
+				Jitter:  2,
+			}
+			tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 5)
+			graph, err := cfg.Graph()
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			initial, err := cfg.InitialInputs(graph, tiles)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return mpi.Submission{
+				Graph:    graph,
+				Register: func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
+				Initial:  initial,
+			}, nil
+		},
+	})
+	return r
+}
+
+// prototypeSubmission wires a figure graph with the deterministic hash-mix
+// callback on every task type and synthesized external inputs of `payload`
+// bytes per slot.
+func prototypeSubmission(g core.TaskGraph, p Params) mpi.Submission {
+	mix := mixCallback(g)
+	return mpi.Submission{
+		Graph: g,
+		Register: func(c core.CallbackRegistrar) error {
+			for _, cb := range g.Callbacks() {
+				if err := c.RegisterCallback(cb, mix); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Initial: externalInputsFor(g, p.get("payload", 64)),
+	}
+}
+
+// mixCallback returns a deterministic callback hashing the task id and all
+// input bytes into each output slot — the same shape the conformance suite
+// uses, so any routing, interleaving or isolation defect flips the digest.
+func mixCallback(g core.TaskGraph) core.Callback {
+	return func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
+		h := sha256.New()
+		var idb [8]byte
+		binary.LittleEndian.PutUint64(idb[:], uint64(id))
+		h.Write(idb[:])
+		for _, p := range in {
+			w, err := p.Wire()
+			if err != nil {
+				return nil, err
+			}
+			h.Write(w)
+		}
+		base := h.Sum(nil)
+		t, _ := g.Task(id)
+		out := make([]core.Payload, len(t.Outgoing))
+		for s := range out {
+			buf := make([]byte, len(base)+1)
+			copy(buf, base)
+			buf[len(base)] = byte(s)
+			out[s] = core.Buffer(buf)
+		}
+		return out, nil
+	}
+}
+
+// externalInputsFor synthesizes one deterministic payload of size bytes per
+// ExternalInput slot.
+func externalInputsFor(g core.TaskGraph, size int) map[core.TaskId][]core.Payload {
+	if size < 8 {
+		size = 8
+	}
+	initial := make(map[core.TaskId][]core.Payload)
+	for _, id := range g.TaskIds() {
+		t, _ := g.Task(id)
+		n := 0
+		for _, in := range t.Incoming {
+			if in == core.ExternalInput {
+				n++
+			}
+		}
+		for j := 0; j < n; j++ {
+			b := make([]byte, size)
+			binary.LittleEndian.PutUint64(b, uint64(id)*31+uint64(j))
+			for off := 8; off < size; off++ {
+				b[off] = byte(off ^ int(id))
+			}
+			initial[id] = append(initial[id], core.Buffer(b))
+		}
+	}
+	return initial
+}

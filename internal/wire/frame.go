@@ -19,8 +19,10 @@ import (
 //
 // Bodies by type:
 //
-//	frameData:      u64 src task id | u64 dest task id | u64 seq |
-//	                u32 attempt | payload bytes
+//	frameData:      u64 src task id | u64 dest task id | u64 run |
+//	                u64 seq | u32 attempt | payload bytes; run identifies
+//	                the graph instance when many runs multiplex over one
+//	                fabric (0 = unmultiplexed one-shot traffic)
 //	frameHeartbeat: empty
 //	frameGoodbye:   empty — the peer has flushed everything it will ever
 //	                send; a subsequent EOF on the connection is clean
@@ -51,7 +53,7 @@ const (
 
 const (
 	frameHeaderSize = 9         // u32 length + u8 type + u32 crc32c(body)
-	dataHeaderSize  = 28        // u64 src + u64 dest + u64 seq + u32 attempt
+	dataHeaderSize  = 36        // u64 src + u64 dest + u64 run + u64 seq + u32 attempt
 	maxFrameSize    = 1 << 30   // hard ceiling on a single frame
 	fingerprintSize = 32        // sha256
 	maxAddrLen      = 1<<16 - 1 // address strings are u16-length-prefixed
@@ -86,14 +88,15 @@ func finishFrame(b []byte, typ byte) []byte {
 // DataFrameOverhead bytes. The CRC is accumulated over the data header and
 // the payload, but the payload itself is NOT copied: the vectored write
 // path hands hdr and the payload to the kernel as adjacent iovecs.
-func encodeDataHeader(hdr []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) {
+func encodeDataHeader(hdr []byte, src, dest core.TaskId, run, seq uint64, attempt uint32, payload []byte) {
 	_ = hdr[DataFrameOverhead-1]
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+dataHeaderSize+len(payload)))
 	hdr[4] = frameData
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], uint64(src))
 	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+8:], uint64(dest))
-	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+16:], seq)
-	binary.LittleEndian.PutUint32(hdr[frameHeaderSize+24:], attempt)
+	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+16:], run)
+	binary.LittleEndian.PutUint64(hdr[frameHeaderSize+24:], seq)
+	binary.LittleEndian.PutUint32(hdr[frameHeaderSize+32:], attempt)
 	crc := crc32.Update(0, castagnoli, hdr[frameHeaderSize:DataFrameOverhead])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[5:9], crc)
@@ -102,9 +105,9 @@ func encodeDataHeader(hdr []byte, src, dest core.TaskId, seq uint64, attempt uin
 // encodeDataFrame appends one data frame carrying payload to dst — the
 // contiguous form used when the connection cannot take vectored writes
 // (fault-injection wrappers, which count whole-batch Write calls).
-func encodeDataFrame(dst []byte, src, dest core.TaskId, seq uint64, attempt uint32, payload []byte) []byte {
+func encodeDataFrame(dst []byte, src, dest core.TaskId, run, seq uint64, attempt uint32, payload []byte) []byte {
 	var hdr [DataFrameOverhead]byte
-	encodeDataHeader(hdr[:], src, dest, seq, attempt, payload)
+	encodeDataHeader(hdr[:], src, dest, run, seq, attempt, payload)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }

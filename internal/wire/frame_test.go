@@ -39,7 +39,7 @@ func TestControlFrameRoundTrip(t *testing.T) {
 
 func TestDataFrameRoundTrip(t *testing.T) {
 	payload := []byte("the payload bytes")
-	enc := encodeDataFrame(nil, 3, 9, 42, 7, payload)
+	enc := encodeDataFrame(nil, 3, 9, 11, 42, 7, payload)
 	if len(enc) != dataFrameSize(len(payload)) {
 		t.Fatalf("encoded %d bytes, dataFrameSize says %d", len(enc), dataFrameSize(len(payload)))
 	}
@@ -48,8 +48,8 @@ func TestDataFrameRoundTrip(t *testing.T) {
 	if err != nil || typ != frameData {
 		t.Fatalf("readOne: typ=%d err=%v", typ, err)
 	}
-	if m.Src != 3 || m.Dest != 9 || m.Seq != 42 || m.Attempt != 7 {
-		t.Fatalf("decoded header %d->%d seq=%d attempt=%d", m.Src, m.Dest, m.Seq, m.Attempt)
+	if m.Src != 3 || m.Dest != 9 || m.Run != 11 || m.Seq != 42 || m.Attempt != 7 {
+		t.Fatalf("decoded header %d->%d run=%d seq=%d attempt=%d", m.Src, m.Dest, m.Run, m.Seq, m.Attempt)
 	}
 	if !bytes.Equal(m.Payload.Data, payload) {
 		t.Fatalf("payload %q", m.Payload.Data)
@@ -61,7 +61,7 @@ func TestCorruptDataFrameTyped(t *testing.T) {
 	// A flipped bit anywhere after the length prefix must surface as a
 	// typed ErrCorruptFrame, not as valid payload.
 	for _, off := range []int{5, frameHeaderSize, frameHeaderSize + dataHeaderSize, frameHeaderSize + dataHeaderSize + 3} {
-		enc := encodeDataFrame(nil, 1, 2, 3, 4, []byte("precious"))
+		enc := encodeDataFrame(nil, 1, 2, 0, 3, 4, []byte("precious"))
 		enc[off] ^= 0x01
 		f, p := decodeFabric()
 		_, _, err := f.readOne(p, frameReader(enc))
@@ -90,7 +90,7 @@ func TestCorruptControlFrameTyped(t *testing.T) {
 func TestTruncatedLengthPrefix(t *testing.T) {
 	// Regression: a header cut anywhere inside its 9 bytes is an EOF-class
 	// error, never a panic or a bogus frame.
-	full := encodeDataFrame(nil, 1, 2, 3, 4, []byte("x"))
+	full := encodeDataFrame(nil, 1, 2, 0, 3, 4, []byte("x"))
 	for cut := 0; cut < frameHeaderSize; cut++ {
 		_, _, _, err := readFrame(bytes.NewReader(full[:cut]))
 		if err == nil {
@@ -149,7 +149,7 @@ func TestHandshakeFramesChecksummed(t *testing.T) {
 func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(controlFrame(frameHeartbeat))
-	f.Add(encodeDataFrame(nil, 1, 2, 3, 4, []byte("seed payload")))
+	f.Add(encodeDataFrame(nil, 1, 2, 0, 3, 4, []byte("seed payload")))
 	f.Add(encodeHello(hello{Rank: 1, Ranks: 2, Endpoint: endpoint{TCP: "a:1", HostID: "h"}}))
 	w, _ := encodeWelcome([]endpoint{{TCP: "x:1", HostID: "h"}, {TCP: "y:2", Unix: "/tmp/y.sock", HostID: "h"}})
 	f.Add(w)
@@ -160,7 +160,7 @@ func FuzzFrameDecode(f *testing.F) {
 	binary.LittleEndian.PutUint32(over, 0xFFFFFFF0)
 	f.Add(over)
 	// Valid header, corrupt body seed.
-	bad := encodeDataFrame(nil, 1, 2, 3, 4, []byte("will corrupt"))
+	bad := encodeDataFrame(nil, 1, 2, 0, 3, 4, []byte("will corrupt"))
 	bad[len(bad)-1] ^= 0xFF
 	f.Add(bad)
 

@@ -388,7 +388,7 @@ func (f *Fabric) sendDirect(p *peer, m fabric.Message) bool {
 		p.wmu.Unlock()
 		return false
 	}
-	encodeDataHeader(p.ihdr[:], m.Src, m.Dest, m.Seq, m.Attempt, w)
+	encodeDataHeader(p.ihdr[:], m.Src, m.Dest, m.Run, m.Seq, m.Attempt, w)
 	p.conn.SetWriteDeadline(now.Add(f.opt.HeartbeatTimeout))
 	var werr error
 	if len(w) == 0 {
@@ -712,7 +712,7 @@ func (f *Fabric) writeLoop(p *peer) {
 			w := wires[i]
 			off := len(stage)
 			stage = stage[:off+DataFrameOverhead]
-			encodeDataHeader(stage[off:], batch[i].Src, batch[i].Dest, batch[i].Seq, batch[i].Attempt, w)
+			encodeDataHeader(stage[off:], batch[i].Src, batch[i].Dest, batch[i].Run, batch[i].Seq, batch[i].Attempt, w)
 			if len(w) < vectorMin || !p.vectored {
 				stage = append(stage, w...)
 				continue
@@ -873,8 +873,9 @@ func (f *Fabric) readDataBody(p *peer, br io.Reader, n int, crc uint32) (fabric.
 	}
 	src := core.TaskId(le64(hdr[0:]))
 	dest := core.TaskId(le64(hdr[8:]))
-	seq := le64(hdr[16:])
-	attempt := le32(hdr[24:])
+	run := le64(hdr[16:])
+	seq := le64(hdr[24:])
+	attempt := le32(hdr[32:])
 	payload := core.GrabBuffer(n - dataHeaderSize)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		core.ReleaseBuffer(payload)
@@ -889,7 +890,7 @@ func (f *Fabric) readDataBody(p *peer, br io.Reader, n int, crc uint32) (fabric.
 	}
 	return fabric.Message{
 		From: p.rank, To: f.opt.Rank, Src: src, Dest: dest,
-		Seq: seq, Attempt: attempt,
+		Run: run, Seq: seq, Attempt: attempt,
 		Payload: core.Buffer(payload),
 	}, nil
 }
