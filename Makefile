@@ -102,11 +102,13 @@ bench-serve:
 fuzz-wire:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/wire
 
-## perf-smoke: the CI perf job — every wire benchmark (all transport tiers)
-## and every journal append benchmark (all fsync policies) at a fixed
+## perf-smoke: the CI perf job — every wire benchmark (all transport
+## tiers), the shm ring benchmarks again under the race detector, and
+## every journal append benchmark (all fsync policies) at a fixed
 ## iteration count so hot-path regressions fail loudly, then the wire
 ## package under the race detector.
 perf-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/wire
+	$(GO) test -race -run='^$$' -bench=Shm -benchtime=100x ./internal/wire
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/journal
 	$(GO) test -race -count=1 ./internal/wire

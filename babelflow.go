@@ -260,8 +260,8 @@ func WithJournalGroupCommit(interval time.Duration, records int) MPIOption {
 }
 
 // WireTier selects the transport between rank pairs of a wire mesh:
-// TierAuto (default) uses unix-domain sockets between co-located ranks and
-// TCP across hosts; TierTCP and TierUnix force one transport.
+// TierAuto (default) uses shared-memory rings between co-located ranks and
+// TCP across hosts; TierTCP, TierUnix and TierShm force one transport.
 type WireTier = wire.Tier
 
 // Wire transport tiers; see WireTier.
@@ -269,6 +269,7 @@ const (
 	TierAuto = wire.TierAuto
 	TierTCP  = wire.TierTCP
 	TierUnix = wire.TierUnix
+	TierShm  = wire.TierShm
 )
 
 // WithWireTier sets the wire transport tier for meshes built from the

@@ -223,13 +223,13 @@ func rankedRun(sub mpi.Submission, m core.TaskMap, views []fabric.Transport) err
 	return nil
 }
 
-// measureServeWire benchmarks run multiplexing over a real socket mesh:
-// one-shot bootstraps (and tears down) a fresh loopback mesh per
-// submission, exactly as a cold bfrun invocation would; warm keeps one
-// mesh resident behind per-rank run demultiplexers and gives each
-// submission its own RunTransport views. The gap is dominated by the mesh
-// bootstrap the resident service amortizes.
-func measureServeWire(reg *serve.Registry, program string, params serve.Params, ranks, oneshotIters, warmIters int) (serveResult, error) {
+// measureServeWire benchmarks run multiplexing over a real wire mesh at
+// the requested transport tier: one-shot bootstraps (and tears down) a
+// fresh loopback mesh per submission, exactly as a cold bfrun invocation
+// would; warm keeps one mesh resident behind per-rank run demultiplexers
+// and gives each submission its own RunTransport views. The gap is
+// dominated by the mesh bootstrap the resident service amortizes.
+func measureServeWire(reg *serve.Registry, program string, params serve.Params, tier wire.Tier, ranks, oneshotIters, warmIters int) (serveResult, error) {
 	probe, err := reg.Build(program, params)
 	if err != nil {
 		return serveResult{}, err
@@ -254,7 +254,7 @@ func measureServeWire(reg *serve.Registry, program string, params serve.Params, 
 		if err != nil {
 			return serveResult{}, err
 		}
-		fabrics, err := wire.Mesh(ranks, wire.Options{Fingerprint: fp})
+		fabrics, err := wire.Mesh(ranks, wire.Options{Fingerprint: fp, Tier: tier})
 		if err != nil {
 			return serveResult{}, err
 		}
@@ -279,7 +279,7 @@ func measureServeWire(reg *serve.Registry, program string, params serve.Params, 
 	oneshot := time.Since(start)
 
 	// (b) warm: resident mesh, per-run demux views.
-	fabrics, err := wire.Mesh(ranks, wire.Options{Fingerprint: fp})
+	fabrics, err := wire.Mesh(ranks, wire.Options{Fingerprint: fp, Tier: tier})
 	if err != nil {
 		return serveResult{}, err
 	}
@@ -399,15 +399,26 @@ func runServeBench(path string) error {
 			w.name, res.OneShotMs, res.WarmMs, res.SpeedupX, res.SustainedPerSec, res.Submissions)
 	}
 
-	// The socket-mesh tier: here one-shot pays a full mesh bootstrap per
-	// submission, the cost the resident service exists to amortize.
-	wireRes, err := measureServeWire(reg, "reduction", serve.Params{"blocks": 8, "payload": 64}, ranks, 20, 200)
-	if err != nil {
-		return fmt.Errorf("bfbench: reduction-8-wiremesh: %w", err)
+	// The wire-mesh rows, one per transport tier: here one-shot pays a full
+	// mesh bootstrap per submission, the cost the resident service exists
+	// to amortize, and the tier sets the per-message cost under it.
+	for _, mt := range []struct {
+		suffix string
+		tier   wire.Tier
+	}{
+		{"tcp", wire.TierTCP},
+		{"unix", wire.TierUnix},
+		{"shm", wire.TierShm},
+	} {
+		name := "reduction-8-wiremesh-" + mt.suffix
+		wireRes, err := measureServeWire(reg, "reduction", serve.Params{"blocks": 8, "payload": 64}, mt.tier, ranks, 20, 200)
+		if err != nil {
+			return fmt.Errorf("bfbench: %s: %w", name, err)
+		}
+		current[name] = wireRes
+		fmt.Printf("%-24s oneshot %8.3f ms  warm %8.3f ms (%.1fx)  sustained %8.0f runs/s over %d submissions\n",
+			name, wireRes.OneShotMs, wireRes.WarmMs, wireRes.SpeedupX, wireRes.SustainedPerSec, wireRes.Submissions)
 	}
-	current["reduction-8-wiremesh"] = wireRes
-	fmt.Printf("%-18s oneshot %8.3f ms  warm %8.3f ms (%.1fx)  sustained %8.0f runs/s over %d submissions\n",
-		"reduction-8-wiremesh", wireRes.OneShotMs, wireRes.WarmMs, wireRes.SpeedupX, wireRes.SustainedPerSec, wireRes.Submissions)
 
 	report := map[string]json.RawMessage{}
 	if raw, err := os.ReadFile(path); err == nil {
@@ -424,7 +435,7 @@ func runServeBench(path string) error {
 		report["baseline_seed"] = cur
 	}
 	note, _ := json.Marshal(fmt.Sprintf(
-		"Resident-service benchmarks: per-submission latency of cold one-shot mpi.Run (fabric+pool per run) vs mpi.Service.Submit over a warm fabric, and sustained serve.Server throughput from 8 concurrent clients, on 4 in-process ranks. Measured %s. Regenerate current with: go run ./cmd/bfbench -serve",
+		"Resident-service benchmarks: per-submission latency of cold one-shot mpi.Run (fabric+pool per run) vs mpi.Service.Submit over a warm fabric, and sustained serve.Server throughput from 8 concurrent clients, on 4 in-process ranks. The reduction-8-wiremesh-{tcp,unix,shm} rows repeat the comparison over a real wire mesh pinned to each transport tier: cold mesh bootstrap per run vs a resident mesh behind per-rank run demultiplexers. Measured %s. Regenerate current with: go run ./cmd/bfbench -serve",
 		time.Now().Format("2006-01-02")))
 	report["note"] = note
 	out, err := json.MarshalIndent(report, "", "  ")

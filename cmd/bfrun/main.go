@@ -47,7 +47,7 @@ func main() {
 		killAll   = flag.Int("kill-all-after", -1, "with -journal: kill EVERY rank (including rank 0) after it sends this many inter-rank messages, seeding a resumable crash")
 		wireKill  = flag.Int("wire-kill-after", -1, "internal: worker kills its own transport after this many inter-rank sends")
 		wireJnl   = flag.String("wire-journal", "", "internal: worker journal directory")
-		wireTier  = flag.String("wire-tier", "auto", "with -transport tcp: transport between co-located ranks (auto | tcp | unix)")
+		wireTier  = flag.String("wire-tier", "auto", "with -transport tcp: transport between co-located ranks (auto | tcp | unix | shm)")
 	)
 	flag.Parse()
 	traceCSV = *traceTo

@@ -200,6 +200,10 @@ func TestMultiRunWarmMeshUnix(t *testing.T) {
 	multiRunOverTier(t, wire.TierUnix)
 }
 
+func TestMultiRunWarmMeshShm(t *testing.T) {
+	multiRunOverTier(t, wire.TierShm)
+}
+
 // TestMultiRunSequentialReuse reuses one warm mesh for many sequential
 // runs — run ids strictly increasing, mailboxes built and torn down per
 // run — and checks the last run is as byte-exact as the first.

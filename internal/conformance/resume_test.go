@@ -120,6 +120,7 @@ func TestResumeAfterKillingAllRanks(t *testing.T) {
 	}{
 		{"tcp", wire.TierTCP, nil},
 		{"unix", wire.TierUnix, nil},
+		{"shm", wire.TierShm, nil},
 		{"unix_groupcommit", wire.TierUnix, []mpi.Option{mpi.WithJournalGroupCommit(time.Hour, 1<<20)}},
 	}
 	const ranks = 4
@@ -187,9 +188,11 @@ func TestResumeAfterKillingAllRanks(t *testing.T) {
 
 // TestCorruptFrameTriggersRecovery flips one payload bit in transit during
 // the first epoch of a fault-tolerant run, once per transport tier: the
-// receiver must classify the corrupt frame as a lost peer on TCP and unix
-// alike (the CRC sits in the frame, not the transport), and the recovery
-// epoch must still deliver sinks byte-identical to serial.
+// receiver must classify the corrupt frame as a lost peer on TCP, unix and
+// shm alike (the CRC sits in the frame, not the transport), and the
+// recovery epoch must still deliver sinks byte-identical to serial. The
+// socket tiers corrupt the byte stream under the framing layer; the shm
+// tier flips a CRC bit in the mapped ring, the torn-ring analogue.
 func TestCorruptFrameTriggersRecovery(t *testing.T) {
 	for _, tc := range conformanceTiers {
 		tc := tc
@@ -231,7 +234,7 @@ func corruptFrameRecovery(t *testing.T, tier wire.Tier) {
 			HeartbeatInterval: 50 * time.Millisecond,
 			HeartbeatTimeout:  500 * time.Millisecond,
 		}
-		if epoch == 1 {
+		if epoch == 1 && tier != wire.TierShm {
 			// Corrupt the first payload byte of the first data frame rank 1
 			// sends to rank 0 (writes smaller than a one-byte data frame are
 			// control traffic).
@@ -240,6 +243,17 @@ func corruptFrameRecovery(t *testing.T, tier wire.Tier) {
 		fabs, err := wire.Mesh(ranks, opt)
 		if err != nil {
 			return nil, err
+		}
+		if epoch == 1 && tier == wire.TierShm {
+			// Ring frames never cross a conn, so WrapConn cannot reach them:
+			// flip a header CRC bit on the first data frame rank 1 pushes
+			// into its ring to rank 0 instead.
+			if !fabs[1].CorruptNextShmFrame(0) {
+				for _, f := range fabs {
+					f.Kill()
+				}
+				return nil, fmt.Errorf("no shm link from rank 1 to rank 0 to corrupt")
+			}
 		}
 		trs := make([]fabric.Transport, len(fabs))
 		for i, f := range fabs {

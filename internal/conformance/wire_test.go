@@ -151,15 +151,17 @@ func serialReference(t *testing.T, g core.TaskGraph, cb core.Callback, initial m
 
 // conformanceTiers enumerates the transport tiers every wire conformance
 // sweep must pass with byte-identical results: forced TCP (the cross-host
-// path) and forced unix-domain sockets (the same-host path). TierAuto needs
-// no row of its own — in-process ranks are co-located, so auto resolves to
-// the unix path these sweeps already pin.
+// path), forced unix-domain sockets, and forced shared-memory rings (the
+// same-host paths). TierAuto needs no row of its own — in-process ranks
+// are co-located, so auto resolves to the shm path these sweeps already
+// pin.
 var conformanceTiers = []struct {
 	name string
 	tier wire.Tier
 }{
 	{"tcp", wire.TierTCP},
 	{"unix", wire.TierUnix},
+	{"shm", wire.TierShm},
 }
 
 // TestWireFigureWorkloads runs every figure communication pattern of the

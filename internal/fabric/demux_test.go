@@ -101,6 +101,67 @@ func TestDemuxStrayDropped(t *testing.T) {
 	}
 }
 
+// TestDemuxStrayAfterCancelRelease covers the second stray branch: the
+// frame arrives while the run is still registered but its mailbox is
+// already cancelled (a run being torn down mid-cancel), then again after
+// Release removes it entirely. Both must count as stray, not deliver, and
+// not disturb the shared transport.
+func TestDemuxStrayAfterCancelRelease(t *testing.T) {
+	f := New(2)
+	d := NewDemux(f, 0, 1)
+	v, _ := d.Open(1)
+	v.Cancel() // mailboxes cancelled, run still registered: Put fails
+	_ = f.Send(Message{From: 0, To: 1, Run: 1, Payload: core.Buffer([]byte{1})})
+	waitStray := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for d.Stray() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("Stray() = %d, want %d", d.Stray(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitStray(1)
+	d.Release(1) // run removed entirely: unknown-run branch
+	_ = f.Send(Message{From: 0, To: 1, Run: 1, Payload: core.Buffer([]byte{2})})
+	waitStray(2)
+	if got := d.Runs(); got != 0 {
+		t.Fatalf("Runs() = %d after release, want 0", got)
+	}
+}
+
+// TestDemuxIngestAllocs pins the steady-state allocation count of the
+// demux ingest path — send through a run view, pump routing, mailbox
+// delivery, receive — so a change that adds per-message heap traffic on
+// the multiplexed hot path fails loudly.
+func TestDemuxIngestAllocs(t *testing.T) {
+	f := New(2)
+	d := NewDemux(f, 0, 1)
+	v, err := d.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := core.Buffer(make([]byte, 64))
+	op := func() {
+		if err := v.Send(Message{From: 0, To: 1, Payload: payload}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, ok := v.Recv(1); !ok {
+			t.Error("pump ended mid-measurement")
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	// Measured 0 allocs per message; the bound leaves room for runtime
+	// noise charged to the measurement window, not for a real regression.
+	if avg := testing.AllocsPerRun(512, op); avg > 2 {
+		t.Errorf("demux ingest averaged %.1f allocs per message, want <= 2", avg)
+	}
+}
+
 // TestDemuxOpenErrors covers the reserved id and duplicate id cases.
 func TestDemuxOpenErrors(t *testing.T) {
 	f := New(1)

@@ -115,6 +115,41 @@ func (s *Service) Ranks() int { return s.ranks }
 // Runs returns the number of submissions currently attached to the fabric.
 func (s *Service) Runs() int { return s.demux.Runs() }
 
+// Stray returns how many frames the run demultiplexer dropped because they
+// addressed an unknown or already-released run — late arrivals racing a
+// cancel, or traffic from a misbehaving peer.
+func (s *Service) Stray() uint64 { return s.demux.Stray() }
+
+// wireTierer is the optional interface a warm transport implements to
+// report the negotiated data path per peer; wire.Fabric does.
+type wireTierer interface {
+	LocalRank() int
+	PeerNetwork(int) string
+}
+
+// WireTiers reports the negotiated transport tier per rank pair, keyed
+// "i-j". A wire-backed transport reports what each pair actually
+// negotiated ("tcp", "unix" or "shm"); the default in-memory fabric
+// reports "mem" for every pair.
+func (s *Service) WireTiers() map[string]string {
+	out := make(map[string]string)
+	if wt, ok := s.base.(wireTierer); ok {
+		local := wt.LocalRank()
+		for r := 0; r < s.ranks; r++ {
+			if r != local {
+				out[fmt.Sprintf("%d-%d", local, r)] = wt.PeerNetwork(r)
+			}
+		}
+		return out
+	}
+	for i := 0; i < s.ranks; i++ {
+		for j := i + 1; j < s.ranks; j++ {
+			out[fmt.Sprintf("%d-%d", i, j)] = "mem"
+		}
+	}
+	return out
+}
+
 // Submit executes one graph instance over the warm fabric and pool,
 // returning its sink outputs and (for journaled services) the run's journal
 // counters. Safe for concurrent use: each call gets a private run id, a

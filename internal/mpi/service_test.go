@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/fabric"
 	"github.com/babelflow/babelflow-go/internal/graphs"
 	"github.com/babelflow/babelflow-go/internal/journal"
 )
@@ -296,5 +297,56 @@ func TestServiceRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := NewService(2, Options{Blocking: true}); err == nil {
 		t.Error("blocking service accepted")
+	}
+}
+
+// tieredTransport is an in-memory fabric that also reports a negotiated
+// wire tier per peer, the optional probe WireTiers uses to describe a
+// wire-backed service.
+type tieredTransport struct {
+	fabric.Transport
+}
+
+func (tieredTransport) LocalRank() int         { return 0 }
+func (tieredTransport) PeerNetwork(int) string { return "shm" }
+
+// TestServiceWireTiers checks the /metrics tier report for both transport
+// shapes: the default in-memory fabric labels every pair "mem", and a
+// transport exposing the wireTierer probe reports its negotiated tiers
+// keyed from the local rank.
+func TestServiceWireTiers(t *testing.T) {
+	s, err := NewService(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tiers := s.WireTiers()
+	if len(tiers) != 3 {
+		t.Fatalf("in-memory tiers = %v, want 3 pairs", tiers)
+	}
+	for _, pair := range []string{"0-1", "0-2", "1-2"} {
+		if tiers[pair] != "mem" {
+			t.Errorf("pair %s = %q, want \"mem\"", pair, tiers[pair])
+		}
+	}
+	if s.Stray() != 0 {
+		t.Errorf("fresh service counted %d stray frames", s.Stray())
+	}
+
+	w, err := NewService(3, WithTransport(func(n int) fabric.Transport {
+		return tieredTransport{fabric.New(n)}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tiers = w.WireTiers()
+	if len(tiers) != 2 {
+		t.Fatalf("wire-backed tiers = %v, want 2 pairs from local rank", tiers)
+	}
+	for _, pair := range []string{"0-1", "0-2"} {
+		if tiers[pair] != "shm" {
+			t.Errorf("pair %s = %q, want \"shm\"", pair, tiers[pair])
+		}
 	}
 }

@@ -143,6 +143,14 @@ type Metrics struct {
 	// MakespanP50Ms/P99Ms are percentiles over recent runs' makespans.
 	MakespanP50Ms float64 `json:"makespan_p50_ms"`
 	MakespanP99Ms float64 `json:"makespan_p99_ms"`
+	// WireTiers is the negotiated transport per rank pair, keyed "i-j":
+	// "mem" on the default in-memory fabric, "tcp"/"unix"/"shm" when the
+	// warm service rides a wire mesh.
+	WireTiers map[string]string `json:"wire_tiers"`
+	// StrayFrames counts messages the run demultiplexer dropped because
+	// they addressed an unknown or released run — late arrivals racing a
+	// cancel. A steadily climbing value under normal load is a bug signal.
+	StrayFrames uint64 `json:"stray_frames"`
 }
 
 // run is the mutable server-side record.
@@ -511,6 +519,8 @@ func (s *Server) Metrics() Metrics {
 		QueueWaitP99Ms: ms(s.queueWait.percentile(0.99)),
 		MakespanP50Ms:  ms(s.makespan.percentile(0.50)),
 		MakespanP99Ms:  ms(s.makespan.percentile(0.99)),
+		WireTiers:      s.svc.WireTiers(),
+		StrayFrames:    s.svc.Stray(),
 	}
 }
 

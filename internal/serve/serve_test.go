@@ -495,6 +495,18 @@ func TestServerHTTP(t *testing.T) {
 	if m.Shed == 0 || m.Completed == 0 || m.MakespanP50Ms <= 0 {
 		t.Fatalf("metrics incomplete: %+v", m)
 	}
+	// The wire-tier map covers every rank pair of the warm fabric — "mem"
+	// on the default in-memory transport — and the stray counter is
+	// exposed (and zero: nothing raced a cancel here).
+	if len(m.WireTiers) != 1 { // C(2,2) pairs for this 2-rank server
+		t.Fatalf("wire_tiers = %v, want one pair", m.WireTiers)
+	}
+	if tier, ok := m.WireTiers["0-1"]; !ok || tier != "mem" {
+		t.Fatalf("wire_tiers = %v, want 0-1 => mem", m.WireTiers)
+	}
+	if m.StrayFrames != 0 {
+		t.Fatalf("stray_frames = %d on an orderly server", m.StrayFrames)
+	}
 
 	var health map[string]any
 	if code := httpJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK {

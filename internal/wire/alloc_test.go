@@ -74,6 +74,18 @@ func TestRoundTripAllocsUnix(t *testing.T) {
 	}
 }
 
+func TestRoundTripAllocsShm(t *testing.T) {
+	fabrics, errs := connectMeshWith(t, 2, func(rank int, o *Options) {
+		o.Tier = TierShm
+	})
+	requireMesh(t, fabrics, errs)
+	// The ring path allocates nothing of its own: the same mailbox
+	// hand-offs and arena wrapper as the socket tiers, minus the kernel.
+	if avg := measureRoundTrip(t, fabrics); avg > 8 {
+		t.Errorf("shm round trip averaged %.1f allocs, want <= 8", avg)
+	}
+}
+
 // TestStreamingAllocsPerMessage pins the per-message allocation count of the
 // batched streaming path: SendN on the sender, RecvBatch plus arena release
 // on the receiver — the path the throughput benchmarks exercise.

@@ -13,24 +13,28 @@ import (
 // BENCH_net.json). These exist so CI's perf-smoke job exercises the hot
 // path — including under the race detector — on every change.
 
-// benchPair bootstraps a 2-rank loopback mesh for the given rendezvous
-// network ("tcp" or "unix").
+// benchPair bootstraps a 2-rank loopback mesh for the given data tier:
+// "tcp" and "unix" name the rendezvous network (and pin the matching
+// tier), "shm" rendezvouses over TCP and pins the shared-memory tier.
 func benchPair(b *testing.B, network string) (send, recv *Fabric, stop func()) {
 	b.Helper()
-	addr := "127.0.0.1:0"
+	addr, lnet := "127.0.0.1:0", "tcp"
 	if network == "unix" {
-		addr = benchSockPath(b)
+		addr, lnet = benchSockPath(b), "unix"
 	}
-	ln, err := net.Listen(network, addr)
+	ln, err := net.Listen(lnet, addr)
 	if err != nil {
 		b.Fatal(err)
 	}
 	fabrics := make([]*Fabric, 2)
 	errs := make([]error, 2)
 	var wg sync.WaitGroup
-	tier := TierTCP // pin the tier: TierAuto would upgrade loopback to unix
-	if network == "unix" {
+	tier := TierTCP // pin the tier: TierAuto would upgrade loopback to shm
+	switch network {
+	case "unix":
 		tier = TierUnix
+	case "shm":
+		tier = TierShm
 	}
 	for r := 0; r < 2; r++ {
 		o := Options{Rank: r, Ranks: 2, Addr: ln.Addr().String(), Tier: tier}
@@ -96,6 +100,7 @@ func benchLatency(b *testing.B, network string) {
 
 func BenchmarkLatencyTCP(b *testing.B)  { benchLatency(b, "tcp") }
 func BenchmarkLatencyUnix(b *testing.B) { benchLatency(b, "unix") }
+func BenchmarkLatencyShm(b *testing.B)  { benchLatency(b, "shm") }
 
 func benchThroughput(b *testing.B, network string, size int) {
 	const (
@@ -154,5 +159,7 @@ func benchThroughput(b *testing.B, network string, size int) {
 
 func BenchmarkThroughputTCP64(b *testing.B)   { benchThroughput(b, "tcp", 64) }
 func BenchmarkThroughputUnix64(b *testing.B)  { benchThroughput(b, "unix", 64) }
+func BenchmarkThroughputShm64(b *testing.B)   { benchThroughput(b, "shm", 64) }
 func BenchmarkThroughputTCP4Ki(b *testing.B)  { benchThroughput(b, "tcp", 4096) }
 func BenchmarkThroughputUnix4Ki(b *testing.B) { benchThroughput(b, "unix", 4096) }
+func BenchmarkThroughputShm4Ki(b *testing.B)  { benchThroughput(b, "shm", 4096) }

@@ -12,35 +12,57 @@ import (
 )
 
 // bootstrap establishes the full connection mesh for one rank and returns
-// the per-rank connections (nil at the local rank). Rank 0 plays
-// rendezvous server: it accepts a registration from every other rank,
-// verifies the fingerprint and replies with the endpoint table. The
-// registration connections double as rank 0's data connections (co-located
-// pairs then upgrade them to the unix tier); the remaining pairs are
-// completed by every rank dialing all lower ranks over whichever transport
-// the tier selects.
-func bootstrap(opt Options) ([]net.Conn, error) {
+// the per-rank connections (nil at the local rank) plus the shared-memory
+// ring regions negotiated for co-located pairs (nil where the pair stays
+// on its socket). Rank 0 plays rendezvous server: it accepts a
+// registration from every other rank, verifies the fingerprint and replies
+// with the endpoint table. The registration connections double as rank 0's
+// data connections (co-located pairs then upgrade them to the unix tier);
+// the remaining pairs are completed by every rank dialing all lower ranks
+// over whichever transport the tier selects. Pairs that end up on a unix
+// socket additionally negotiate a shm ring pair when the tier allows it:
+// the dialer creates and offers a region file, the acceptor maps and acks
+// it, and the dialer unlinks it — leaving both sides with a private
+// mapping and nothing on disk.
+func bootstrap(opt Options) ([]net.Conn, []*shmRegion, error) {
 	conns := make([]net.Conn, opt.Ranks)
 	if opt.Ranks == 1 {
 		if opt.Listener != nil {
 			opt.Listener.Close()
 		}
-		return conns, nil
+		return conns, nil, nil
 	}
+	regs := make([]*shmRegion, opt.Ranks)
 	deadline := time.Now().Add(opt.DialTimeout)
+	var err error
 	if opt.Rank == 0 {
-		return bootstrapRoot(opt, conns, deadline)
+		err = bootstrapRoot(opt, conns, regs, deadline)
+	} else {
+		err = bootstrapPeer(opt, conns, regs, deadline)
 	}
-	return bootstrapPeer(opt, conns, deadline)
+	if err != nil {
+		closeRegions(regs)
+		return nil, nil, err
+	}
+	if opt.Tier == TierShm {
+		for r, c := range conns {
+			if c != nil && regs[r] == nil {
+				closeAll(conns)
+				closeRegions(regs)
+				return nil, nil, fmt.Errorf("%w: rank %d: tier shm: no ring negotiated with rank %d", ErrHandshake, opt.Rank, r)
+			}
+		}
+	}
+	return conns, regs, nil
 }
 
-func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Conn, error) {
+func bootstrapRoot(opt Options, conns []net.Conn, regs []*shmRegion, deadline time.Time) error {
 	ln := opt.Listener
 	if ln == nil {
 		var err error
 		ln, err = net.Listen(rendezvousNetwork(opt.Addr), opt.Addr)
 		if err != nil {
-			return nil, fmt.Errorf("wire: rendezvous listen: %w", err)
+			return fmt.Errorf("wire: rendezvous listen: %w", err)
 		}
 	}
 	defer ln.Close()
@@ -50,14 +72,21 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	// welcome, upgrading their registration connection off TCP.
 	uln, ucleanup, err := unixDataListener(opt, deadline)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ucleanup != nil {
 		defer ucleanup()
 	}
+	shmDir, scleanup, err := shmSetup(opt)
+	if err != nil {
+		return err
+	}
+	if scleanup != nil {
+		defer scleanup()
+	}
 
 	eps := make([]endpoint, opt.Ranks)
-	eps[0] = endpoint{HostID: opt.HostID}
+	eps[0] = endpoint{HostID: opt.HostID, Shm: shmDir, ShmGen: uint64(opt.Epoch)}
 	if uln != nil {
 		eps[0].Unix = uln.Addr().String()
 	}
@@ -66,24 +95,24 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 		c, err := ln.Accept()
 		if err != nil {
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rendezvous: waiting for %d more rank(s): %w",
+			return fmt.Errorf("wire: rendezvous: waiting for %d more rank(s): %w",
 				opt.Ranks-1-registered, err)
 		}
 		h, err := readHello(c, deadline)
 		if err != nil {
 			c.Close()
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rendezvous: %w", err)
+			return fmt.Errorf("wire: rendezvous: %w", err)
 		}
 		reason := vetHello(opt, h, 1, conns)
-		if reason == "" && opt.Tier == TierUnix && h.Endpoint.HostID != opt.HostID {
-			reason = fmt.Sprintf("tier unix requires co-location, but rank %d is on a different host", h.Rank)
+		if reason == "" && opt.Tier.sameHostOnly() && h.Endpoint.HostID != opt.HostID {
+			reason = fmt.Sprintf("tier %v requires co-location, but rank %d is on a different host", opt.Tier, h.Rank)
 		}
 		if reason != "" {
 			writeConn(c, deadline, encodeReject(reason))
 			c.Close()
 			closeAll(conns)
-			return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+			return fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
 		}
 		conns[h.Rank] = c
 		eps[h.Rank] = h.Endpoint
@@ -93,12 +122,12 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	welcome, err := encodeWelcome(eps)
 	if err != nil {
 		closeAll(conns)
-		return nil, err
+		return err
 	}
 	for r := 1; r < opt.Ranks; r++ {
 		if err := writeConn(conns[r], deadline, welcome); err != nil {
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rendezvous: welcome to rank %d: %w", r, err)
+			return fmt.Errorf("wire: rendezvous: welcome to rank %d: %w", r, err)
 		}
 	}
 
@@ -118,13 +147,13 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 			c, err := uln.Accept()
 			if err != nil {
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rendezvous: waiting for %d unix upgrade(s): %w", len(expect), err)
+				return fmt.Errorf("wire: rendezvous: waiting for %d unix upgrade(s): %w", len(expect), err)
 			}
 			h, err := readHello(c, deadline)
 			if err != nil {
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rendezvous: upgrade: %w", err)
+				return fmt.Errorf("wire: rendezvous: upgrade: %w", err)
 			}
 			reason := vetCommon(opt, h)
 			if reason == "" && !expect[h.Rank] {
@@ -134,22 +163,33 @@ func bootstrapRoot(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 				writeConn(c, deadline, encodeReject(reason))
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+				return fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
 			}
 			if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rendezvous: upgrade accept to rank %d: %w", h.Rank, err)
+				return fmt.Errorf("wire: rendezvous: upgrade accept to rank %d: %w", h.Rank, err)
+			}
+			// The upgrading peer is the dialer of this pair: it offers a
+			// ring region next when both sides advertised shm capability.
+			if shmPairWanted(opt, shmDir, h.Endpoint) {
+				reg, err := acceptShmRing(opt, c, deadline)
+				if err != nil {
+					c.Close()
+					closeAll(conns)
+					return fmt.Errorf("wire: rendezvous: shm ring with rank %d: %w", h.Rank, err)
+				}
+				regs[h.Rank] = reg
 			}
 			conns[h.Rank].Close() // retire the TCP registration connection
 			conns[h.Rank] = c
 			delete(expect, h.Rank)
 		}
 	}
-	return conns, nil
+	return nil
 }
 
-func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Conn, error) {
+func bootstrapPeer(opt Options, conns []net.Conn, regs []*shmRegion, deadline time.Time) error {
 	// The rank's own data listeners, dialed by every higher rank. The TCP
 	// one lives on the same host family as the rendezvous address with an
 	// ephemeral port; the unix one (tier permitting) under a private temp
@@ -160,19 +200,26 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	}
 	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
-		return nil, fmt.Errorf("wire: rank %d data listen: %w", opt.Rank, err)
+		return fmt.Errorf("wire: rank %d data listen: %w", opt.Rank, err)
 	}
 	defer ln.Close()
 	setListenerDeadline(ln, deadline)
 	uln, ucleanup, err := unixDataListener(opt, deadline)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ucleanup != nil {
 		defer ucleanup()
 	}
+	shmDir, scleanup, err := shmSetup(opt)
+	if err != nil {
+		return err
+	}
+	if scleanup != nil {
+		defer scleanup()
+	}
 
-	self := endpoint{TCP: ln.Addr().String(), HostID: opt.HostID}
+	self := endpoint{TCP: ln.Addr().String(), HostID: opt.HostID, Shm: shmDir, ShmGen: uint64(opt.Epoch)}
 	if uln != nil {
 		self.Unix = uln.Addr().String()
 	}
@@ -180,52 +227,63 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 	// Register with rank 0 and receive the endpoint table.
 	c0, err := dialRetry(rendezvousNetwork(opt.Addr), opt.Addr, deadline)
 	if err != nil {
-		return nil, fmt.Errorf("wire: rank %d: rendezvous %s: %w", opt.Rank, opt.Addr, err)
+		return fmt.Errorf("wire: rank %d: rendezvous %s: %w", opt.Rank, opt.Addr, err)
 	}
 	h := hello{Rank: opt.Rank, Ranks: opt.Ranks, Epoch: opt.Epoch, Tier: opt.Tier,
 		Fingerprint: opt.Fingerprint, Endpoint: self}
 	if err := writeConn(c0, deadline, encodeHello(h)); err != nil {
 		c0.Close()
-		return nil, fmt.Errorf("wire: rank %d: register: %w", opt.Rank, err)
+		return fmt.Errorf("wire: rank %d: register: %w", opt.Rank, err)
 	}
 	typ, body, err := readControl(c0, deadline)
 	if err != nil {
 		c0.Close()
-		return nil, fmt.Errorf("wire: rank %d: rendezvous reply: %w", opt.Rank, err)
+		return fmt.Errorf("wire: rank %d: rendezvous reply: %w", opt.Rank, err)
 	}
 	if typ == frameReject {
 		c0.Close()
-		return nil, fmt.Errorf("%w: %s", ErrHandshake, body)
+		return fmt.Errorf("%w: %s", ErrHandshake, body)
 	}
 	if typ != frameWelcome {
 		c0.Close()
-		return nil, fmt.Errorf("wire: rank %d: unexpected frame %d from rendezvous", opt.Rank, typ)
+		return fmt.Errorf("wire: rank %d: unexpected frame %d from rendezvous", opt.Rank, typ)
 	}
 	eps, err := decodeWelcome(body)
 	if err != nil || len(eps) != opt.Ranks {
 		c0.Close()
-		return nil, fmt.Errorf("wire: rank %d: bad welcome: %v", opt.Rank, err)
+		return fmt.Errorf("wire: rank %d: bad welcome: %v", opt.Rank, err)
 	}
 	conns[0] = c0
 
 	// Upgrade the rank-0 link to the unix tier when co-located (the exact
-	// mirror of rank 0's expectation — see bootstrapRoot).
+	// mirror of rank 0's expectation — see bootstrapRoot). As the dialer of
+	// the upgrade, this rank then offers rank 0 a shm ring when both sides
+	// advertised the capability.
 	if opt.Tier != TierTCP && eps[0].Unix != "" && eps[0].HostID == opt.HostID {
 		uc, err := dialRetry("unix", eps[0].Unix, deadline)
 		if err != nil {
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: unix upgrade to rank 0: %w", opt.Rank, err)
+			return fmt.Errorf("wire: rank %d: unix upgrade to rank 0: %w", opt.Rank, err)
 		}
 		if err := shakeHands(opt, uc, 0, self, deadline); err != nil {
 			uc.Close()
 			closeAll(conns)
-			return nil, err
+			return err
+		}
+		if shmPairWanted(opt, shmDir, eps[0]) {
+			reg, err := offerShmRing(opt, uc, shmDir, deadline)
+			if err != nil {
+				uc.Close()
+				closeAll(conns)
+				return fmt.Errorf("wire: rank %d: shm ring with rank 0: %w", opt.Rank, err)
+			}
+			regs[0] = reg
 		}
 		c0.Close()
 		conns[0] = uc
-	} else if opt.Tier == TierUnix {
+	} else if opt.Tier.sameHostOnly() {
 		closeAll(conns)
-		return nil, fmt.Errorf("%w: rank %d: tier unix requires co-location with rank 0", ErrHandshake, opt.Rank)
+		return fmt.Errorf("%w: rank %d: tier %v requires co-location with rank 0", ErrHandshake, opt.Rank, opt.Tier)
 	}
 
 	// Dial every lower rank's data listener; higher ranks dial us.
@@ -233,66 +291,216 @@ func bootstrapPeer(opt Options, conns []net.Conn, deadline time.Time) ([]net.Con
 		network, addr, err := pickEndpoint(opt, eps[j], j)
 		if err != nil {
 			closeAll(conns)
-			return nil, err
+			return err
 		}
 		c, err := dialRetry(network, addr, deadline)
 		if err != nil {
 			closeAll(conns)
-			return nil, fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addr, err)
+			return fmt.Errorf("wire: rank %d: rank %d at %s: %w", opt.Rank, j, addr, err)
 		}
-		if err := shakeHands(opt, c, j, endpoint{HostID: opt.HostID}, deadline); err != nil {
+		if err := shakeHands(opt, c, j, self, deadline); err != nil {
 			c.Close()
 			closeAll(conns)
-			return nil, err
+			return err
+		}
+		if network == "unix" && shmPairWanted(opt, shmDir, eps[j]) {
+			reg, err := offerShmRing(opt, c, shmDir, deadline)
+			if err != nil {
+				c.Close()
+				closeAll(conns)
+				return fmt.Errorf("wire: rank %d: shm ring with rank %d: %w", opt.Rank, j, err)
+			}
+			regs[j] = reg
 		}
 		conns[j] = c
 	}
 
 	// Accept every higher rank, over whichever of the two listeners it
-	// chose to dial.
+	// chose to dial. A dialer arriving over the unix listener offers a shm
+	// ring next when both sides advertised the capability.
 	if need := opt.Ranks - 1 - opt.Rank; need > 0 {
 		income := acceptFrom(need+2, ln, uln)
 		for ; need > 0; need-- {
 			in := <-income
 			if in.err != nil {
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rank %d: waiting for %d higher rank(s): %w", opt.Rank, need, in.err)
+				return fmt.Errorf("wire: rank %d: waiting for %d higher rank(s): %w", opt.Rank, need, in.err)
 			}
 			c := in.c
 			h, err := readHello(c, deadline)
 			if err != nil {
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rank %d: %w", opt.Rank, err)
+				return fmt.Errorf("wire: rank %d: %w", opt.Rank, err)
 			}
 			if reason := vetHello(opt, h, opt.Rank+1, conns); reason != "" {
 				writeConn(c, deadline, encodeReject(reason))
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
+				return fmt.Errorf("%w: rank %d: %s", ErrHandshake, h.Rank, reason)
 			}
 			if err := writeConn(c, deadline, controlFrame(frameAccept)); err != nil {
 				c.Close()
 				closeAll(conns)
-				return nil, fmt.Errorf("wire: rank %d: accept to rank %d: %w", opt.Rank, h.Rank, err)
+				return fmt.Errorf("wire: rank %d: accept to rank %d: %w", opt.Rank, h.Rank, err)
+			}
+			if _, isUnix := c.(*net.UnixConn); isUnix && shmPairWanted(opt, shmDir, h.Endpoint) {
+				reg, err := acceptShmRing(opt, c, deadline)
+				if err != nil {
+					c.Close()
+					closeAll(conns)
+					return fmt.Errorf("wire: rank %d: shm ring with rank %d: %w", opt.Rank, h.Rank, err)
+				}
+				regs[h.Rank] = reg
 			}
 			conns[h.Rank] = c
 		}
 	}
-	return conns, nil
+	return nil
 }
 
 // pickEndpoint selects the transport for a pairwise dial to rank j: unix
 // when the tier allows it and both ranks share a host (and j opened a unix
-// listener), TCP otherwise. TierUnix turns a TCP fallback into an error.
+// listener), TCP otherwise. The same-host-only tiers (unix, shm) turn a
+// TCP fallback into an error.
 func pickEndpoint(opt Options, ep endpoint, j int) (network, addr string, err error) {
 	if opt.Tier != TierTCP && ep.Unix != "" && ep.HostID == opt.HostID {
 		return "unix", ep.Unix, nil
 	}
-	if opt.Tier == TierUnix {
-		return "", "", fmt.Errorf("%w: rank %d: tier unix requires co-location with rank %d", ErrHandshake, opt.Rank, j)
+	if opt.Tier.sameHostOnly() {
+		return "", "", fmt.Errorf("%w: rank %d: tier %v requires co-location with rank %d", ErrHandshake, opt.Rank, opt.Tier, j)
 	}
 	return "tcp", ep.TCP, nil
+}
+
+// shmSetup creates this rank's private ring-file directory when the tier
+// wants shared memory. A setup failure (or an unsupported platform) is
+// fatal under TierShm and silently degrades to the socket tiers under
+// TierAuto: the rank simply advertises no shm capability.
+func shmSetup(opt Options) (dir string, cleanup func(), err error) {
+	if opt.Tier != TierAuto && opt.Tier != TierShm {
+		return "", nil, nil
+	}
+	dir, err = shmDataDir()
+	if err != nil {
+		if opt.Tier == TierShm {
+			return "", nil, fmt.Errorf("%w: rank %d: tier shm: %v", ErrHandshake, opt.Rank, err)
+		}
+		return "", nil, nil
+	}
+	// Ring files are unlinked as soon as the peer maps them, so removing
+	// the directory after the bootstrap leaves nothing behind.
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// shmPairWanted reports whether a freshly established unix-socket pair
+// should negotiate a shared-memory ring: the tier allows it and both ends
+// advertised a ring directory for the same generation. Both sides compute
+// it from the same inputs (their own capability plus the peer's hello or
+// welcome entry), so the dialer offers exactly when the acceptor expects.
+func shmPairWanted(opt Options, localDir string, peer endpoint) bool {
+	if opt.Tier != TierAuto && opt.Tier != TierShm {
+		return false
+	}
+	return localDir != "" && peer.Shm != "" && peer.ShmGen == uint64(opt.Epoch) && peer.HostID == opt.HostID
+}
+
+// offerShmRing runs the dialer's half of the ring negotiation on an
+// accepted pair: create a region file, offer its path, await the ack,
+// unlink the file (the mappings outlive the name). A nil region with a nil
+// error means the pair gracefully degraded to the socket (TierAuto only).
+func offerShmRing(opt Options, c net.Conn, dir string, deadline time.Time) (*shmRegion, error) {
+	reg, err := createShmRegion(dir, uint64(opt.Epoch), opt.ShmRingBytes)
+	if err != nil {
+		if opt.Tier == TierShm {
+			return nil, fmt.Errorf("%w: create ring region: %v", ErrHandshake, err)
+		}
+		// Withdraw the offer so the acceptor stops waiting.
+		if err := writeConn(c, deadline, encodeShmOffer("", uint64(opt.Epoch), 0)); err != nil {
+			return nil, err
+		}
+		if _, err := readShmAck(c, deadline); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	offer := encodeShmOffer(reg.path, uint64(opt.Epoch), uint64(opt.ShmRingBytes))
+	if err := writeConn(c, deadline, offer); err != nil {
+		reg.close()
+		os.Remove(reg.path)
+		return nil, err
+	}
+	ok, err := readShmAck(c, deadline)
+	os.Remove(reg.path)
+	if err != nil {
+		reg.close()
+		return nil, err
+	}
+	if !ok {
+		reg.close()
+		if opt.Tier == TierShm {
+			return nil, fmt.Errorf("%w: peer declined ring region", ErrHandshake)
+		}
+		return nil, nil
+	}
+	return reg, nil
+}
+
+// acceptShmRing runs the acceptor's half: read the offer, map and validate
+// the region, ack. Declines (withdrawn offer, unmappable region) degrade
+// to the socket under TierAuto and fail the handshake under TierShm.
+func acceptShmRing(opt Options, c net.Conn, deadline time.Time) (*shmRegion, error) {
+	typ, body, err := readControl(c, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameShmOffer {
+		return nil, fmt.Errorf("wire: expected shm offer, got frame type %d", typ)
+	}
+	path, gen, ringBytes, err := decodeShmOffer(body)
+	if err != nil {
+		return nil, err
+	}
+	decline := func(why string) (*shmRegion, error) {
+		if werr := writeConn(c, deadline, encodeShmAck(false)); werr != nil {
+			return nil, werr
+		}
+		if opt.Tier == TierShm {
+			return nil, fmt.Errorf("%w: ring region: %s", ErrHandshake, why)
+		}
+		return nil, nil
+	}
+	if path == "" {
+		return decline("offer withdrawn by peer")
+	}
+	if gen != uint64(opt.Epoch) {
+		return decline(fmt.Sprintf("generation %d, want %d", gen, opt.Epoch))
+	}
+	reg, err := openShmRegion(path, gen)
+	if err != nil {
+		return decline(err.Error())
+	}
+	if uint64(reg.tx.size) != ringBytes {
+		reg.close()
+		return decline(fmt.Sprintf("ring size %d, offered %d", reg.tx.size, ringBytes))
+	}
+	if err := writeConn(c, deadline, encodeShmAck(true)); err != nil {
+		reg.close()
+		return nil, err
+	}
+	return reg, nil
+}
+
+// readShmAck reads the acceptor's 1-byte ring ack.
+func readShmAck(c net.Conn, deadline time.Time) (bool, error) {
+	typ, body, err := readControl(c, deadline)
+	if err != nil {
+		return false, err
+	}
+	if typ != frameShmAck || len(body) != 1 {
+		return false, fmt.Errorf("wire: expected shm ack, got frame type %d (%d bytes)", typ, len(body))
+	}
+	return body[0] == 1, nil
 }
 
 // shakeHands runs the dialing side of a pairwise handshake on an
@@ -346,7 +554,8 @@ func acceptFrom(buffer int, lns ...net.Listener) <-chan accepted {
 
 // unixDataListener opens this rank's unix-domain data listener in a private
 // temp directory, returning (nil, nil, nil) under TierTCP. A listen failure
-// is fatal under TierUnix and silently degrades to TCP-only under TierAuto
+// is fatal under the same-host-only tiers (unix, shm — the shm doorbell
+// rides the unix socket) and silently degrades to TCP-only under TierAuto
 // (the rank simply advertises no unix endpoint). The cleanup removes the
 // socket directory; data listeners only live for the bootstrap.
 func unixDataListener(opt Options, deadline time.Time) (net.Listener, func(), error) {
@@ -363,8 +572,8 @@ func unixDataListener(opt Options, deadline time.Time) (net.Listener, func(), er
 		}
 		os.RemoveAll(dir)
 	}
-	if opt.Tier == TierUnix {
-		return nil, nil, fmt.Errorf("wire: rank %d: tier unix: data listen: %w", opt.Rank, err)
+	if opt.Tier.sameHostOnly() {
+		return nil, nil, fmt.Errorf("wire: rank %d: tier %v: data listen: %w", opt.Rank, opt.Tier, err)
 	}
 	return nil, nil, nil
 }

@@ -18,6 +18,10 @@ func TestCorruptFrameDeclaresPeerLost(t *testing.T) {
 	opt := Options{
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  2 * time.Second,
+		// Pin the socket tier: WrapConn intercepts socket writes, and under
+		// TierAuto data frames ride the shm rings instead (the ring analogue
+		// lives in shm_test.go, via CorruptNextShmFrame).
+		Tier: TierUnix,
 		// Flip a bit in the first payload byte of the first 0->1 write big
 		// enough to be a data frame (heartbeats are header-only).
 		WrapConn: faultinject.CorruptNthWrite(0, 1, 1, dataFrameSize(1), frameHeaderSize+dataHeaderSize),
@@ -66,6 +70,7 @@ func TestStalledPeerDetectedByTightenedTimeout(t *testing.T) {
 	opt := Options{
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  timeout,
+		Tier:              TierUnix, // WrapConn intercepts socket writes, not rings
 		WrapConn:          faultinject.StallAfterWrites(0, 1, 0), // mute from the first data-phase write
 	}
 	fabrics := connectMesh(t, 2, opt)

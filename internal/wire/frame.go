@@ -28,12 +28,22 @@ import (
 //	                send; a subsequent EOF on the connection is clean
 //	frameHello:     u32 rank | u32 ranks | u32 epoch | u8 tier |
 //	                32-byte fingerprint | u16+tcp data address |
-//	                u16+unix data address | u16+host id
+//	                u16+unix data address | u16+host id |
+//	                u16+shm dir | u64 shm generation
 //	frameWelcome:   u32 n | n × (u16+tcp addr | u16+unix addr | u16+host
-//	                id), the endpoint table indexed by rank (rendezvous
-//	                reply); co-located ranks use the unix endpoints
+//	                id | u16+shm dir | u64 shm gen), the endpoint table
+//	                indexed by rank (rendezvous reply); co-located ranks
+//	                use the unix endpoints and, when both advertise a shm
+//	                dir, a shared-memory ring pair
 //	frameReject:    reason string (handshake refusal)
 //	frameAccept:    empty (handshake confirmation)
+//	frameDoorbell:  empty — a shm-ring wakeup: "check your rings". Sent
+//	                when the remote consumer parked (cwait) before a
+//	                publish, or the remote producer stalled full (pwait)
+//	                before space was freed
+//	frameShmOffer:  u64 generation | u64 ring bytes | u16+region path;
+//	                an empty path withdraws the offer (dialer cannot shm)
+//	frameShmAck:    u8 ok (1 = region mapped, 0 = declined)
 //
 // All integers are little-endian. The length prefix never exceeds
 // maxFrameSize; larger frames poison the connection. A frame whose body
@@ -49,6 +59,9 @@ const (
 	frameWelcome
 	frameReject
 	frameAccept
+	frameDoorbell
+	frameShmOffer
+	frameShmAck
 )
 
 const (
@@ -72,6 +85,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorruptFrame marks a frame whose body failed its CRC32C check: the
 // byte stream is untrustworthy, so the receiver declares the peer lost.
 var ErrCorruptFrame = errors.New("wire: corrupt frame")
+
+// errFrameLength marks a length prefix outside [1, maxFrameSize]. On a
+// socket it usually means a framing bug; inside a shm ring it is the
+// signature of a torn write and is surfaced as ErrCorruptFrame.
+var errFrameLength = errors.New("wire: frame length out of range")
 
 // finishFrame stamps the frame header of b (whose first frameHeaderSize
 // bytes are reserved and whose remainder is the body) and returns b.
@@ -139,7 +157,7 @@ func readFrameLimit(r io.Reader, max int) (typ byte, n int, crc uint32, err erro
 	}
 	l := binary.LittleEndian.Uint32(hdr[0:4])
 	if l < 1 || l > uint32(max) {
-		return 0, 0, 0, fmt.Errorf("wire: frame length %d out of range", l)
+		return 0, 0, 0, fmt.Errorf("%w: %d", errFrameLength, l)
 	}
 	return hdr[4], int(l) - 1, binary.LittleEndian.Uint32(hdr[5:9]), nil
 }
@@ -155,11 +173,55 @@ func verifyBody(typ byte, body []byte, crc uint32) error {
 
 // endpoint is one rank's advertised data endpoints: its TCP listener, its
 // unix-domain listener (empty when the rank could not or should not open
-// one) and an opaque host identity used to decide co-location.
+// one), an opaque host identity used to decide co-location, and the
+// shared-memory fields — the directory this rank creates ring files in
+// (empty when it cannot or should not use shm) plus the ring generation it
+// will stamp them with (the fabric epoch, so a straggler's stale region is
+// never mapped).
 type endpoint struct {
 	TCP    string
 	Unix   string
 	HostID string
+	Shm    string
+	ShmGen uint64
+}
+
+// endpointWireSize is the encoded size of one endpoint table entry: four
+// u16 length prefixes plus the u64 generation plus the string bytes.
+func endpointWireSize(ep endpoint) int {
+	return 16 + len(ep.TCP) + len(ep.Unix) + len(ep.HostID) + len(ep.Shm)
+}
+
+func appendEndpoint(b []byte, ep endpoint) []byte {
+	b = appendString(b, ep.TCP)
+	b = appendString(b, ep.Unix)
+	b = appendString(b, ep.HostID)
+	b = appendString(b, ep.Shm)
+	return binary.LittleEndian.AppendUint64(b, ep.ShmGen)
+}
+
+// takeEndpoint consumes one endpoint table entry from body at off,
+// returning the new offset or -1 on truncation.
+func takeEndpoint(body []byte, off int) (endpoint, int) {
+	var ep endpoint
+	ep.TCP, off = takeString(body, off)
+	if off >= 0 {
+		ep.Unix, off = takeString(body, off)
+	}
+	if off >= 0 {
+		ep.HostID, off = takeString(body, off)
+	}
+	if off >= 0 {
+		ep.Shm, off = takeString(body, off)
+	}
+	if off >= 0 {
+		if len(body) < off+8 {
+			return ep, -1
+		}
+		ep.ShmGen = binary.LittleEndian.Uint64(body[off:])
+		off += 8
+	}
+	return ep, off
 }
 
 // hello is the handshake announcement either side of a connection sends
@@ -193,23 +255,20 @@ func takeString(body []byte, off int) (string, int) {
 }
 
 func encodeHello(h hello) []byte {
-	ep := h.Endpoint
-	body := 4 + 4 + 4 + 1 + fingerprintSize + 6 + len(ep.TCP) + len(ep.Unix) + len(ep.HostID)
+	body := 4 + 4 + 4 + 1 + fingerprintSize + endpointWireSize(h.Endpoint)
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Epoch))
 	b = append(b, byte(h.Tier))
 	b = append(b, h.Fingerprint[:]...)
-	b = appendString(b, ep.TCP)
-	b = appendString(b, ep.Unix)
-	b = appendString(b, ep.HostID)
+	b = appendEndpoint(b, h.Endpoint)
 	return finishFrame(b, frameHello)
 }
 
 func decodeHello(body []byte) (hello, error) {
 	var h hello
-	if len(body) < 4+4+4+1+fingerprintSize+6 {
+	if len(body) < 4+4+4+1+fingerprintSize+16 {
 		return h, fmt.Errorf("wire: hello frame truncated (%d bytes)", len(body))
 	}
 	h.Rank = int(binary.LittleEndian.Uint32(body))
@@ -217,14 +276,8 @@ func decodeHello(body []byte) (hello, error) {
 	h.Epoch = int(binary.LittleEndian.Uint32(body[8:]))
 	h.Tier = Tier(body[12])
 	copy(h.Fingerprint[:], body[13:13+fingerprintSize])
-	off := 13 + fingerprintSize
-	h.Endpoint.TCP, off = takeString(body, off)
-	if off >= 0 {
-		h.Endpoint.Unix, off = takeString(body, off)
-	}
-	if off >= 0 {
-		h.Endpoint.HostID, off = takeString(body, off)
-	}
+	var off int
+	h.Endpoint, off = takeEndpoint(body, 13+fingerprintSize)
 	if off != len(body) {
 		return h, fmt.Errorf("wire: hello frame length mismatch")
 	}
@@ -234,17 +287,15 @@ func decodeHello(body []byte) (hello, error) {
 func encodeWelcome(eps []endpoint) ([]byte, error) {
 	body := 4
 	for _, ep := range eps {
-		if len(ep.TCP) > maxAddrLen || len(ep.Unix) > maxAddrLen || len(ep.HostID) > maxAddrLen {
+		if len(ep.TCP) > maxAddrLen || len(ep.Unix) > maxAddrLen || len(ep.HostID) > maxAddrLen || len(ep.Shm) > maxAddrLen {
 			return nil, fmt.Errorf("wire: endpoint string too long: %+v", ep)
 		}
-		body += 6 + len(ep.TCP) + len(ep.Unix) + len(ep.HostID)
+		body += endpointWireSize(ep)
 	}
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(eps)))
 	for _, ep := range eps {
-		b = appendString(b, ep.TCP)
-		b = appendString(b, ep.Unix)
-		b = appendString(b, ep.HostID)
+		b = appendEndpoint(b, ep)
 	}
 	return finishFrame(b, frameWelcome), nil
 }
@@ -261,13 +312,7 @@ func decodeWelcome(body []byte) ([]endpoint, error) {
 	off := 4
 	for i := 0; i < n; i++ {
 		var ep endpoint
-		ep.TCP, off = takeString(body, off)
-		if off >= 0 {
-			ep.Unix, off = takeString(body, off)
-		}
-		if off >= 0 {
-			ep.HostID, off = takeString(body, off)
-		}
+		ep, off = takeEndpoint(body, off)
 		if off < 0 {
 			return nil, fmt.Errorf("wire: welcome frame truncated at entry %d", i)
 		}
@@ -283,4 +328,35 @@ func encodeReject(reason string) []byte {
 	b := make([]byte, frameHeaderSize, frameHeaderSize+len(reason))
 	b = append(b, reason...)
 	return finishFrame(b, frameReject)
+}
+
+func encodeShmOffer(path string, gen, ringBytes uint64) []byte {
+	b := make([]byte, frameHeaderSize, frameHeaderSize+18+len(path))
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint64(b, ringBytes)
+	b = appendString(b, path)
+	return finishFrame(b, frameShmOffer)
+}
+
+func decodeShmOffer(body []byte) (path string, gen, ringBytes uint64, err error) {
+	if len(body) < 18 {
+		return "", 0, 0, fmt.Errorf("wire: shm offer truncated (%d bytes)", len(body))
+	}
+	gen = binary.LittleEndian.Uint64(body)
+	ringBytes = binary.LittleEndian.Uint64(body[8:])
+	path, off := takeString(body, 16)
+	if off != len(body) {
+		return "", 0, 0, fmt.Errorf("wire: shm offer length mismatch")
+	}
+	return path, gen, ringBytes, nil
+}
+
+func encodeShmAck(ok bool) []byte {
+	b := make([]byte, frameHeaderSize, frameHeaderSize+1)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return finishFrame(b, frameShmAck)
 }

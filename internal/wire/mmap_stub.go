@@ -1,0 +1,18 @@
+//go:build !unix
+
+package wire
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without a usable mmap never negotiate shm rings: TierAuto
+// degrades to the socket tiers, strict TierShm fails the handshake.
+const shmSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("wire: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

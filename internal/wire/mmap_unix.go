@@ -1,0 +1,24 @@
+//go:build unix
+
+package wire
+
+import (
+	"os"
+	"syscall"
+)
+
+// shmSupported gates the TierShm data path: true where files can be
+// mapped shared and writable. TierAuto silently skips shm elsewhere;
+// a strict TierShm errors at handshake.
+const shmSupported = true
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

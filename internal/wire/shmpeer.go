@@ -1,0 +1,550 @@
+package wire
+
+// The shared-memory data path of one peer pair. Frames keep the exact
+// socket encoding but move through the pair's mmap'd SPSC rings
+// (shmring.go); the unix socket underneath carries only control traffic —
+// doorbells, heartbeats and the goodbye. The protocol:
+//
+// Producer (shmWriteLoop / sendDirectShm), always under p.wmu:
+//   - push the frame into tx; after publishing, if the consumer announced
+//     it is parked (cwait set), clear the flag and write one doorbell
+//     frame on the socket.
+//   - on a full ring, set pwait, then wait (without wmu) for the
+//     consumer's doorbell — relayed by our own read loop through
+//     shm.space — and resume pushing.
+//
+// Consumer (shmReadLoop via ringReader):
+//   - spin briefly on an empty ring (the hot path: a request/response
+//     peer answers well inside the spin window, so the doorbell is never
+//     needed), then set cwait, re-check, and park in a blocking read on
+//     the socket. Any frame that arrives — doorbell or heartbeat — wakes
+//     it to re-check the ring; pwait relays are forwarded to the producer
+//     side through shm.space.
+//   - after freeing space, if the remote producer announced it is stalled
+//     (pwait set), clear the flag and doorbell back.
+//
+// Failure semantics match the socket tiers: a decode failure out of the
+// ring (bad length prefix or CRC mismatch — a torn ring) wraps
+// ErrCorruptFrame and declares the peer lost; socket EOF without a
+// goodbye, or heartbeat-timeout silence while parked, is ErrPeerLost. The
+// shm goodbye carries the producer's final tail so the consumer drains
+// the ring completely before treating the departure as clean.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/fabric"
+)
+
+// shmLink is the per-peer shared-memory state riding on top of shmRegion.
+type shmLink struct {
+	region *shmRegion
+	tx     *shmRing
+	rx     *shmRing
+
+	// space relays the peer consumer's "I freed space" doorbell from this
+	// side's read loop to its producer (capacity 1, non-blocking sends).
+	space chan struct{}
+
+	// corrupt arms the one-shot CRC fault injection (CorruptNextShmFrame).
+	corrupt atomic.Bool
+
+	// finalTail is the peer producer's tail at goodbye: the consumer keeps
+	// draining until chead reaches it, then treats the departure as clean.
+	finalTail atomic.Uint64
+	finalSet  atomic.Bool
+}
+
+func newShmLink(reg *shmRegion) *shmLink {
+	return &shmLink{
+		region: reg,
+		tx:     reg.tx,
+		rx:     reg.rx,
+		space:  make(chan struct{}, 1),
+	}
+}
+
+// errShmDeparted is the ring reader's clean end-of-stream: the peer said
+// goodbye and its ring has been drained to the announced final tail.
+var errShmDeparted = errors.New("wire: shm peer departed")
+
+// spinIters bounds the consumer's empty-ring spin before it parks on the
+// doorbell socket: long enough that a ping-pong peer's reply lands while
+// we still spin (the sub-microsecond path), short enough that an idle
+// consumer parks within tens of microseconds. The tail of the spin yields
+// the processor so a co-scheduled producer can run.
+const (
+	spinIters = 4096
+	spinYield = 3072
+)
+
+// spinYieldFrom is the spin iteration at which the consumer starts
+// yielding. On a single-P runtime a busy spin starves the very producer
+// it is waiting for — the ring cannot fill until the consumer yields —
+// so yield from the first iteration there.
+var spinYieldFrom = func() int {
+	if runtime.GOMAXPROCS(0) <= 1 {
+		return 0
+	}
+	return spinYield
+}()
+
+// doorbellFrame is the pre-encoded empty doorbell control frame.
+var doorbellFrame = controlFrame(frameDoorbell)
+
+// ringDoorbell writes one doorbell frame on the pair's socket. It takes
+// wmu itself, so callers must NOT hold it. Doorbells update lastWrite —
+// they are real socket traffic and keep the heartbeat quiet period honest.
+func (f *Fabric) ringDoorbell(p *peer) {
+	now := time.Now()
+	p.wmu.Lock()
+	if !p.saidGoodbye {
+		p.conn.SetWriteDeadline(now.Add(f.opt.HeartbeatTimeout))
+		p.conn.Write(doorbellFrame)
+		p.lastWrite.Store(now.UnixNano())
+	}
+	p.wmu.Unlock()
+}
+
+// stampShmHeader encodes the data-frame framing for the shm path,
+// applying the armed corruption injection if any: the CRC is flipped
+// after stamping, so the receiver sees a torn ring.
+func stampShmHeader(p *peer, hdr []byte, m *fabric.Message, payload []byte) {
+	encodeDataHeader(hdr, m.Src, m.Dest, m.Run, m.Seq, m.Attempt, payload)
+	if p.shm.corrupt.Load() && p.shm.corrupt.Swap(false) {
+		hdr[5] ^= 0x01
+	}
+}
+
+// ringWriteFrame pushes one encoded frame (header + payload) into the tx
+// ring, taking p.wmu per attempt and releasing it while waiting for space
+// on a full ring — parked producers must never block heartbeats or
+// doorbells. Returns an error when the fabric is cancelled or the
+// consumer fails to free space within the heartbeat timeout.
+func (f *Fabric) ringWriteFrame(p *peer, hdr, payload []byte) error {
+	l := p.shm
+	segs := [2][]byte{hdr, payload}
+	i := 0
+	var stallStart time.Time
+	for {
+		p.wmu.Lock()
+		wrote := false
+		// When the whole remaining frame fits, write it with one tail
+		// publish so the consumer never observes a torn prefix and stays on
+		// its in-place decode fast path. Otherwise push what fits: partial
+		// progress streams frames larger than the ring.
+		if uint64(len(segs[0])+len(segs[1])) <= l.tx.free() {
+			l.tx.pushAll(segs[0], segs[1])
+			segs[0], segs[1] = nil, nil
+			i = 2
+			wrote = true
+		}
+		for i < 2 {
+			if len(segs[i]) == 0 {
+				i++
+				continue
+			}
+			n := l.tx.push(segs[i])
+			if n == 0 {
+				break
+			}
+			wrote = true
+			segs[i] = segs[i][n:]
+		}
+		bell := wrote && l.tx.hdr.cwait.Swap(0) == 1
+		p.wmu.Unlock()
+		if bell {
+			f.ringDoorbell(p)
+		}
+		if i == 2 {
+			return nil
+		}
+		// Ring full: announce the stall, re-check (the consumer may have
+		// freed space between our push and the flag), then wait for its
+		// doorbell relayed through l.space. Shutdown closes f.done before
+		// the drain, so a graceful drain must keep waiting; only an actual
+		// Cancel/Kill (f.cancelled) or a consumer that frees nothing for a
+		// whole heartbeat timeout aborts the write.
+		if wrote {
+			stallStart = time.Time{}
+		}
+		if stallStart.IsZero() {
+			stallStart = time.Now()
+		}
+		// The consumer is in shared memory too: spin on free() first, so a
+		// draining consumer unblocks us in nanoseconds, without waiting for
+		// its doorbell to cross the socket and our read loop to relay it.
+		spun := false
+		for spin := 0; spin < spinIters && !spun; spin++ {
+			if spin >= spinYieldFrom {
+				runtime.Gosched()
+			}
+			spun = l.tx.free() > 0
+			if spin&255 == 0 && f.cancelled.Load() {
+				return errors.New("wire: cancelled")
+			}
+		}
+		if spun {
+			continue
+		}
+		l.tx.hdr.pwait.Store(1)
+		if l.tx.free() > 0 {
+			continue
+		}
+		select {
+		case <-l.space:
+		case <-time.After(10 * time.Millisecond):
+			if f.cancelled.Load() {
+				return errors.New("wire: cancelled")
+			}
+			if time.Since(stallStart) > f.opt.HeartbeatTimeout {
+				return fmt.Errorf("ring full for %v", f.opt.HeartbeatTimeout)
+			}
+		}
+	}
+}
+
+// sendDirectShm is the shm latency fast path: when the peer's writer is
+// parked, its outbox empty and the whole frame fits the ring's free
+// space, the sender stamps and pushes the frame itself — no syscall, no
+// goroutine handoff, no clock read. The quiescence argument is identical
+// to sendDirect; there is no inlineMax or inlineGap because a ring push
+// is a memcpy, cheap at any size and never worth batching against.
+func (f *Fabric) sendDirectShm(p *peer, m fabric.Message) bool {
+	if !p.wmu.TryLock() {
+		return false
+	}
+	// Ordering matters: EmptyOpen before the idle load (see sendDirect).
+	if p.saidGoodbye || !p.outbox.EmptyOpen() || !p.idle.Load() {
+		p.wmu.Unlock()
+		return false
+	}
+	w, err := m.Payload.Wire()
+	if err != nil {
+		// Serialization failures take the writer path so they are reported
+		// identically on both paths.
+		p.wmu.Unlock()
+		return false
+	}
+	l := p.shm
+	if uint64(DataFrameOverhead+len(w)) > l.tx.free() {
+		p.wmu.Unlock()
+		return false
+	}
+	stampShmHeader(p, p.ihdr[:], &m, w)
+	l.tx.pushAll(p.ihdr[:], w)
+	bell := l.tx.hdr.cwait.Swap(0) == 1
+	p.wmu.Unlock()
+	m.Payload.Release()
+	if bell {
+		f.ringDoorbell(p)
+	}
+	f.messages.Add(1)
+	f.bytes.Add(uint64(len(w)))
+	return true
+}
+
+// shmWriteLoop drains one shm peer's outbox into its tx ring. The batch
+// dequeue amortizes mailbox locking exactly like writeLoop; each frame is
+// then a bounded number of memcpys into the ring with no syscall. When
+// the outbox closes the loop publishes a goodbye carrying the final tail
+// so the consumer can drain before treating the EOF as clean.
+func (f *Fabric) shmWriteLoop(p *peer) {
+	defer f.writers.Done()
+	const maxBatch = 64
+	batch := make([]fabric.Message, maxBatch)
+	var hdr [DataFrameOverhead]byte
+	for {
+		n, done := p.outbox.TryGetBatch(batch)
+		if n == 0 {
+			if done {
+				if !f.cancelled.Load() {
+					f.ringGoodbye(p)
+				}
+				return
+			}
+			p.idle.Store(true)
+			<-p.wake
+			p.idle.Store(false)
+			continue
+		}
+		var payloadBytes uint64
+		for i := 0; i < n; i++ {
+			w, err := batch[i].Payload.Wire()
+			if err != nil {
+				f.fail(fmt.Errorf("wire: rank %d -> %d: task %d payload: %w",
+					f.opt.Rank, p.rank, batch[i].Src, err))
+				releaseAll(batch[i:n])
+				clearMessages(batch[:n])
+				return
+			}
+			stampShmHeader(p, hdr[:], &batch[i], w)
+			if werr := f.ringWriteFrame(p, hdr[:], w); werr != nil {
+				undelivered := n - i + p.outbox.Len()
+				f.failPeer(p.rank, fmt.Errorf("wire: rank %d: ring write to rank %d: %d frame(s) undelivered: %w (%v)",
+					f.opt.Rank, p.rank, undelivered, ErrPeerLost, werr))
+				releaseAll(batch[i:n])
+				clearMessages(batch[:n])
+				return
+			}
+			payloadBytes += uint64(len(w))
+		}
+		releaseAll(batch[:n])
+		clearMessages(batch[:n])
+		f.messages.Add(uint64(n))
+		f.bytes.Add(payloadBytes)
+	}
+}
+
+// ringGoodbye sends the shm goodbye: an 8-byte body holding the tx ring's
+// final tail, so the consumer knows exactly how much to drain.
+func (f *Fabric) ringGoodbye(p *peer) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.saidGoodbye {
+		return
+	}
+	p.saidGoodbye = true
+	var b [frameHeaderSize + 8]byte
+	binary.LittleEndian.PutUint64(b[frameHeaderSize:], p.shm.tx.ptail)
+	p.conn.SetWriteDeadline(time.Now().Add(f.opt.HeartbeatTimeout))
+	p.conn.Write(finishFrame(b[:], frameGoodbye))
+}
+
+// ringReader adapts the rx ring to io.Reader with the spin-then-park wait
+// underneath, so readFrame/readDataBody decode ring frames through the
+// exact code path the socket tiers use — same CRC verification, same
+// arena buffers, same run-id demux fields.
+type ringReader struct {
+	f *Fabric
+	p *peer
+}
+
+func (r *ringReader) Read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	l := r.p.shm
+	for {
+		if n := l.rx.pop(b); n > 0 {
+			// If the remote producer stalled on a full ring, tell it space
+			// is free. The Load screens the common case so the hot path
+			// pays one read of an already-local cache line.
+			if l.rx.hdr.pwait.Load() != 0 && l.rx.hdr.pwait.Swap(0) == 1 {
+				r.f.ringDoorbell(r.p)
+			}
+			return n, nil
+		}
+		if err := r.wait(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// wait blocks until the rx ring is readable: spin, then park on the
+// doorbell socket. Returns errShmDeparted once the peer's goodbye has
+// been received and the ring drained to its final tail.
+func (r *ringReader) wait() error {
+	l := r.p.shm
+	for {
+		for spin := 0; spin < spinIters; spin++ {
+			if l.rx.readable() > 0 {
+				return nil
+			}
+			if spin&255 == 0 {
+				if l.finalSet.Load() && l.rx.chead == l.finalTail.Load() {
+					return errShmDeparted
+				}
+				if r.f.cancelled.Load() {
+					return errors.New("wire: cancelled")
+				}
+			}
+			if spin >= spinYieldFrom {
+				runtime.Gosched()
+			}
+		}
+		// Park: announce, re-check (the producer may have published between
+		// the last poll and the flag), then block on the socket.
+		l.rx.hdr.cwait.Store(1)
+		if l.rx.readable() > 0 {
+			l.rx.hdr.cwait.Store(0)
+			return nil
+		}
+		if err := r.parkOnSocket(); err != nil {
+			return err
+		}
+	}
+}
+
+// parkOnSocket blocks in a read on the pair's socket until any control
+// frame arrives, handling it: doorbells and heartbeats mean "re-check the
+// rings" (and may be relaying a pwait release for our producer side);
+// goodbye records the peer's final tail. This loop is the only reader of
+// the socket once the data phase starts.
+func (r *ringReader) parkOnSocket() error {
+	c := r.p.conn
+	l := r.p.shm
+	c.SetReadDeadline(time.Now().Add(r.f.opt.HeartbeatTimeout))
+	typ, n, crc, err := readFrame(c)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameDoorbell, frameHeartbeat:
+		if n != 0 {
+			return fmt.Errorf("wire: control frame with %d-byte body", n)
+		}
+		if err := verifyBody(typ, nil, crc); err != nil {
+			return err
+		}
+		// The doorbell does not say which direction it serves: poke our
+		// producer unconditionally (spurious pokes are one channel op) and
+		// let the caller re-check the rx ring.
+		select {
+		case l.space <- struct{}{}:
+		default:
+		}
+		return nil
+	case frameGoodbye:
+		if n != 8 {
+			return fmt.Errorf("wire: shm goodbye with %d-byte body", n)
+		}
+		var b [8]byte
+		if _, err := io.ReadFull(c, b[:]); err != nil {
+			return err
+		}
+		if err := verifyBody(typ, b[:], crc); err != nil {
+			return err
+		}
+		l.finalTail.Store(binary.LittleEndian.Uint64(b[:]))
+		l.finalSet.Store(true)
+		return nil
+	default:
+		return fmt.Errorf("wire: unexpected frame type %d on shm control socket", typ)
+	}
+}
+
+// frameBuffered reports whether a complete, well-formed data frame is
+// fully readable from the rx ring right now — the greedy-drain guard, so
+// later frames of a burst are decoded without ever blocking. A malformed
+// length returns false and lets the blocking path surface the corruption.
+func (l *shmLink) frameBuffered() bool {
+	var hdr [frameHeaderSize]byte
+	if l.rx.peek(hdr[:]) < frameHeaderSize {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n < 1 || n > maxFrameSize {
+		return false
+	}
+	return l.rx.readable() >= uint64(frameHeaderSize+n-1)
+}
+
+// readRingFrame decodes the next frame out of the ring, blocking through
+// rd. Everything except a CRC-clean data frame is a torn ring and wraps
+// ErrCorruptFrame — control frames never ride the ring.
+func (f *Fabric) readRingFrame(p *peer, rd *ringReader) (fabric.Message, error) {
+	// Fast path: the whole frame sits contiguous at the read cursor — the
+	// overwhelmingly common case, since a frame straddles the ring edge at
+	// most once per ring-size of traffic. Decode it in place. An empty ring
+	// waits here first, so latency-bound traffic (ring drained between
+	// messages) lands on this path too, not just bursts.
+	for {
+		v := p.shm.rx.view()
+		if len(v) >= frameHeaderSize {
+			l := int(binary.LittleEndian.Uint32(v[0:4]))
+			if l < 1 || l > maxFrameSize {
+				return fabric.Message{}, fmt.Errorf("%w: torn ring: %v: %d", ErrCorruptFrame, errFrameLength, l)
+			}
+			if total := frameHeaderSize + l - 1; len(v) >= total {
+				if v[4] != frameData {
+					return fabric.Message{}, fmt.Errorf("%w: torn ring: frame type %d", ErrCorruptFrame, v[4])
+				}
+				crc := binary.LittleEndian.Uint32(v[5:9])
+				m, err := f.decodeDataBytes(p, v[frameHeaderSize:total], crc)
+				if err != nil {
+					return fabric.Message{}, err
+				}
+				p.shm.rx.advance(total)
+				if h := p.shm.rx.hdr; h.pwait.Load() != 0 && h.pwait.Swap(0) == 1 {
+					f.ringDoorbell(p)
+				}
+				return m, nil
+			}
+			break // frame straddles the ring edge or is mid-push: stream it
+		}
+		if len(v) > 0 {
+			break // header straddles the ring edge: stream it
+		}
+		if err := rd.wait(); err != nil {
+			return fabric.Message{}, err
+		}
+	}
+	typ, n, crc, err := readFrame(rd)
+	if err != nil {
+		if errors.Is(err, errFrameLength) {
+			return fabric.Message{}, fmt.Errorf("%w: torn ring: %v", ErrCorruptFrame, err)
+		}
+		return fabric.Message{}, err
+	}
+	if typ != frameData {
+		return fabric.Message{}, fmt.Errorf("%w: torn ring: frame type %d", ErrCorruptFrame, typ)
+	}
+	return f.readDataBody(p, rd, n, crc)
+}
+
+// shmReadLoop consumes one shm peer's rx ring: data frames become local
+// mailbox deliveries with arena-backed payloads, drained greedily in
+// batches like the socket read loop. Control traffic is handled inside
+// the ring reader's park path.
+func (f *Fabric) shmReadLoop(p *peer) {
+	defer f.readers.Done()
+	const rxBatch = 64
+	rd := &ringReader{f: f, p: p}
+	batch := make([]fabric.Message, 0, rxBatch)
+	for {
+		m, err := f.readRingFrame(p, rd)
+		if err != nil {
+			if errors.Is(err, errShmDeparted) {
+				p.departed.Store(true)
+				return
+			}
+			if f.cancelled.Load() || p.departed.Load() {
+				return
+			}
+			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%w)", f.opt.Rank, p.rank, ErrPeerLost, err))
+			return
+		}
+		batch = append(batch[:0], m)
+		// Greedy drain: decode every data frame already complete in the
+		// ring — without blocking — so a burst is delivered under one
+		// mailbox lock.
+		var drainErr error
+		for len(batch) < rxBatch && p.shm.frameBuffered() {
+			m, err := f.readRingFrame(p, rd)
+			if err != nil {
+				drainErr = err
+				break
+			}
+			batch = append(batch, m)
+		}
+		if err := f.local.PutN(batch); err != nil {
+			clearMessages(batch)
+			return
+		}
+		clearMessages(batch)
+		if drainErr != nil {
+			if f.cancelled.Load() || p.departed.Load() {
+				return
+			}
+			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%w)", f.opt.Rank, p.rank, ErrPeerLost, drainErr))
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -103,18 +104,19 @@ func roundTrip(t *testing.T, fabrics []*Fabric) {
 	}
 }
 
-func TestTierAutoCoLocatedUsesUnix(t *testing.T) {
+func TestTierAutoCoLocatedUsesShm(t *testing.T) {
 	// All ranks share the real host identity, so TierAuto must put every
-	// pair — including rank 0's upgraded registration conns — on unix.
+	// pair — including rank 0's upgraded registration conns — on the
+	// shared-memory rings (shm > unix > tcp).
 	fabrics, errs := connectMeshWith(t, 3, nil)
 	requireMesh(t, fabrics, errs)
-	expectNetworks(t, fabrics, func(i, j int) string { return "unix" })
+	expectNetworks(t, fabrics, func(i, j int) string { return "shm" })
 	roundTrip(t, fabrics)
 }
 
 func TestTierAutoSplitHosts(t *testing.T) {
 	// Ranks 0 and 1 share host "a"; rank 2 lives on host "b". Only the 0-1
-	// pair may ride unix; every pair touching rank 2 stays TCP.
+	// pair may ride shared memory; every pair touching rank 2 stays TCP.
 	host := func(r int) string {
 		if r < 2 {
 			return "host-a"
@@ -125,7 +127,7 @@ func TestTierAutoSplitHosts(t *testing.T) {
 	requireMesh(t, fabrics, errs)
 	expectNetworks(t, fabrics, func(i, j int) string {
 		if host(i) == host(j) {
-			return "unix"
+			return "shm"
 		}
 		return "tcp"
 	})
@@ -167,6 +169,34 @@ func TestTierUnixRejectsCrossHost(t *testing.T) {
 	}
 }
 
+func TestTierShmStrict(t *testing.T) {
+	fabrics, errs := connectMeshWith(t, 3, func(r int, o *Options) { o.Tier = TierShm })
+	requireMesh(t, fabrics, errs)
+	expectNetworks(t, fabrics, func(i, j int) string { return "shm" })
+	roundTrip(t, fabrics)
+}
+
+func TestTierShmRejectsCrossHost(t *testing.T) {
+	_, errs := connectMeshWith(t, 2, func(r int, o *Options) {
+		o.Tier = TierShm
+		if r == 1 {
+			o.HostID = "elsewhere"
+		}
+	})
+	failed := false
+	for _, err := range errs {
+		if err != nil {
+			failed = true
+			if !errors.Is(err, ErrHandshake) {
+				t.Fatalf("cross-host tier shm failed with %v, want ErrHandshake", err)
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("tier shm bootstrapped across distinct host identities")
+	}
+}
+
 func TestTierMismatchRejected(t *testing.T) {
 	_, errs := connectMeshWith(t, 2, func(r int, o *Options) {
 		if r == 1 {
@@ -185,16 +215,23 @@ func TestTierMismatchRejected(t *testing.T) {
 }
 
 func TestParseTier(t *testing.T) {
-	for s, want := range map[string]Tier{"": TierAuto, "auto": TierAuto, "tcp": TierTCP, "unix": TierUnix} {
+	for s, want := range map[string]Tier{"": TierAuto, "auto": TierAuto, "tcp": TierTCP, "unix": TierUnix, "shm": TierShm} {
 		got, err := ParseTier(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseTier(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := ParseTier("carrier-pigeon"); err == nil {
+	_, err := ParseTier("carrier-pigeon")
+	if err == nil {
 		t.Fatal("ParseTier accepted nonsense")
 	}
-	for _, tier := range []Tier{TierAuto, TierTCP, TierUnix} {
+	// The refusal names every valid tier, so a typo'd flag is self-healing.
+	for _, name := range []string{"auto", "tcp", "unix", "shm"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-tier error %q does not mention %q", err, name)
+		}
+	}
+	for _, tier := range []Tier{TierAuto, TierTCP, TierUnix, TierShm} {
 		back, err := ParseTier(tier.String())
 		if err != nil || back != tier {
 			t.Fatalf("round-trip %v: %v, %v", tier, back, err)

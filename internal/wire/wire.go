@@ -16,13 +16,15 @@
 // a corrupted dataflow.
 //
 // Transport tiers: each rank advertises a host identity alongside its TCP
-// data address, plus a unix-domain data listener when the tier allows one.
-// Under TierAuto (the default) a pair of co-located ranks — matching host
-// identities — connects over the unix socket, roughly halving small-message
-// round-trip latency, while cross-host pairs stay on TCP; the framing, CRC
-// protection, heartbeats and fault-injection hooks are identical on both.
-// TierTCP forces TCP everywhere; TierUnix requires every pair to be
-// co-located and fails the bootstrap otherwise.
+// data address, plus a unix-domain data listener and a shared-memory ring
+// directory when the tier allows them. Under TierAuto (the default) a pair
+// of co-located ranks — matching host identities — negotiates a mmap'd
+// SPSC ring pair (shmpeer.go) and moves data frames through shared memory
+// with zero syscalls, falling back to the unix socket when a region cannot
+// be mapped, while cross-host pairs stay on TCP; the framing, CRC
+// protection and heartbeats are identical on every tier. TierTCP forces
+// TCP everywhere; TierUnix and TierShm require every pair to be co-located
+// and fail the bootstrap otherwise.
 //
 // Data path: frames are length-prefixed (frame.go). Each peer has an
 // unbounded outbox (the same pooled ring-buffer mailbox the in-memory
@@ -77,8 +79,9 @@ var (
 type Tier int
 
 const (
-	// TierAuto picks per pair: a unix-domain socket when both ranks share a
-	// host identity (and could open one), TCP otherwise.
+	// TierAuto picks the fastest workable transport per pair: a
+	// shared-memory ring when both ranks are co-located and can map one, a
+	// unix-domain socket when merely co-located, TCP otherwise.
 	TierAuto Tier = iota
 	// TierTCP forces TCP for every pair — the pre-tier behavior.
 	TierTCP
@@ -86,9 +89,17 @@ const (
 	// fails if any two ranks are not co-located or a socket cannot be
 	// opened.
 	TierUnix
+	// TierShm requires a shared-memory ring pair for every pair: data
+	// frames move through a lock-free mmap'd SPSC ring with zero syscalls
+	// and zero copies out of the arena, with the companion unix socket
+	// carrying only doorbells, heartbeats and goodbyes. The bootstrap
+	// fails if any two ranks are not co-located or a region cannot be
+	// mapped.
+	TierShm
 )
 
-// ParseTier converts a flag/config string ("auto", "tcp", "unix") to a Tier.
+// ParseTier converts a flag/config string ("auto", "tcp", "unix", "shm")
+// to a Tier.
 func ParseTier(s string) (Tier, error) {
 	switch s {
 	case "", "auto":
@@ -97,8 +108,10 @@ func ParseTier(s string) (Tier, error) {
 		return TierTCP, nil
 	case "unix":
 		return TierUnix, nil
+	case "shm":
+		return TierShm, nil
 	}
-	return TierAuto, fmt.Errorf("wire: unknown transport tier %q (want auto, tcp or unix)", s)
+	return TierAuto, fmt.Errorf("wire: unknown transport tier %q (want auto, tcp, unix or shm)", s)
 }
 
 func (t Tier) String() string {
@@ -109,9 +122,14 @@ func (t Tier) String() string {
 		return "tcp"
 	case TierUnix:
 		return "unix"
+	case TierShm:
+		return "shm"
 	}
 	return fmt.Sprintf("tier(%d)", int(t))
 }
+
+// sameHostOnly reports whether the tier refuses cross-host pairs.
+func (t Tier) sameHostOnly() bool { return t == TierUnix || t == TierShm }
 
 // Options configures Connect.
 type Options struct {
@@ -137,11 +155,18 @@ type Options struct {
 	// HeartbeatTimeout is how long a connection may stay silent before its
 	// peer is declared lost. Default 4 * HeartbeatInterval.
 	HeartbeatTimeout time.Duration
-	// Tier selects the data-connection transport: TierAuto (default) uses
-	// unix-domain sockets between co-located ranks and TCP across hosts,
-	// TierTCP forces TCP, TierUnix requires same-host placement. All ranks
-	// must agree; the handshake rejects tier mismatches.
+	// Tier selects the data-connection transport: TierAuto (default)
+	// prefers shared-memory rings between co-located ranks, then
+	// unix-domain sockets, then TCP across hosts; TierTCP forces TCP,
+	// TierUnix and TierShm require same-host placement. All ranks must
+	// agree; the handshake rejects tier mismatches.
 	Tier Tier
+	// ShmRingBytes is the per-direction capacity of each pair's
+	// shared-memory ring, rounded up to a power of two, minimum 4 KiB.
+	// Default 1 MiB. Frames larger than the ring stream through it in
+	// chunks; small rings are mainly a test hook for wrap/backpressure
+	// coverage.
+	ShmRingBytes int
 	// HostID overrides the host identity advertised during bootstrap, used
 	// by TierAuto to detect co-location. Empty means the real identity
 	// (hostname plus boot id); tests set distinct values to simulate
@@ -170,9 +195,19 @@ func (o *Options) setDefaults() error {
 	if o.Addr == "" && o.Listener == nil {
 		return fmt.Errorf("wire: rendezvous address required")
 	}
-	if o.Tier < TierAuto || o.Tier > TierUnix {
+	if o.Tier < TierAuto || o.Tier > TierShm {
 		return fmt.Errorf("wire: invalid transport tier %d", int(o.Tier))
 	}
+	if o.ShmRingBytes <= 0 {
+		o.ShmRingBytes = defaultShmRingBytes
+	}
+	// Round up to a power of two (the ring masks cursors), at least the
+	// minimum that fits one maximum inline frame.
+	n := minShmRingBytes
+	for n < o.ShmRingBytes {
+		n <<= 1
+	}
+	o.ShmRingBytes = n
 	if o.HostID == "" {
 		o.HostID = defaultHostID()
 	}
@@ -218,6 +253,11 @@ type peer struct {
 	ihdr [DataFrameOverhead]byte
 
 	departed atomic.Bool // peer sent goodbye; EOF is now clean
+
+	// shm, when non-nil, is this pair's shared-memory ring link: data
+	// frames move through the mapped rings and the socket above carries
+	// only doorbells, heartbeats and goodbyes.
+	shm *shmLink
 }
 
 // poke wakes the peer's writer if it is parked. The channel has capacity
@@ -265,10 +305,11 @@ func Connect(opt Options) (*Fabric, error) {
 		peers: make([]*peer, opt.Ranks),
 		done:  make(chan struct{}),
 	}
-	conns, err := bootstrap(opt)
+	conns, regs, err := bootstrap(opt)
 	if err != nil {
 		return nil, err
 	}
+	anyShm := false
 	for r, c := range conns {
 		if c == nil {
 			continue
@@ -285,27 +326,68 @@ func Connect(opt Options) (*Fabric, error) {
 			p.vectored = true
 		}
 		p.lastWrite.Store(time.Now().UnixNano())
+		if regs != nil && regs[r] != nil {
+			p.shm = newShmLink(regs[r])
+			anyShm = true
+		}
 		f.peers[r] = p
 		f.writers.Add(1)
-		go f.writeLoop(p)
 		f.readers.Add(1)
-		go f.readLoop(p)
+		if p.shm != nil {
+			go f.shmWriteLoop(p)
+			go f.shmReadLoop(p)
+		} else {
+			go f.writeLoop(p)
+			go f.readLoop(p)
+		}
 	}
 	go f.heartbeatLoop()
+	if anyShm {
+		// Unmapping a region while any goroutine can still touch its rings
+		// would be a fault, so the reaper waits for every loop to exit and
+		// the fabric to be done before releasing the mappings.
+		go func() {
+			f.writers.Wait()
+			f.readers.Wait()
+			<-f.done
+			for _, p := range f.peers {
+				if p != nil && p.shm != nil {
+					p.shm.region.close()
+				}
+			}
+		}()
+	}
 	return f, nil
 }
 
 // Ranks implements fabric.Transport.
 func (f *Fabric) Ranks() int { return f.opt.Ranks }
 
-// PeerNetwork reports the network ("tcp", "unix") carrying the connection
-// to rank, or "" for the local rank — the observable outcome of the tier
-// selection, for tests and benchmarks.
+// PeerNetwork reports the network ("tcp", "unix", "shm") carrying data
+// frames to rank, or "" for the local rank — the observable outcome of the
+// tier selection, for tests, benchmarks and the serve metrics endpoint.
 func (f *Fabric) PeerNetwork(rank int) string {
 	if rank < 0 || rank >= f.opt.Ranks || f.peers[rank] == nil {
 		return ""
 	}
+	if f.peers[rank].shm != nil {
+		return "shm"
+	}
 	return f.peers[rank].conn.LocalAddr().Network()
+}
+
+// CorruptNextShmFrame arms a one-shot fault injection on the shm link to
+// peerRank: the next data frame written into the ring is stamped with a
+// deliberately wrong CRC, so the receiver decodes it as a torn ring
+// (ErrCorruptFrame) and declares this peer lost — the shm analogue of the
+// conformance suite's socket bit-flip injector, which cannot reach ring
+// traffic through WrapConn. Returns false when the pair has no shm link.
+func (f *Fabric) CorruptNextShmFrame(peerRank int) bool {
+	if peerRank < 0 || peerRank >= f.opt.Ranks || f.peers[peerRank] == nil || f.peers[peerRank].shm == nil {
+		return false
+	}
+	f.peers[peerRank].shm.corrupt.Store(true)
+	return true
 }
 
 // LocalRank returns the rank this fabric instance serves.
@@ -327,7 +409,11 @@ func (f *Fabric) Send(m fabric.Message) error {
 		return nil
 	}
 	p := f.peers[m.To]
-	if f.sendDirect(p, m) {
+	if p.shm != nil {
+		if f.sendDirectShm(p, m) {
+			return nil
+		}
+	} else if f.sendDirect(p, m) {
 		return nil
 	}
 	if err := p.outbox.Put(m); err != nil {
@@ -891,6 +977,27 @@ func (f *Fabric) readDataBody(p *peer, br io.Reader, n int, crc uint32) (fabric.
 	return fabric.Message{
 		From: p.rank, To: f.opt.Rank, Src: src, Dest: dest,
 		Run: run, Seq: seq, Attempt: attempt,
+		Payload: core.Buffer(payload),
+	}, nil
+}
+
+// decodeDataBytes is readDataBody over an in-memory body — the shm ring's
+// in-place fast path. Semantics are identical: same CRC coverage, same
+// arena-backed payload, same message fields.
+func (f *Fabric) decodeDataBytes(p *peer, body []byte, crc uint32) (fabric.Message, error) {
+	if len(body) < dataHeaderSize {
+		return fabric.Message{}, fmt.Errorf("wire: data frame of %d bytes", len(body))
+	}
+	if got := crc32.Checksum(body, castagnoli); got != crc {
+		return fabric.Message{}, fmt.Errorf("%w: data frame src %d dest %d, crc %08x != header %08x",
+			ErrCorruptFrame, le64(body[0:]), le64(body[8:]), got, crc)
+	}
+	payload := core.GrabBuffer(len(body) - dataHeaderSize)
+	copy(payload, body[dataHeaderSize:])
+	return fabric.Message{
+		From: p.rank, To: f.opt.Rank,
+		Src: core.TaskId(le64(body[0:])), Dest: core.TaskId(le64(body[8:])),
+		Run: le64(body[16:]), Seq: le64(body[24:]), Attempt: le32(body[32:]),
 		Payload: core.Buffer(payload),
 	}, nil
 }
