@@ -1,14 +1,22 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-fastpath bench-wire bench-sched bench-faults bench-journal bench-serve figures smoke-wire smoke-faults smoke-resume smoke-serve fuzz-wire perf-smoke
+.PHONY: check build vet test race deprecations bench-fastpath bench-wire bench-sched bench-faults bench-journal bench-serve bench-iterate figures smoke-wire smoke-faults smoke-resume smoke-serve smoke-iterate fuzz-wire perf-smoke
 
-## check: the CI gate — vet, build, the full test suite under the race
-## detector, the fault-injection smoke (kill one peer, recover, verify the
-## sinks against serial), the resume smoke (kill every rank, restart
-## from the journals, verify the sinks against serial) and the service
-## smoke (bfserve on a loopback port, the three use cases submitted over
-## HTTP, digests verified, drained).
-check: vet build race smoke-faults smoke-resume smoke-serve
+## check: the CI gate — vet, the deprecation sweep, build, the full test
+## suite under the race detector, the fault-injection smoke (kill one
+## peer, recover, verify the sinks against serial), the resume smoke
+## (kill every rank, restart from the journals, verify the sinks against
+## serial), the service smoke (bfserve on a loopback port, the use cases
+## submitted over HTTP, digests verified, drained) and the iterative-loop
+## smoke (register-iter over 4 real processes on the shm tier, plus a
+## kill-all/resume cycle mid-iteration).
+check: vet deprecations build race smoke-faults smoke-resume smoke-serve smoke-iterate
+
+## deprecations: the API-freshness gate — after the functional-options
+## migration no deprecated symbol may remain (or be newly introduced).
+deprecations:
+	@! grep -rn "Deprecated:" --include='*.go' . || \
+		(echo "deprecations: deprecated symbols remain (listed above)"; exit 1)
 
 build:
 	$(GO) build ./...
@@ -96,6 +104,25 @@ smoke-serve:
 ## baseline_seed preserved).
 bench-serve:
 	$(GO) run ./cmd/bfbench -serve
+
+## smoke-iterate: run the iterative registration refinement loop
+## (core.Iterate) across 4 real worker processes on the shared-memory
+## tier, verifying the converged sinks against the serial reference, then
+## kill EVERY rank of a journaled run mid-iteration and resume it —
+## replayed loop state must splice with live execution to the same bytes.
+smoke-iterate:
+	$(GO) build -o bin/bfrun ./cmd/bfrun
+	./bin/bfrun -case register-iter -runtime mpi -transport tcp -ranks 4 -wire-tier shm
+	@set -e; dir=$$(mktemp -d); \
+	./bin/bfrun -case register-iter -journal $$dir -kill-all-after 1 -ranks 4; \
+	./bin/bfrun -case register-iter -resume $$dir -ranks 4; \
+	rm -rf $$dir
+
+## bench-iterate: regenerate the loop-combinator benchmark report — a
+## K-iteration chain under core.Iterate vs the same chain hand-unrolled
+## into a static DAG (BENCH_iterate.json; baseline_seed preserved).
+bench-iterate:
+	$(GO) run ./cmd/bfbench -iterate
 
 ## fuzz-wire: short fuzz smoke of the wire frame decoder (longer runs:
 ## go test -fuzz=FuzzFrameDecode ./internal/wire).

@@ -200,15 +200,63 @@ func NewNeighbor2D(w, h int) (*Neighbor2D, error) {
 // NewGraphBuilder returns an empty graph-composition builder.
 func NewGraphBuilder() *GraphBuilder { return graphs.NewBuilder() }
 
-// Runtime controllers.
+// SubGraph is a fluent handle on one sub-graph staged in a GraphBuilder;
+// obtain one with Builder.Sub and optionally wrap it in a convergence loop
+// with its Iterate method.
+type SubGraph = graphs.Sub
 
-// MPIOptions configures the MPI controller.
-//
-// Deprecated: prefer the functional options (WithWorkers, WithRetry,
-// WithTransport, …). MPIOptions itself implements MPIOption — replacing the
-// whole configuration — so existing NewMPI(MPIOptions{...}) call sites keep
-// working.
-type MPIOptions = mpi.Options
+// Iterative dataflow.
+
+// IterativeGraph is a convergence loop unrolled into a static DAG; it runs
+// on every controller and transport tier unchanged. Build one with Iterate
+// (or Builder.Sub(...).Iterate when composing), register its synthetic
+// decision callback via RegisterDecision, and decode the converged sinks of
+// a run with Final.
+type IterativeGraph = core.IterativeGraph
+
+// ConvergencePredicate decides, after each iteration of an iterative graph,
+// whether the loop has converged; it receives the gated sink payloads keyed
+// by body-local task id.
+type ConvergencePredicate = core.ConvergencePredicate
+
+// IterOption configures Iterate; see WithMaxIterations, WithGate, WithCarry.
+type IterOption = core.IterOption
+
+// Iterate unrolls a convergence loop over the body graph: each iteration
+// re-flows the body, a synthetic per-iteration decision task runs pred over
+// the gated sink payloads, and the loop stops when pred holds (or at the
+// iteration bound). Feedback edges are declared with WithGate/WithCarry and
+// must cover every external input of the body.
+func Iterate(body TaskGraph, pred ConvergencePredicate, opts ...IterOption) (*IterativeGraph, error) {
+	return core.Iterate(body, pred, opts...)
+}
+
+// WithMaxIterations bounds the loop at n iterations (default
+// core.DefaultMaxIterations); the final iteration drains its state even if
+// the predicate never held.
+func WithMaxIterations(n int) IterOption { return core.MaxIterations(n) }
+
+// WithGate declares a predicate-visible feedback edge: the sink payload of
+// (from, fromSlot) feeds (to, toSlot) in the next iteration, is visible to
+// the convergence predicate, and becomes a final sink on convergence.
+func WithGate(from TaskId, fromSlot int, to TaskId, toSlot int) IterOption {
+	return core.Gate(from, fromSlot, to, toSlot)
+}
+
+// WithCarry declares a pass-through feedback edge for loop-invariant state,
+// skipping the decision task and the predicate.
+func WithCarry(from TaskId, fromSlot int, to TaskId, toSlot int) IterOption {
+	return core.Carry(from, fromSlot, to, toSlot)
+}
+
+// NewIterativeMap places an unrolled iterative graph onto shards with
+// iteration-stable placement: each body task keeps its shard across
+// iterations and the decision tasks rotate.
+func NewIterativeMap(shardCount int, g *IterativeGraph) TaskMap {
+	return core.NewIterativeMap(shardCount, g)
+}
+
+// Runtime controllers.
 
 // MPIOption configures the MPI controller at construction; see WithWorkers,
 // WithRetry, WithTransport, WithObserver.
@@ -227,6 +275,23 @@ func WithTransport(t mpi.TransportFactory) MPIOption { return mpi.WithTransport(
 
 // WithObserver installs the execution observer.
 func WithObserver(obs Observer) MPIOption { return mpi.WithObserver(obs) }
+
+// WithInline selects inline (single-threaded, no worker pool) execution.
+func WithInline(inline bool) MPIOption { return mpi.WithInline(inline) }
+
+// WithFIFO selects arrival-order dispatch instead of most-critical-first.
+func WithFIFO(fifo bool) MPIOption { return mpi.WithFIFO(fifo) }
+
+// WithBlocking switches the fabric to rendezvous sends, modeling blocking
+// MPI communication.
+func WithBlocking(blocking bool) MPIOption { return mpi.WithBlocking(blocking) }
+
+// WithNoSteal disables work stealing between ranks.
+func WithNoSteal(noSteal bool) MPIOption { return mpi.WithNoSteal(noSteal) }
+
+// WithAlwaysSerialize forces every payload through its wire form even for
+// rank-local deliveries, proving serialization round-trips are lossless.
+func WithAlwaysSerialize(always bool) MPIOption { return mpi.WithAlwaysSerialize(always) }
 
 // SyncPolicy selects when a lineage journal fsyncs: SyncEveryRecord
 // (default, crash-durable), SyncOnRotate, SyncNever, or SyncGroupCommit
@@ -296,9 +361,6 @@ func NewSerial() Controller { return core.NewSerial() }
 // functional options applied left to right:
 //
 //	babelflow.NewMPI(babelflow.WithWorkers(8), babelflow.WithRetry(policy))
-//
-// The legacy struct form NewMPI(babelflow.MPIOptions{...}) remains valid
-// (the struct implements MPIOption).
 func NewMPI(opts ...MPIOption) Controller { return mpi.New(opts...) }
 
 // NewCharm returns the Charm++ runtime controller (§IV-B).
@@ -328,9 +390,10 @@ type InSituGroup = mpi.Group
 type InSituShard = mpi.Shard
 
 // NewInSituGroup prepares an in-situ MPI execution over the task map's
-// shards; obtain per-rank handles with Shard and call Run concurrently.
-func NewInSituGroup(g TaskGraph, m TaskMap, opt MPIOptions) (*InSituGroup, error) {
-	return mpi.NewGroup(g, m, opt)
+// shards; obtain per-rank handles with Shard and call Run concurrently. The
+// options follow NewMPI.
+func NewInSituGroup(g TaskGraph, m TaskMap, opts ...MPIOption) (*InSituGroup, error) {
+	return mpi.NewGroup(g, m, opts...)
 }
 
 // TraceRecorder records per-task execution spans; wrap callbacks with

@@ -30,7 +30,7 @@ func sum(in []babelflow.Payload, id babelflow.TaskId) ([]babelflow.Payload, erro
 func TestListing1Pattern(t *testing.T) {
 	controllers := map[string]func(g babelflow.TaskGraph) babelflow.Controller{
 		"serial": func(babelflow.TaskGraph) babelflow.Controller { return babelflow.NewSerial() },
-		"mpi":    func(babelflow.TaskGraph) babelflow.Controller { return babelflow.NewMPI(babelflow.MPIOptions{}) },
+		"mpi":    func(babelflow.TaskGraph) babelflow.Controller { return babelflow.NewMPI() },
 		"charm": func(babelflow.TaskGraph) babelflow.Controller {
 			return babelflow.NewCharm(babelflow.CharmOptions{PEs: 3})
 		},
@@ -149,7 +149,7 @@ func TestFacadeInSituAndTrace(t *testing.T) {
 	m := babelflow.NewModuloMap(2, graph.Size())
 
 	rec := babelflow.NewTraceRecorder()
-	group, err := babelflow.NewInSituGroup(graph, m, babelflow.MPIOptions{Observer: rec})
+	group, err := babelflow.NewInSituGroup(graph, m, babelflow.WithObserver(rec))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,7 +139,7 @@ func BenchmarkFanOutRouting(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := babelflow.NewMPI(babelflow.MPIOptions{})
+		c := babelflow.NewMPI()
 		if err := c.Initialize(graph, taskMap); err != nil {
 			b.Fatal(err)
 		}

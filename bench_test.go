@@ -108,7 +108,7 @@ func BenchmarkFig04_FeatureExtraction(b *testing.B) {
 	cfg := mergetree.Config{Decomp: decomp, Threshold: 0.3}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := babelflow.NewMPI(babelflow.MPIOptions{})
+		c := babelflow.NewMPI()
 		if err := c.Initialize(graph, babelflow.NewGraphMap(4, graph)); err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func BenchmarkFig10d_CompositeImage(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := babelflow.NewMPI(babelflow.MPIOptions{})
+		c := babelflow.NewMPI()
 		c.Initialize(graph, babelflow.NewModuloMap(4, graph.Size()))
 		if err := cfg.RegisterReduction(c, graph); err != nil {
 			b.Fatal(err)
@@ -213,7 +213,7 @@ func BenchmarkAblation_InMemoryMessages(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c := babelflow.NewMPI(babelflow.MPIOptions{AlwaysSerialize: serialize})
+				c := babelflow.NewMPI(babelflow.WithAlwaysSerialize(serialize))
 				c.Initialize(graph, babelflow.NewGraphMap(1, graph))
 				cfg.Register(c, graph)
 				initial, _ := cfg.InitialInputs(field, graph)
@@ -321,7 +321,7 @@ func BenchmarkControllers_Reduction(b *testing.B) {
 		build func() babelflow.Controller
 	}{
 		{"serial", func() babelflow.Controller { return babelflow.NewSerial() }},
-		{"mpi", func() babelflow.Controller { return babelflow.NewMPI(babelflow.MPIOptions{}) }},
+		{"mpi", func() babelflow.Controller { return babelflow.NewMPI() }},
 		{"charm", func() babelflow.Controller { return babelflow.NewCharm(babelflow.CharmOptions{PEs: 4}) }},
 		{"legion-spmd", func() babelflow.Controller { return babelflow.NewLegionSPMD(babelflow.LegionOptions{}) }},
 		{"legion-il", func() babelflow.Controller { return babelflow.NewLegionIndexLaunch(babelflow.LegionOptions{}) }},

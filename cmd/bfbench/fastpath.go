@@ -141,7 +141,7 @@ func benchFanOutRouting(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := babelflow.NewMPI(babelflow.MPIOptions{})
+		c := babelflow.NewMPI()
 		if err := c.Initialize(graph, taskMap); err != nil {
 			panic(err)
 		}

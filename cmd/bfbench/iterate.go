@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+// The iterate mode prices the loop combinator: the same K-times-repeated
+// chain of tasks is executed once as a core.Iterate unroll (per-iteration
+// synthetic decision task, conditional fan-out, predicate evaluation) and
+// once as a hand-unrolled static DAG with the iterations wired directly.
+// The predicate never converges, so the iterative run pays the full
+// decision machinery on every iteration — the worst case. The difference
+// divided by the iteration count is the per-iteration dispatch overhead;
+// BENCH_iterate.json records it per workload and it is expected to stay
+// within 15% of the static unroll.
+
+// iterBenchCB is the pass-through callback id shared by both variants.
+const iterBenchCB core.CallbackId = 1
+
+// iterResult is one workload's measurement.
+type iterResult struct {
+	// IterateMs is the mean wall clock of running the core.Iterate unroll.
+	IterateMs float64 `json:"iterate_ms"`
+	// StaticMs is the mean wall clock of the hand-unrolled static DAG.
+	StaticMs float64 `json:"static_ms"`
+	// PerIterOverheadMs is (IterateMs - StaticMs) / Iterations.
+	PerIterOverheadMs float64 `json:"per_iteration_overhead_ms"`
+	// OverheadPct is 100 * (IterateMs - StaticMs) / StaticMs.
+	OverheadPct float64 `json:"overhead_pct"`
+	Iterations  int     `json:"iterations"`
+	BodyTasks   int     `json:"body_tasks"`
+}
+
+// chainBody builds a body graph of length tasks in a line: external input
+// into task 0, task j feeding j+1, the last task a sink (the gate source).
+func chainBody(length int) *core.ExplicitGraph {
+	tasks := make([]core.Task, length)
+	for j := 0; j < length; j++ {
+		t := core.Task{Id: core.TaskId(j), Callback: iterBenchCB}
+		if j == 0 {
+			t.Incoming = []core.TaskId{core.ExternalInput}
+		} else {
+			t.Incoming = []core.TaskId{core.TaskId(j - 1)}
+		}
+		if j == length-1 {
+			t.Outgoing = [][]core.TaskId{nil}
+		} else {
+			t.Outgoing = [][]core.TaskId{{core.TaskId(j + 1)}}
+		}
+		tasks[j] = t
+	}
+	return core.NewExplicitGraph(tasks)
+}
+
+// staticUnroll builds the hand-unrolled equivalent of iterating the chain
+// iters times: copy k's last task feeds copy k+1's first task directly,
+// with no decision tasks in between.
+func staticUnroll(length, iters int) *core.ExplicitGraph {
+	tasks := make([]core.Task, 0, length*iters)
+	for k := 0; k < iters; k++ {
+		for j := 0; j < length; j++ {
+			id := core.TaskId(k*length + j)
+			t := core.Task{Id: id, Callback: iterBenchCB}
+			if k == 0 && j == 0 {
+				t.Incoming = []core.TaskId{core.ExternalInput}
+			} else {
+				t.Incoming = []core.TaskId{id - 1}
+			}
+			if k == iters-1 && j == length-1 {
+				t.Outgoing = [][]core.TaskId{nil}
+			} else {
+				t.Outgoing = [][]core.TaskId{{id + 1}}
+			}
+			tasks = append(tasks, t)
+		}
+	}
+	return core.NewExplicitGraph(tasks)
+}
+
+// passCallback copies its input forward, bumping the first byte so every
+// hop does a little real work.
+func passCallback(in []core.Payload, _ core.TaskId) ([]core.Payload, error) {
+	b := make([]byte, len(in[0].Data))
+	copy(b, in[0].Data)
+	b[0]++
+	return []core.Payload{core.Buffer(b)}, nil
+}
+
+// runGraph executes one cold run (controller per run, like a bfrun
+// invocation) and releases the sinks.
+func runGraph(g core.TaskGraph, m core.TaskMap, reg func(core.CallbackRegistrar) error) error {
+	ctrl := mpi.New(mpi.WithWorkers(4))
+	if err := ctrl.Initialize(g, m); err != nil {
+		return err
+	}
+	if err := reg(ctrl); err != nil {
+		return err
+	}
+	out, err := ctrl.Run(map[core.TaskId][]core.Payload{0: {core.Buffer(make([]byte, 64))}})
+	if err != nil {
+		return err
+	}
+	for _, ps := range out {
+		for _, p := range ps {
+			p.Release()
+		}
+	}
+	return nil
+}
+
+// measureIterate times both variants of one workload.
+func measureIterate(length, loops, iters int) (iterResult, error) {
+	never := func(int, map[core.TaskId][]core.Payload) (bool, error) { return false, nil }
+	ig, err := core.Iterate(chainBody(length), never,
+		core.MaxIterations(loops), core.Gate(core.TaskId(length-1), 0, 0, 0))
+	if err != nil {
+		return iterResult{}, err
+	}
+	im := core.NewIterativeMap(4, ig)
+	iterReg := func(c core.CallbackRegistrar) error {
+		if err := c.RegisterCallback(iterBenchCB, passCallback); err != nil {
+			return err
+		}
+		return ig.RegisterDecision(c)
+	}
+	sg := staticUnroll(length, loops)
+	sm := core.NewGraphMap(4, sg)
+	staticReg := func(c core.CallbackRegistrar) error {
+		return c.RegisterCallback(iterBenchCB, passCallback)
+	}
+
+	// Interleave the variants so clock drift and background noise hit both.
+	var iterate, static time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := runGraph(ig, im, iterReg); err != nil {
+			return iterResult{}, fmt.Errorf("iterate: %w", err)
+		}
+		iterate += time.Since(start)
+		start = time.Now()
+		if err := runGraph(sg, sm, staticReg); err != nil {
+			return iterResult{}, fmt.Errorf("static: %w", err)
+		}
+		static += time.Since(start)
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 / float64(iters) }
+	res := iterResult{
+		IterateMs:  ms(iterate),
+		StaticMs:   ms(static),
+		Iterations: loops,
+		BodyTasks:  length,
+	}
+	res.PerIterOverheadMs = (res.IterateMs - res.StaticMs) / float64(loops)
+	res.OverheadPct = 100 * (res.IterateMs - res.StaticMs) / res.StaticMs
+	return res, nil
+}
+
+// runIterateBench measures the loop-combinator benchmarks and rewrites the
+// JSON report at path, preserving an existing baseline_seed section.
+func runIterateBench(path string) error {
+	workloads := []struct {
+		name          string
+		length, loops int
+		iters         int
+	}{
+		{"chain-16x8", 16, 8, 150},
+		{"chain-64x8", 64, 8, 60},
+		{"chain-16x32", 16, 32, 40},
+	}
+	current := make(map[string]iterResult, len(workloads))
+	for _, w := range workloads {
+		res, err := measureIterate(w.length, w.loops, w.iters)
+		if err != nil {
+			return fmt.Errorf("bfbench: %s: %w", w.name, err)
+		}
+		current[w.name] = res
+		fmt.Printf("%-12s iterate %8.3f ms  static %8.3f ms  per-iteration overhead %7.4f ms (%+.1f%%)\n",
+			w.name, res.IterateMs, res.StaticMs, res.PerIterOverheadMs, res.OverheadPct)
+	}
+
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bfbench: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	cur, err := json.Marshal(current)
+	if err != nil {
+		return err
+	}
+	report["current"] = cur
+	if _, ok := report["baseline_seed"]; !ok {
+		report["baseline_seed"] = cur
+	}
+	note, _ := json.Marshal(fmt.Sprintf(
+		"Loop-combinator overhead: mean wall clock of a K-iteration chain executed as a core.Iterate unroll (synthetic decision task, conditional routing and predicate per iteration; the predicate never converges, so every iteration pays full price) vs the same chain hand-unrolled into a static DAG, on the MPI controller with 4 workers. per_iteration_overhead_ms is the decision machinery's cost per loop; overhead_pct is expected to stay within 15%% of the static unroll. Measured %s. Regenerate current with: go run ./cmd/bfbench -iterate",
+		time.Now().Format("2006-01-02")))
+	report["note"] = note
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

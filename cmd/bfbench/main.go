@@ -39,6 +39,8 @@ func main() {
 		jnlOut      = flag.String("journal-out", "BENCH_journal.json", "report path for -journal (baseline_seed is preserved)")
 		serveBench  = flag.Bool("serve", false, "run the resident-service benchmarks (warm submit vs one-shot, sustained throughput) instead of the figures")
 		serveOut    = flag.String("serve-out", "BENCH_serve.json", "report path for -serve (baseline_seed is preserved)")
+		iterBench   = flag.Bool("iterate", false, "run the loop-combinator benchmarks (core.Iterate unroll vs hand-unrolled static DAG) instead of the figures")
+		iterOut     = flag.String("iterate-out", "BENCH_iterate.json", "report path for -iterate (baseline_seed is preserved)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,12 @@ func main() {
 	}
 	if *serveBench {
 		if err := runServeBench(*serveOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *iterBench {
+		if err := runIterateBench(*iterOut); err != nil {
 			log.Fatal(err)
 		}
 		return

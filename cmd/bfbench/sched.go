@@ -47,11 +47,11 @@ const (
 // schedModes are the compared dispatch disciplines.
 var schedModes = []struct {
 	name string
-	opt  mpi.Options
+	opt  []mpi.Option
 }{
-	{"fifo", mpi.Options{Workers: schedWorkers, FIFO: true, NoSteal: true}},
-	{"priority", mpi.Options{Workers: schedWorkers, NoSteal: true}},
-	{"priority_steal", mpi.Options{Workers: schedWorkers}},
+	{"fifo", []mpi.Option{mpi.WithWorkers(schedWorkers), mpi.WithFIFO(true), mpi.WithNoSteal(true)}},
+	{"priority", []mpi.Option{mpi.WithWorkers(schedWorkers), mpi.WithNoSteal(true)}},
+	{"priority_steal", []mpi.Option{mpi.WithWorkers(schedWorkers)}},
 }
 
 // schedExternalInputs synthesizes one small payload per external slot.
@@ -71,7 +71,7 @@ func schedExternalInputs(g core.TaskGraph) map[core.TaskId][]core.Payload {
 // schedMakespan runs the workload once per rep under the given options and
 // returns the best wall-clock seconds (min over reps rejects scheduling
 // noise from the host OS).
-func schedMakespan(w sim.Workload, opt mpi.Options) (float64, error) {
+func schedMakespan(w sim.Workload, opts []mpi.Option) (float64, error) {
 	g := w.Graph
 	m := core.NewGraphMap(schedRanks, g)
 	sleepy := func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
@@ -85,7 +85,7 @@ func schedMakespan(w sim.Workload, opt mpi.Options) (float64, error) {
 	}
 	best := 0.0
 	for rep := 0; rep < schedReps; rep++ {
-		c := mpi.New(opt)
+		c := mpi.New(opts...)
 		if err := c.Initialize(g, m); err != nil {
 			return 0, err
 		}

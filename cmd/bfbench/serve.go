@@ -44,7 +44,7 @@ type serveResult struct {
 // oneShotRun executes the submission with a throwaway controller: per-run
 // fabric, pool and (absent) journal exactly as mpi.Run does for bfrun.
 func oneShotRun(sub mpi.Submission, ranks int) error {
-	ctrl := mpi.New(mpi.Options{Workers: ranks})
+	ctrl := mpi.New(mpi.WithWorkers(ranks))
 	if err := ctrl.Initialize(sub.Graph, core.NewGraphMap(ranks, sub.Graph)); err != nil {
 		return err
 	}
@@ -90,7 +90,7 @@ func measureServe(reg *serve.Registry, program string, params serve.Params, rank
 	oneshot := time.Since(start)
 
 	// (b) warm service: fabric and pool resident across submissions.
-	svc, err := mpi.NewService(ranks, mpi.Options{Workers: ranks})
+	svc, err := mpi.NewService(ranks, mpi.WithWorkers(ranks))
 	if err != nil {
 		return serveResult{}, err
 	}

@@ -7,6 +7,7 @@
 //	bfrun -case mergetree -runtime mpi -shards 8 -n 32
 //	bfrun -case render -runtime charm -blocks 8
 //	bfrun -case register -runtime legion-spmd
+//	bfrun -case register-iter -runtime mpi -shards 4
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		useCase   = flag.String("case", "mergetree", "mergetree | render | register")
+		useCase   = flag.String("case", "mergetree", "mergetree | render | register | register-iter")
 		runtime   = flag.String("runtime", "mpi", "serial | mpi | original-mpi | charm | legion-spmd | legion-il")
 		shards    = flag.Int("shards", 4, "ranks / PEs / shards")
 		n         = flag.Int("n", 32, "domain edge length")
@@ -84,6 +85,8 @@ func main() {
 		runRender(*runtime, *shards, *n, *blocks)
 	case "register":
 		runRegister(*runtime, *shards)
+	case "register-iter":
+		runRegisterIter(*runtime, *shards)
 	default:
 		log.Fatalf("bfrun: unknown use case %q", *useCase)
 	}
@@ -105,9 +108,9 @@ func controller(runtime string, shards int) babelflow.Controller {
 	case "serial":
 		return babelflow.NewSerial()
 	case "mpi":
-		return babelflow.NewMPI(babelflow.MPIOptions{})
+		return babelflow.NewMPI()
 	case "original-mpi":
-		return babelflow.NewMPI(babelflow.MPIOptions{Inline: true})
+		return babelflow.NewMPI(babelflow.WithInline(true))
 	case "charm":
 		return babelflow.NewCharm(babelflow.CharmOptions{PEs: shards, LBPeriod: 8})
 	case "legion-spmd":
@@ -138,9 +141,9 @@ func maybeTrace(rt string, shards int) (*trace.Recorder, babelflow.Controller) {
 	case "serial":
 		c = babelflow.NewSerial()
 	case "mpi":
-		c = babelflow.NewMPI(babelflow.MPIOptions{Observer: rec})
+		c = babelflow.NewMPI(babelflow.WithObserver(rec))
 	case "original-mpi":
-		c = babelflow.NewMPI(babelflow.MPIOptions{Inline: true, Observer: rec})
+		c = babelflow.NewMPI(babelflow.WithInline(true), babelflow.WithObserver(rec))
 	case "charm":
 		c = babelflow.NewCharm(babelflow.CharmOptions{PEs: shards, LBPeriod: 8, Observer: rec})
 	case "legion-spmd":
@@ -352,4 +355,58 @@ func runRegister(rt string, shards int) {
 	}
 	fmt.Printf("register  %-12s %d tasks, %d shards: %v  exact=%d/%d\n",
 		rt, graph.Size(), shards, elapsed.Round(time.Millisecond), exact, len(tiles))
+}
+
+// runRegisterIter runs the iterative registration refinement: the
+// registration dataflow unrolled under core.Iterate, converging once the
+// pairwise estimates stop moving. The solved positions must still match
+// the ground truth exactly.
+func runRegisterIter(rt string, shards int) {
+	cfg := register.Config{GridW: 3, GridH: 3, Tile: 24, Overlap: 0.2, Jitter: 2}
+	tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 5)
+	ig, err := cfg.Iterative(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := controller(rt, shards)
+	if err := c.Initialize(ig, babelflow.NewIterativeMap(shards, ig)); err != nil {
+		log.Fatal(err)
+	}
+	if err := cfg.RegisterIter(c, ig); err != nil {
+		log.Fatal(err)
+	}
+	initial, err := cfg.IterInitial(tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	out, err := c.Run(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	iter, sinks, err := ig.Final(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ests, err := cfg.IterEstimates(sinks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos, err := register.Solve(cfg.GridW, cfg.GridH, ests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 0
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			tl := tiles[y*cfg.GridW+x]
+			if (pos[y][x] == register.Position{X: tl.TrueX - tiles[0].TrueX, Y: tl.TrueY - tiles[0].TrueY}) {
+				exact++
+			}
+		}
+	}
+	fmt.Printf("register-iter %-12s %d tasks, %d shards: %v  converged=%d/%d exact=%d/%d\n",
+		rt, ig.Size(), shards, elapsed.Round(time.Millisecond), iter+1, ig.MaxIter(), exact, len(tiles))
 }

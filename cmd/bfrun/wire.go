@@ -115,6 +115,26 @@ func setupWireCase(useCase string, ranks, n, blocks int) (wireCase, error) {
 			reg:     func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
 			initial: initial,
 		}, nil
+	case "register-iter":
+		// The iterative refinement loop: the unrolled graph runs on every
+		// tier unchanged, and the converged digest (the live decision sink)
+		// is what the parent verifies against serial.
+		cfg := register.Config{GridW: 3, GridH: 3, Tile: 24, Overlap: 0.2, Jitter: 2}
+		tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 5)
+		ig, err := cfg.Iterative(8)
+		if err != nil {
+			return wireCase{}, err
+		}
+		initial, err := cfg.IterInitial(tiles)
+		if err != nil {
+			return wireCase{}, err
+		}
+		return wireCase{
+			graph:   ig,
+			tmap:    core.NewIterativeMap(ranks, ig),
+			reg:     func(c core.CallbackRegistrar) error { return cfg.RegisterIter(c, ig) },
+			initial: initial,
+		}, nil
 	}
 	return wireCase{}, fmt.Errorf("bfrun: use case %q has no wire setup", useCase)
 }

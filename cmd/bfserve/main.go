@@ -50,7 +50,7 @@ func main() {
 		journal  = flag.String("journal", "", "journal root for per-run lineage journals")
 		params   = flag.String("params", "", "program parameters as k=v,k=v (for -oneshot)")
 		oneshot  = flag.String("oneshot", "", "run one program on the serial reference, print its digest, exit")
-		smoke    = flag.Bool("smoke", false, "loopback self-test: submit the three use cases over HTTP, verify digests, shut down")
+		smoke    = flag.Bool("smoke", false, "loopback self-test: submit the use cases over HTTP, verify digests, shut down")
 	)
 	flag.Parse()
 
@@ -137,9 +137,9 @@ func parseParams(s string) (serve.Params, error) {
 }
 
 // runSmoke is the end-to-end self-test `make smoke-serve` drives: a real
-// bfserve instance on a loopback port, the paper's three use cases
-// submitted over HTTP, every digest checked against the one-shot serial
-// reference, then a clean drain.
+// bfserve instance on a loopback port, the paper's use cases (including
+// the iterative registration loop) submitted over HTTP, every digest
+// checked against the one-shot serial reference, then a clean drain.
 func runSmoke(cfg serve.Config) error {
 	reg := serve.DefaultRegistry()
 	s, err := serve.NewServer(cfg)
@@ -162,6 +162,7 @@ func runSmoke(cfg serve.Config) error {
 		{"mergetree", serve.Params{"n": 16, "blocks": 4}},
 		{"render", serve.Params{"n": 16, "blocks": 4}},
 		{"register", serve.Params{"grid": 3, "tile": 16}},
+		{"register-iter", serve.Params{"grid": 3, "tile": 16, "maxiter": 8}},
 	}
 	for _, tc := range cases {
 		want, err := reg.ReferenceDigest(tc.program, tc.params)

@@ -51,7 +51,7 @@ func main() {
 
 		// One in-situ group per analysis invocation; each rank registers
 		// the callbacks and runs only its shard.
-		group, err := babelflow.NewInSituGroup(graph, taskMap, babelflow.MPIOptions{})
+		group, err := babelflow.NewInSituGroup(graph, taskMap)
 		if err != nil {
 			log.Fatal(err)
 		}

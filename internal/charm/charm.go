@@ -313,23 +313,30 @@ func (r *charmRun) deliver(ch *chare, m fabric.Message) error {
 // the outputs to the consuming chares as RPCs.
 func (r *charmRun) execute(pe int, ch *chare, inputs []core.Payload) error {
 	t := ch.task
-	fn, ok := r.c.reg.Lookup(t.Callback)
-	if !ok {
-		return fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
-	}
-	out, err := core.SafeInvoke(fn, inputs, t.Id)
-	if err != nil {
-		return fmt.Errorf("charm: chare %d (callback %d): %w", t.Id, t.Callback, err)
-	}
-	if len(out) != len(t.Outgoing) {
-		return fmt.Errorf("charm: chare %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
-	}
-	if r.c.opt.Observer != nil {
-		r.c.opt.Observer.TaskExecuted(t.Id, core.ShardId(pe), t.Callback)
+	out, cancelled := core.CancelDead(t, inputs)
+	if !cancelled {
+		fn, ok := r.c.reg.Lookup(t.Callback)
+		if !ok {
+			return fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
+		}
+		var err error
+		out, err = core.SafeInvoke(fn, inputs, t.Id)
+		if err != nil {
+			return fmt.Errorf("charm: chare %d (callback %d): %w", t.Id, t.Callback, err)
+		}
+		if len(out) != len(t.Outgoing) {
+			return fmt.Errorf("charm: chare %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
+		}
+		if r.c.opt.Observer != nil {
+			r.c.opt.Observer.TaskExecuted(t.Id, core.ShardId(pe), t.Callback)
+		}
 	}
 	var batch []fabric.Message
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
+			if core.IsDead(out[slot]) {
+				continue
+			}
 			r.resMu.Lock()
 			r.results[t.Id] = append(r.results[t.Id], out[slot])
 			r.resMu.Unlock()

@@ -189,7 +189,7 @@ func TestNodeAsPayload(t *testing.T) {
 		{Id: 0, Callback: 0, Incoming: []core.TaskId{core.ExternalInput}, Outgoing: [][]core.TaskId{{1}}},
 		{Id: 1, Callback: 1, Incoming: []core.TaskId{0}, Outgoing: [][]core.TaskId{{}}},
 	})
-	c := mpi.New(mpi.Options{})
+	c := mpi.New()
 	if err := c.Initialize(g, core.NewModuloMap(2, 2)); err != nil {
 		t.Fatal(err)
 	}

@@ -130,27 +130,27 @@ func allControllers(g core.TaskGraph, shards int) map[string]core.Controller {
 	ser.Initialize(g, nil)
 	out["serial"] = ser
 
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, m)
 	out["mpi"] = mc
 
-	inline := mpi.New(mpi.Options{Inline: true})
+	inline := mpi.New(mpi.WithInline(true))
 	inline.Initialize(g, m)
 	out["mpi-inline"] = inline
 
-	alws := mpi.New(mpi.Options{AlwaysSerialize: true, Workers: 2})
+	alws := mpi.New(mpi.WithAlwaysSerialize(true), mpi.WithWorkers(2))
 	alws.Initialize(g, m)
 	out["mpi-serialize"] = alws
 
-	fifo := mpi.New(mpi.Options{FIFO: true, Workers: 2})
+	fifo := mpi.New(mpi.WithFIFO(true), mpi.WithWorkers(2))
 	fifo.Initialize(g, m)
 	out["mpi-fifo"] = fifo
 
-	nosteal := mpi.New(mpi.Options{NoSteal: true})
+	nosteal := mpi.New(mpi.WithNoSteal(true))
 	nosteal.Initialize(g, m)
 	out["mpi-nosteal"] = nosteal
 
-	w1 := mpi.New(mpi.Options{Workers: 1})
+	w1 := mpi.New(mpi.WithWorkers(1))
 	w1.Initialize(g, m)
 	out["mpi-w1"] = w1
 

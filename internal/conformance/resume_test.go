@@ -35,6 +35,13 @@ func countingCallback(cb core.Callback, execs *atomic.Int64) core.Callback {
 // sink results, the per-rank errors, and the summed journal stats.
 func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload, dir string, tier wire.Tier, journalOpts []mpi.Option, inject func(rank int, tr fabric.Transport) fabric.Transport) (map[core.TaskId][]core.Payload, []error, mpi.JournalStats) {
 	t.Helper()
+	return journaledWireRunReg(t, g, m, registerAll(g, cb), initial, dir, tier, journalOpts, inject)
+}
+
+// journaledWireRunReg is journaledWireRun with an explicit
+// callback-registration function instead of one callback for every id.
+func journaledWireRunReg(t *testing.T, g core.TaskGraph, m core.TaskMap, reg func(core.CallbackRegistrar) error, initial map[core.TaskId][]core.Payload, dir string, tier wire.Tier, journalOpts []mpi.Option, inject func(rank int, tr fabric.Transport) fabric.Transport) (map[core.TaskId][]core.Payload, []error, mpi.JournalStats) {
+	t.Helper()
 	ranks := m.ShardCount()
 	ctrls := make([]*mpi.Controller, ranks)
 	for r := range ctrls {
@@ -42,10 +49,8 @@ func journaledWireRun(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Ca
 		if err := ctrls[r].Initialize(g, m); err != nil {
 			t.Fatal(err)
 		}
-		for _, cid := range g.Callbacks() {
-			if err := ctrls[r].RegisterCallback(cid, cb); err != nil {
-				t.Fatal(err)
-			}
+		if err := reg(ctrls[r]); err != nil {
+			t.Fatal(err)
 		}
 	}
 	fabrics := connectWireMesh(t, ranks, ctrls[0].Fingerprint(), wire.Options{

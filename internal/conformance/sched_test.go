@@ -185,7 +185,7 @@ func TestSchedulerDeterminism(t *testing.T) {
 				for _, mode := range modes {
 					name := fmt.Sprintf("w%d/%s", workers, mode.name)
 					t.Run(name, func(t *testing.T) {
-						c := mpi.New(mpi.Options{Workers: workers, FIFO: mode.fifo, NoSteal: mode.noSteal})
+						c := mpi.New(mpi.WithWorkers(workers), mpi.WithFIFO(mode.fifo), mpi.WithNoSteal(mode.noSteal))
 						if err := c.Initialize(w.graph, core.NewGraphMap(shards, w.graph)); err != nil {
 							t.Fatal(err)
 						}

@@ -69,20 +69,41 @@ func partitionInitial(m core.TaskMap, initial map[core.TaskId][]core.Payload) []
 	return parts
 }
 
+// registerAll binds cb to every callback id the graph declares — the
+// uniform-callback shape most conformance workloads use. Workloads with
+// heterogeneous callbacks (the iterative registration loop binds a body
+// callback plus the decision callback) pass their own register function to
+// the *Reg runner variants instead.
+func registerAll(g core.TaskGraph, cb core.Callback) func(core.CallbackRegistrar) error {
+	return func(c core.CallbackRegistrar) error {
+		for _, cid := range g.Callbacks() {
+			if err := c.RegisterCallback(cid, cb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // runOverWire executes the graph on the MPI controller with every rank on
 // its own loopback fabric at the given transport tier and merges the
 // per-rank sink outputs.
 func runOverWire(t *testing.T, g core.TaskGraph, m core.TaskMap, cb core.Callback, initial map[core.TaskId][]core.Payload, tier wire.Tier) map[core.TaskId][]core.Payload {
 	t.Helper()
+	return runOverWireReg(t, g, m, registerAll(g, cb), initial, tier)
+}
+
+// runOverWireReg is runOverWire with an explicit callback-registration
+// function instead of one callback for every id.
+func runOverWireReg(t *testing.T, g core.TaskGraph, m core.TaskMap, reg func(core.CallbackRegistrar) error, initial map[core.TaskId][]core.Payload, tier wire.Tier) map[core.TaskId][]core.Payload {
+	t.Helper()
 	ranks := m.ShardCount()
-	ctrl := mpi.New(mpi.Options{})
+	ctrl := mpi.New()
 	if err := ctrl.Initialize(g, m); err != nil {
 		t.Fatal(err)
 	}
-	for _, cid := range g.Callbacks() {
-		if err := ctrl.RegisterCallback(cid, cb); err != nil {
-			t.Fatal(err)
-		}
+	if err := reg(ctrl); err != nil {
+		t.Fatal(err)
 	}
 	fabrics := connectWireMesh(t, ranks, ctrl.Fingerprint(), wire.Options{Tier: tier})
 	parts := partitionInitial(m, initial)
@@ -137,10 +158,15 @@ func assertSameSinks(t *testing.T, want, got map[core.TaskId][]core.Payload) {
 
 func serialReference(t *testing.T, g core.TaskGraph, cb core.Callback, initial map[core.TaskId][]core.Payload) map[core.TaskId][]core.Payload {
 	t.Helper()
+	return serialReferenceReg(t, g, registerAll(g, cb), initial)
+}
+
+func serialReferenceReg(t *testing.T, g core.TaskGraph, reg func(core.CallbackRegistrar) error, initial map[core.TaskId][]core.Payload) map[core.TaskId][]core.Payload {
+	t.Helper()
 	ser := core.NewSerial()
 	ser.Initialize(g, nil)
-	for _, cid := range g.Callbacks() {
-		ser.RegisterCallback(cid, cb)
+	if err := reg(ser); err != nil {
+		t.Fatal(err)
 	}
 	want, err := ser.Run(initial)
 	if err != nil {
@@ -240,7 +266,7 @@ func TestWireKilledRankFailsTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := core.NewGraphMap(4, g)
-	ctrl := mpi.New(mpi.Options{})
+	ctrl := mpi.New()
 	if err := ctrl.Initialize(g, m); err != nil {
 		t.Fatal(err)
 	}

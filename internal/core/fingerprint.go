@@ -25,11 +25,12 @@ func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
 
 // GraphFingerprint computes the canonical fingerprint of a task graph:
 // a stable hash over the graph's size, its task ids in enumeration order,
-// and for every task its callback id, its producer list (slot order) and its
-// per-slot consumer lists (slot and fan-out order), plus the graph's
-// declared callback set and the callback ids in registered (sorted order of
-// the given slice). The encoding is length-prefixed throughout, so distinct
-// structures can never collide by concatenation.
+// and for every task its callback id, its producer list (slot order), its
+// per-slot consumer lists (slot and fan-out order) and its conditional-edge
+// declaration (branch count plus per-slot branch assignment), plus the
+// graph's declared callback set and the callback ids in registered (sorted
+// order of the given slice). The encoding is length-prefixed throughout, so
+// distinct structures can never collide by concatenation.
 //
 // registered may be nil when only the graph structure matters; passing the
 // registry's callback ids additionally pins which task types both sides have
@@ -45,7 +46,7 @@ func GraphFingerprint(g TaskGraph, registered []CallbackId) Fingerprint {
 		h.Write(buf[:])
 	}
 
-	h.Write([]byte("babelflow-graph-fingerprint-v1"))
+	h.Write([]byte("babelflow-graph-fingerprint-v2"))
 	ids := g.TaskIds()
 	wu64(uint64(len(ids)))
 	for _, id := range ids {
@@ -69,6 +70,14 @@ func GraphFingerprint(g TaskGraph, registered []CallbackId) Fingerprint {
 			for _, c := range slot {
 				wu64(uint64(c))
 			}
+		}
+		// Conditional edges change which successors run, so two peers must
+		// agree on them exactly. Branch indices are offset by one so the
+		// unconditional marker (-1) encodes as 0.
+		wu64(uint64(t.Branches))
+		wu64(uint64(len(t.Cond)))
+		for _, b := range t.Cond {
+			wu64(uint64(b + 1))
 		}
 	}
 	cbs := g.Callbacks()

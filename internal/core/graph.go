@@ -84,16 +84,33 @@ func Levels(g TaskGraph) ([][]TaskId, error) {
 	level := make(map[TaskId]int, g.Size())
 	ids := g.TaskIds()
 
+	// path is the explicit DFS stack, kept so a detected cycle can be
+	// reported with the full offending path rather than a single task id.
+	var path []TaskId
 	var depth func(id TaskId, stack map[TaskId]bool) (int, error)
 	depth = func(id TaskId, stack map[TaskId]bool) (int, error) {
 		if l, ok := level[id]; ok {
 			return l, nil
 		}
 		if stack[id] {
-			return 0, fmt.Errorf("core: task graph has a cycle through task %d", id)
+			// The DFS recurses from consumers into producers, so walking
+			// the stack backwards from the revisited task yields the cycle
+			// in dataflow (producer -> consumer) order.
+			cycle := []TaskId{id}
+			for i := len(path) - 1; i >= 0; i-- {
+				cycle = append(cycle, path[i])
+				if path[i] == id {
+					break
+				}
+			}
+			return 0, &CycleError{Path: cycle}
 		}
 		stack[id] = true
-		defer delete(stack, id)
+		path = append(path, id)
+		defer func() {
+			delete(stack, id)
+			path = path[:len(path)-1]
+		}()
 		t, ok := g.Task(id)
 		if !ok {
 			return 0, fmt.Errorf("core: graph enumerates unknown task %d", id)
@@ -141,8 +158,12 @@ func Levels(g TaskGraph) ([][]TaskId, error) {
 //   - Size matches the number of enumerated ids and ids are unique;
 //   - every edge is symmetric: if a lists b as a consumer, b lists a as a
 //     producer, and vice versa;
-//   - the graph is acyclic;
-//   - every task's callback id appears in Callbacks().
+//   - the graph is acyclic (violations surface as a path-citing
+//     *CycleError);
+//   - every task's callback id appears in Callbacks();
+//   - conditional-edge declarations are well formed: Cond covers exactly
+//     the output slots, branch indices are in range, and no declared branch
+//     dangles without a slot (violations surface as *CondError).
 //
 // All controllers accept only graphs that validate; the serial executor is
 // the reference for what a valid graph computes.
@@ -175,6 +196,9 @@ func Validate(g TaskGraph) error {
 	for id, t := range known {
 		if !cbs[t.Callback] {
 			return fmt.Errorf("core: task %d uses callback %d not listed in Callbacks()", id, t.Callback)
+		}
+		if err := validateCond(t); err != nil {
+			return err
 		}
 		for slot, p := range t.Incoming {
 			if p == ExternalInput {

@@ -56,6 +56,19 @@ type Task struct {
 	Callback CallbackId
 	Incoming []TaskId
 	Outgoing [][]TaskId
+
+	// Cond, when non-nil, marks output slots as conditional: Cond[slot] is
+	// the branch index (>= 0) the slot belongs to, or -1 for an
+	// unconditional slot. At runtime the task's callback chooses the active
+	// branch and fills every slot of the losing branches with a dead token
+	// (SelectBranch); controllers cancel any downstream task that receives
+	// one, so only the chosen branch's successors execute. Cond must have
+	// exactly one entry per output slot and every branch in [0, Branches)
+	// must own at least one slot.
+	Cond []int
+	// Branches is the number of runtime branches among the task's output
+	// slots; 0 means the task has no conditional slots (Cond must be nil).
+	Branches int
 }
 
 // NewTask returns a task with the given id and callback and no edges.
@@ -151,10 +164,17 @@ func (t *Task) Clone() Task {
 			c.Outgoing[i] = append([]TaskId(nil), slot...)
 		}
 	}
+	if t.Cond != nil {
+		c.Cond = append([]int(nil), t.Cond...)
+	}
+	c.Branches = t.Branches
 	return c
 }
 
 // String renders the task for debugging.
 func (t Task) String() string {
+	if t.Branches > 0 {
+		return fmt.Sprintf("task %d (cb %d, in %v, out %v, cond %v/%d)", t.Id, t.Callback, t.Incoming, t.Outgoing, t.Cond, t.Branches)
+	}
 	return fmt.Sprintf("task %d (cb %d, in %v, out %v)", t.Id, t.Callback, t.Incoming, t.Outgoing)
 }

@@ -22,7 +22,10 @@ func Pid(prefix uint16, id core.TaskId) core.TaskId {
 // receives a distinct 16-bit prefix on its task ids (the paper's technique
 // for assembling graphs from phases with intuitive per-phase numbering) and
 // a callback remapping into a shared callback id space. Connect rewires a
-// sink output of one sub-graph to an external input of another.
+// sink output of one sub-graph to an external input of another; ConnectIf
+// additionally assigns the edge to a runtime branch of the producer's
+// conditional fan-out, and Sub returns a fluent handle that can wrap its
+// sub-graph in a convergence loop (Iterate) before composition.
 //
 // Builder materializes the composed graph explicitly, so it suits graphs up
 // to a few million tasks; the specialized graphs (e.g. the merge-tree
@@ -30,6 +33,8 @@ func Pid(prefix uint16, id core.TaskId) core.TaskId {
 type Builder struct {
 	tasks    map[core.TaskId]*core.Task
 	prefixes map[uint16]bool
+	pending  []*Sub
+	next     uint16
 	err      error
 }
 
@@ -57,22 +62,32 @@ func (b *Builder) Add(prefix uint16, g core.TaskGraph, cbMap map[core.CallbackId
 		return b
 	}
 	b.prefixes[prefix] = true
+	b.addGraph(prefix, g, cbMap)
+	return b
+}
+
+// addGraph prefixes and inserts a sub-graph's tasks (prefix bookkeeping is
+// the caller's).
+func (b *Builder) addGraph(prefix uint16, g core.TaskGraph, cbMap map[core.CallbackId]core.CallbackId) {
 	for _, id := range g.TaskIds() {
 		if uint64(id) >= 1<<PrefixShift {
 			b.fail("graphs: sub-graph task id %d exceeds prefix capacity", id)
-			return b
+			return
 		}
 		t, ok := g.Task(id)
 		if !ok {
 			b.fail("graphs: sub-graph enumerates unknown task %d", id)
-			return b
+			return
 		}
-		nt := core.Task{Id: Pid(prefix, id), Callback: t.Callback}
+		nt := core.Task{Id: Pid(prefix, id), Callback: t.Callback, Branches: t.Branches}
+		if t.Cond != nil {
+			nt.Cond = append([]int(nil), t.Cond...)
+		}
 		if cbMap != nil {
 			mapped, ok := cbMap[t.Callback]
 			if !ok {
 				b.fail("graphs: no callback mapping for callback %d of prefix %d", t.Callback, prefix)
-				return b
+				return
 			}
 			nt.Callback = mapped
 		}
@@ -93,7 +108,123 @@ func (b *Builder) Add(prefix uint16, g core.TaskGraph, cbMap map[core.CallbackId
 		}
 		b.tasks[nt.Id] = &nt
 	}
-	return b
+}
+
+// Sub is a fluent handle on one sub-graph of a Builder composition. The
+// sub-graph is held pending until the builder needs its tasks (Connect,
+// ConnectIf, AddTask or Graph), so a handle can still wrap it — e.g. in a
+// convergence loop via Iterate — before the composition prefix is applied.
+type Sub struct {
+	b       *Builder
+	prefix  uint16
+	graph   core.TaskGraph
+	cbMap   map[core.CallbackId]core.CallbackId
+	iter    *core.IterativeGraph
+	flushed bool
+}
+
+// Sub stages a sub-graph under the next free prefix and returns its fluent
+// handle. cbMap follows Add: it translates the sub-graph's callback ids into
+// the composed space, and nil keeps them unchanged. Errors are deferred and
+// reported by Graph.
+func (b *Builder) Sub(g core.TaskGraph, cbMap map[core.CallbackId]core.CallbackId) *Sub {
+	for b.prefixes[b.next] {
+		b.next++
+	}
+	s := &Sub{b: b, prefix: b.next, graph: g, cbMap: cbMap}
+	b.prefixes[b.next] = true
+	b.pending = append(b.pending, s)
+	if g == nil {
+		b.fail("graphs: Sub of a nil graph")
+	}
+	return s
+}
+
+// Iterate wraps the sub-graph in a convergence loop (core.Iterate) before
+// the composition prefix is applied, so the iteration index occupies id bits
+// below the prefix and composed ids stay unambiguous per (prefix, iteration,
+// body task). It must be called before the builder materializes the
+// sub-graph (i.e. before Connect/ConnectIf/AddTask/Graph touch it). The
+// synthetic decision callback keeps its reserved id across the composition;
+// register it via Iter().RegisterDecision. Errors are deferred and reported
+// by Graph.
+func (s *Sub) Iterate(pred core.ConvergencePredicate, opts ...core.IterOption) *Sub {
+	if s.b.err != nil {
+		return s
+	}
+	if s.flushed {
+		s.b.fail("graphs: Iterate on prefix %d after its sub-graph was composed", s.prefix)
+		return s
+	}
+	if s.iter != nil {
+		s.b.fail("graphs: Iterate called twice on prefix %d", s.prefix)
+		return s
+	}
+	ig, err := core.Iterate(s.graph, pred, opts...)
+	if err != nil {
+		s.b.fail("graphs: prefix %d: %v", s.prefix, err)
+		return s
+	}
+	s.iter = ig
+	return s
+}
+
+// Id maps a sub-graph-local task id into the composed id space. For an
+// iterated sub-graph the body-local id names its iteration-0 copy; use
+// core.IterId for later iterations and core.DecisionId for the synthetic
+// decision tasks, composed via Pid(s.Prefix(), ...).
+func (s *Sub) Id(local core.TaskId) core.TaskId { return Pid(s.prefix, local) }
+
+// Prefix returns the handle's composition prefix.
+func (s *Sub) Prefix() uint16 { return s.prefix }
+
+// Iter returns the unrolled iterative graph, or nil when Iterate was not
+// called (or failed).
+func (s *Sub) Iter() *core.IterativeGraph { return s.iter }
+
+// Final decodes the converged sinks of an iterated sub-graph from a composed
+// run's results: it selects this sub-graph's decision-task sinks and returns
+// them keyed by body-local task id (see core.IterativeGraph.Final).
+func (s *Sub) Final(results map[core.TaskId][]core.Payload) (int, map[core.TaskId][]core.Payload, error) {
+	if s.iter == nil {
+		return 0, nil, fmt.Errorf("graphs: prefix %d is not an iterated sub-graph", s.prefix)
+	}
+	local := make(map[core.TaskId][]core.Payload, len(results))
+	for id, ps := range results {
+		if uint16(id>>PrefixShift) == s.prefix {
+			local[id&(1<<PrefixShift-1)] = ps
+		}
+	}
+	return s.iter.Final(local)
+}
+
+// flush materializes every pending sub-graph into the builder's task table.
+// Iterated sub-graphs compose their unrolled form; the reserved decision
+// callback id maps to itself under a callback remapping.
+func (b *Builder) flush() {
+	for _, s := range b.pending {
+		if s.flushed {
+			continue
+		}
+		s.flushed = true
+		if b.err != nil || s.graph == nil {
+			continue
+		}
+		g, cbMap := s.graph, s.cbMap
+		if s.iter != nil {
+			g = s.iter
+			if cbMap != nil {
+				m := make(map[core.CallbackId]core.CallbackId, len(cbMap)+1)
+				for k, v := range cbMap {
+					m[k] = v
+				}
+				m[core.DecisionCallback] = core.DecisionCallback
+				cbMap = m
+			}
+		}
+		b.addGraph(s.prefix, g, cbMap)
+	}
+	b.pending = b.pending[:0]
 }
 
 // Connect rewires the fromSlot-th output slot of task from (which must be a
@@ -102,6 +233,7 @@ func (b *Builder) Add(prefix uint16, g core.TaskGraph, cbMap map[core.CallbackId
 // toSlot-th input slot of task to (which must currently be ExternalInput).
 // Ids are composed ids; use Pid. Errors are deferred and reported by Graph.
 func (b *Builder) Connect(from core.TaskId, fromSlot int, to core.TaskId, toSlot int) *Builder {
+	b.flush()
 	if b.err != nil {
 		return b
 	}
@@ -132,10 +264,54 @@ func (b *Builder) Connect(from core.TaskId, fromSlot int, to core.TaskId, toSlot
 	return b
 }
 
+// ConnectIf wires a conditional edge: like Connect, but the producer's
+// fromSlot-th output slot is assigned to runtime branch index branch of its
+// conditional fan-out. At run time the producer's callback picks one branch
+// (see core.SelectBranch); the slots of every other branch carry dead tokens
+// and their downstream tasks cancel without executing. Unassigned slots of
+// the same producer stay unconditional. The branch count grows to cover the
+// highest branch wired; core.Validate rejects a declared branch that ends up
+// owning no slot. Errors are deferred and reported by Graph.
+func (b *Builder) ConnectIf(from core.TaskId, fromSlot int, branch int, to core.TaskId, toSlot int) *Builder {
+	b.flush()
+	if b.err != nil {
+		return b
+	}
+	if branch < 0 {
+		b.fail("graphs: negative branch index %d on edge %d -> %d", branch, from, to)
+		return b
+	}
+	ft, ok := b.tasks[from]
+	if !ok {
+		b.fail("graphs: connect from unknown task %d", from)
+		return b
+	}
+	if fromSlot < 0 || fromSlot >= len(ft.Outgoing) {
+		b.fail("graphs: task %d has no output slot %d", from, fromSlot)
+		return b
+	}
+	if ft.Cond == nil {
+		ft.Cond = make([]int, len(ft.Outgoing))
+		for i := range ft.Cond {
+			ft.Cond[i] = -1
+		}
+	}
+	if prev := ft.Cond[fromSlot]; prev != -1 && prev != branch {
+		b.fail("graphs: output slot %d of task %d assigned to branches %d and %d", fromSlot, from, prev, branch)
+		return b
+	}
+	ft.Cond[fromSlot] = branch
+	if branch+1 > ft.Branches {
+		ft.Branches = branch + 1
+	}
+	return b.Connect(from, fromSlot, to, toSlot)
+}
+
 // AddTask inserts a single standalone task with a composed id. It is useful
 // for wrap-up tasks such as the extra root of Listing 1. Errors are
 // deferred and reported by Graph.
 func (b *Builder) AddTask(t core.Task) *Builder {
+	b.flush()
 	if b.err != nil {
 		return b
 	}
@@ -148,9 +324,26 @@ func (b *Builder) AddTask(t core.Task) *Builder {
 	return b
 }
 
+// MaxIter bounds an iterated sub-graph at n iterations (alias of
+// core.MaxIterations, for fluent Sub(...).Iterate(pred, MaxIter(8)) use).
+func MaxIter(n int) core.IterOption { return core.MaxIterations(n) }
+
+// Gate declares a predicate-visible feedback edge of an iterated sub-graph
+// (alias of core.Gate; ids are body-local).
+func Gate(from core.TaskId, fromSlot int, to core.TaskId, toSlot int) core.IterOption {
+	return core.Gate(from, fromSlot, to, toSlot)
+}
+
+// Carry declares a pass-through feedback edge of an iterated sub-graph
+// (alias of core.Carry; ids are body-local).
+func Carry(from core.TaskId, fromSlot int, to core.TaskId, toSlot int) core.IterOption {
+	return core.Carry(from, fromSlot, to, toSlot)
+}
+
 // Graph finalizes the composition, validates it and returns the explicit
 // graph, or the first deferred error.
 func (b *Builder) Graph() (*core.ExplicitGraph, error) {
+	b.flush()
 	if b.err != nil {
 		return nil, b.err
 	}

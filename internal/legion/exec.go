@@ -69,23 +69,29 @@ func gatherInputs(g core.TaskGraph, t core.Task, store *RegionStore, met *metric
 }
 
 // runCallback executes a task's callback, charging its duration to compute
-// time.
-func runCallback(reg *core.Registry, t core.Task, in []core.Payload, met *metricsCollector) ([]core.Payload, error) {
+// time. A dead input cancels the task: the callback is skipped (cancelled is
+// true, so callers must not notify Observers) and dead tokens propagate on
+// every output slot.
+func runCallback(reg *core.Registry, t core.Task, in []core.Payload, met *metricsCollector) (out []core.Payload, cancelled bool, err error) {
+	if out, cancelled = core.CancelDead(t, in); cancelled {
+		met.tasks.Add(1)
+		return out, true, nil
+	}
 	fn, ok := reg.Lookup(t.Callback)
 	if !ok {
-		return nil, fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
+		return nil, false, fmt.Errorf("%w: callback %d", core.ErrUnregisteredCallback, t.Callback)
 	}
 	start := time.Now()
-	out, err := core.SafeInvoke(fn, in, t.Id)
+	out, err = core.SafeInvoke(fn, in, t.Id)
 	met.computeNS.Add(int64(time.Since(start)))
 	if err != nil {
-		return nil, fmt.Errorf("legion: task %d (callback %d): %w", t.Id, t.Callback, err)
+		return nil, false, fmt.Errorf("legion: task %d (callback %d): %w", t.Id, t.Callback, err)
 	}
 	if len(out) != len(t.Outgoing) {
-		return nil, fmt.Errorf("legion: task %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
+		return nil, false, fmt.Errorf("legion: task %d produced %d outputs, graph declares %d slots", t.Id, len(out), len(t.Outgoing))
 	}
 	met.tasks.Add(1)
-	return out, nil
+	return out, false, nil
 }
 
 // stageOutputs writes a task's outputs into the region store (sink slots go
@@ -93,6 +99,10 @@ func runCallback(reg *core.Registry, t core.Task, in []core.Payload, met *metric
 func stageOutputs(t core.Task, out []core.Payload, store *RegionStore, met *metricsCollector, results map[core.TaskId][]core.Payload, resMu *sync.Mutex) error {
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
+			// A dead token at a sink is a deactivated branch's non-result.
+			if core.IsDead(out[slot]) {
+				continue
+			}
 			resMu.Lock()
 			results[t.Id] = append(results[t.Id], out[slot])
 			resMu.Unlock()

@@ -124,12 +124,12 @@ func (c *IndexLaunch) RunContext(ctx context.Context, initial map[core.TaskId][]
 			go func(i int, rec launchRecord) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				out, err := runCallback(c.reg, rec.task, rec.in, met)
+				out, cancelled, err := runCallback(c.reg, rec.task, rec.in, met)
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				if c.opt.Observer != nil {
+				if !cancelled && c.opt.Observer != nil {
 					c.opt.Observer.TaskExecuted(rec.task.Id, core.ShardId(i%c.opt.Workers), rec.task.Callback)
 				}
 				outs[i] = out

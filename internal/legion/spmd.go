@@ -193,11 +193,11 @@ func (c *SPMD) runShard(shard core.ShardId, order map[core.TaskId]int, store *Re
 		if err != nil {
 			return err
 		}
-		out, err := runCallback(c.reg, t, in, met)
+		out, cancelled, err := runCallback(c.reg, t, in, met)
 		if err != nil {
 			return err
 		}
-		if c.opt.Observer != nil {
+		if !cancelled && c.opt.Observer != nil {
 			c.opt.Observer.TaskExecuted(t.Id, shard, t.Callback)
 		}
 		if err := stageOutputs(t, out, store, met, results, resMu); err != nil {

@@ -19,11 +19,11 @@ func e2eControllers(g *Graph, shards int) map[string]core.Controller {
 	m := core.NewListMap(shards, g.TaskIds())
 	out := make(map[string]core.Controller)
 
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, m)
 	out["mpi"] = mc
 
-	orig := mpi.New(mpi.Options{Inline: true})
+	orig := mpi.New(mpi.WithInline(true))
 	orig.Initialize(g, m)
 	out["original-mpi"] = orig
 
@@ -182,7 +182,7 @@ func TestFeatureCountMatchesKernelCount(t *testing.T) {
 	g, _ := NewGraph(8, 2)
 	cfg := Config{Decomp: decomp, Threshold: 3}
 
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, core.NewListMap(3, g.TaskIds()))
 	if err := cfg.Register(mc, g); err != nil {
 		t.Fatal(err)
@@ -255,7 +255,7 @@ func TestScalingShapes(t *testing.T) {
 	cfg := Config{Decomp: decomp, Threshold: 0.25}
 	var ref []byte
 	for _, shards := range []int{1, 2, 7, 16, 40} {
-		mc := mpi.New(mpi.Options{})
+		mc := mpi.New()
 		mc.Initialize(g, core.NewListMap(shards, g.TaskIds()))
 		if err := cfg.Register(mc, g); err != nil {
 			t.Fatal(err)
@@ -284,7 +284,7 @@ func ExampleConfig_Register() {
 	g, _ := NewGraph(2, 2)
 	cfg := Config{Decomp: decomp, Threshold: 0.3}
 
-	c := mpi.New(mpi.Options{})
+	c := mpi.New()
 	c.Initialize(g, core.NewListMap(2, g.TaskIds()))
 	cfg.Register(c, g)
 	initial, _ := cfg.InitialInputs(field, g)
@@ -315,7 +315,7 @@ func TestLargeScaleStress(t *testing.T) {
 
 	for name, c := range map[string]core.Controller{
 		"mpi": func() core.Controller {
-			m := mpi.New(mpi.Options{Workers: 8})
+			m := mpi.New(mpi.WithWorkers(8))
 			m.Initialize(g, core.NewListMap(16, g.TaskIds()))
 			return m
 		}(),

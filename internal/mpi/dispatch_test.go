@@ -47,7 +47,7 @@ func TestReceiveLoopDrainsWhileWorkersSaturated(t *testing.T) {
 		return 0
 	})
 
-	ctrl := New(Options{Blocking: true, Workers: 2})
+	ctrl := New(WithBlocking(true), WithWorkers(2))
 	if err := ctrl.Initialize(g, tmap); err != nil {
 		t.Fatal(err)
 	}

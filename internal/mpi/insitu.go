@@ -29,8 +29,8 @@ type Group struct {
 
 // NewGroup prepares an in-situ execution of the graph over the task map's
 // shards. The options follow the standalone controller.
-func NewGroup(g core.TaskGraph, m core.TaskMap, opt Options) (*Group, error) {
-	c := New(opt)
+func NewGroup(g core.TaskGraph, m core.TaskMap, opts ...Option) (*Group, error) {
+	c := New(opts...)
 	if err := c.Initialize(g, m); err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func TestInSituMatchesMonolithicRun(t *testing.T) {
 	initial := reductionInputs(g)
 
 	// Monolithic reference.
-	ref := New(Options{})
+	ref := New()
 	ref.Initialize(g, m)
 	for _, cb := range g.Callbacks() {
 		ref.RegisterCallback(cb, sumCB(1))
@@ -45,7 +45,7 @@ func TestInSituMatchesMonolithicRun(t *testing.T) {
 
 	// In-situ group: ranks start concurrently, some delayed like a real
 	// simulation reaching the analysis phase at different times.
-	group, err := NewGroup(g, m, Options{})
+	group, err := NewGroup(g, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestInSituMatchesMonolithicRun(t *testing.T) {
 func TestInSituSinkLocality(t *testing.T) {
 	g, _ := graphs.NewReduction(8, 2)
 	m := core.NewModuloMap(3, g.Size())
-	group, _ := NewGroup(g, m, Options{})
+	group, _ := NewGroup(g, m)
 	for _, cb := range g.Callbacks() {
 		group.RegisterCallback(cb, sumCB(1))
 	}
@@ -132,7 +132,7 @@ func TestInSituSinkLocality(t *testing.T) {
 func TestInSituLocalInputValidation(t *testing.T) {
 	g, _ := graphs.NewReduction(4, 2)
 	m := core.NewModuloMap(2, g.Size())
-	group, _ := NewGroup(g, m, Options{})
+	group, _ := NewGroup(g, m)
 	for _, cb := range g.Callbacks() {
 		group.RegisterCallback(cb, sumCB(1))
 	}
@@ -149,7 +149,7 @@ func TestInSituLocalInputValidation(t *testing.T) {
 func TestInSituDoubleRunRejected(t *testing.T) {
 	g, _ := graphs.NewReduction(4, 2)
 	m := core.NewModuloMap(1, g.Size())
-	group, _ := NewGroup(g, m, Options{})
+	group, _ := NewGroup(g, m)
 	for _, cb := range g.Callbacks() {
 		group.RegisterCallback(cb, sumCB(1))
 	}
@@ -165,7 +165,7 @@ func TestInSituDoubleRunRejected(t *testing.T) {
 func TestInSituErrorPropagatesAcrossShards(t *testing.T) {
 	g, _ := graphs.NewReduction(8, 2)
 	m := core.NewModuloMap(2, g.Size())
-	group, _ := NewGroup(g, m, Options{})
+	group, _ := NewGroup(g, m)
 	boom := errors.New("boom")
 	group.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
 	group.RegisterCallback(graphs.ReduceMidCB, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {

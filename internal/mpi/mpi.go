@@ -155,12 +155,6 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// apply implements Option, so a plain Options literal can be passed to New
-// alongside (or instead of) functional options: the struct replaces the
-// accumulated options wholesale, exactly like the pre-functional-options
-// constructor did.
-func (o Options) apply(dst *Options) { *dst = o }
-
 // Controller executes task graphs in MPI style. Create one, Initialize it
 // with a graph and task map, register callbacks, then Run.
 type Controller struct {
@@ -271,18 +265,22 @@ func (c *Controller) openLedgers(ranks int) (leds []*core.Ledger, close func(), 
 	}, nil
 }
 
-// New returns an MPI controller. Configuration is functional-options style:
+// New returns an MPI controller. Configuration is functional-options style,
+// applied left to right:
 //
 //	mpi.New(mpi.WithWorkers(4), mpi.WithRetry(policy))
-//
-// A plain Options struct is itself an Option (it replaces everything
-// accumulated so far), so the legacy form mpi.New(mpi.Options{...}) keeps
-// compiling unchanged; options are applied left to right.
 func New(opts ...Option) *Controller {
 	var opt Options
 	for _, o := range opts {
 		o.apply(&opt)
 	}
+	return newFromOptions(opt)
+}
+
+// newFromOptions builds a controller from a resolved configuration — the
+// internal seam the service uses to stamp per-run controllers from its
+// option template.
+func newFromOptions(opt Options) *Controller {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -758,6 +756,22 @@ func (c *Controller) runRank(rank int, env *runEnv, initial map[core.TaskId][]co
 				return scratch
 			}
 		}
+		// A dead input cancels the task: the callback is skipped and dead
+		// tokens propagate on every output slot. Cancellation journals like
+		// a normal execution, so a resumed run replays it instead of
+		// re-deciding.
+		if out, cancelled := core.CancelDead(t, in); cancelled {
+			var attempt uint32
+			if led != nil {
+				attempt = uint32(led.BeginAttempt(t.Id))
+				recordOutputs(led, t, out)
+			}
+			scratch, err := c.route(rank, env, t, attempt, out, scratch)
+			if err != nil {
+				env.abort(err)
+			}
+			return scratch
+		}
 		// Detach private copies of shared fan-out wire forms on the worker,
 		// so the copies of independent consumers proceed in parallel instead
 		// of serializing on the receive loop.
@@ -948,6 +962,11 @@ func (c *Controller) route(rank int, env *runEnv, t core.Task, attempt uint32, o
 	batch := scratch[:0]
 	for slot, consumers := range t.Outgoing {
 		if len(consumers) == 0 {
+			// A dead token reaching a sink is a deactivated branch's
+			// non-result; only live payloads leave the dataflow.
+			if core.IsDead(out[slot]) {
+				continue
+			}
 			env.resMu.Lock()
 			env.results[t.Id] = append(env.results[t.Id], out[slot])
 			env.resMu.Unlock()

@@ -36,7 +36,7 @@ func sumCB(slots int) core.Callback {
 
 // runBoth executes the same graph+callbacks on the serial reference and an
 // MPI controller and compares the sink outputs byte for byte.
-func runBoth(t *testing.T, g core.TaskGraph, m core.TaskMap, reg map[core.CallbackId]core.Callback, initial map[core.TaskId][]core.Payload, opt Options) map[core.TaskId][]core.Payload {
+func runBoth(t *testing.T, g core.TaskGraph, m core.TaskMap, reg map[core.CallbackId]core.Callback, initial map[core.TaskId][]core.Payload, opts ...Option) map[core.TaskId][]core.Payload {
 	t.Helper()
 	ser := core.NewSerial()
 	if err := ser.Initialize(g, nil); err != nil {
@@ -50,7 +50,7 @@ func runBoth(t *testing.T, g core.TaskGraph, m core.TaskMap, reg map[core.Callba
 		t.Fatalf("serial run: %v", err)
 	}
 
-	mc := New(opt)
+	mc := New(opts...)
 	if err := mc.Initialize(g, m); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMPIMatchesSerialOnReduction(t *testing.T) {
 	for _, shards := range []int{1, 2, 3, 7, 16, 64} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			m := core.NewModuloMap(shards, g.Size())
-			runBoth(t, g, m, reg, reductionInputs(g), Options{})
+			runBoth(t, g, m, reg, reductionInputs(g))
 		})
 	}
 }
@@ -146,7 +146,7 @@ func TestMPIMatchesSerialOnBinarySwap(t *testing.T) {
 	}
 	for _, shards := range []int{1, 3, 8} {
 		m := core.NewModuloMap(shards, g.Size())
-		runBoth(t, g, m, reg, initial, Options{})
+		runBoth(t, g, m, reg, initial)
 	}
 }
 
@@ -162,7 +162,7 @@ func TestMPIMatchesSerialOnKWayMerge(t *testing.T) {
 	}
 	for _, shards := range []int{1, 2, 5, 16} {
 		m := core.NewModuloMap(shards, g.Size())
-		runBoth(t, g, m, reg, initial, Options{})
+		runBoth(t, g, m, reg, initial)
 	}
 }
 
@@ -189,7 +189,7 @@ func TestMPIMatchesSerialOnNeighbor(t *testing.T) {
 	}
 	for _, shards := range []int{1, 4, 12} {
 		m := core.NewModuloMap(shards, g.Size())
-		runBoth(t, g, m, reg, initial, Options{})
+		runBoth(t, g, m, reg, initial)
 	}
 }
 
@@ -202,10 +202,10 @@ func TestMPIInlineAndBlockModes(t *testing.T) {
 	}
 	initial := reductionInputs(g)
 	m := core.NewModuloMap(3, g.Size())
-	runBoth(t, g, m, reg, initial, Options{Inline: true})
-	runBoth(t, g, m, reg, initial, Options{Inline: true, Blocking: true})
-	runBoth(t, g, m, reg, initial, Options{AlwaysSerialize: true})
-	runBoth(t, g, m, reg, initial, Options{Workers: 1})
+	runBoth(t, g, m, reg, initial, WithInline(true))
+	runBoth(t, g, m, reg, initial, WithInline(true), WithBlocking(true))
+	runBoth(t, g, m, reg, initial, WithAlwaysSerialize(true))
+	runBoth(t, g, m, reg, initial, WithWorkers(1))
 }
 
 func TestMPIObserverSeesEachTaskOnce(t *testing.T) {
@@ -217,7 +217,7 @@ func TestMPIObserverSeesEachTaskOnce(t *testing.T) {
 		graphs.ReduceRootCB: sumCB(1),
 	}
 	m := core.NewModuloMap(4, g.Size())
-	runBoth(t, g, m, reg, reductionInputs(g), Options{Observer: log})
+	runBoth(t, g, m, reg, reductionInputs(g), WithObserver(log))
 	if log.Len() != g.Size() {
 		t.Fatalf("observer saw %d executions, want %d", log.Len(), g.Size())
 	}
@@ -239,7 +239,7 @@ func TestMPIStatsCountOnlyInterRankTraffic(t *testing.T) {
 		graphs.ReduceRootCB: sumCB(1),
 	}
 	// Single rank: everything is local, zero fabric traffic.
-	mc := New(Options{})
+	mc := New()
 	if err := mc.Initialize(g, core.NewModuloMap(1, g.Size())); err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestMPIStatsCountOnlyInterRankTraffic(t *testing.T) {
 
 	// Modulo placement of the 7-task binary tree separates parents from
 	// children, so messages must flow.
-	mc2 := New(Options{})
+	mc2 := New()
 	mc2.Initialize(g, core.NewModuloMap(2, g.Size()))
 	for cb, fn := range reg {
 		mc2.RegisterCallback(cb, fn)
@@ -276,7 +276,7 @@ func TestMPIInMemoryMessagePassesPointer(t *testing.T) {
 		{Id: 1, Callback: 1, Incoming: []core.TaskId{0}, Outgoing: [][]core.TaskId{{}}},
 	})
 	type opaque struct{ v int } // deliberately not Serializable
-	mc := New(Options{})
+	mc := New()
 	if err := mc.Initialize(g, core.NewModuloMap(1, 2)); err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestMPICrossRankOpaqueObjectFails(t *testing.T) {
 		{Id: 0, Callback: 0, Incoming: []core.TaskId{core.ExternalInput}, Outgoing: [][]core.TaskId{{1}}},
 		{Id: 1, Callback: 1, Incoming: []core.TaskId{0}, Outgoing: [][]core.TaskId{{}}},
 	})
-	mc := New(Options{})
+	mc := New()
 	mc.Initialize(g, core.NewModuloMap(2, 2))
 	mc.RegisterCallback(0, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
 		return []core.Payload{core.Object(struct{ x int }{1})}, nil
@@ -317,7 +317,7 @@ func TestMPICrossRankOpaqueObjectFails(t *testing.T) {
 func TestMPICallbackErrorPropagates(t *testing.T) {
 	g, _ := graphs.NewReduction(8, 2)
 	boom := errors.New("boom")
-	mc := New(Options{})
+	mc := New()
 	mc.Initialize(g, core.NewModuloMap(4, g.Size()))
 	mc.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
 	mc.RegisterCallback(graphs.ReduceMidCB, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {
@@ -331,7 +331,7 @@ func TestMPICallbackErrorPropagates(t *testing.T) {
 
 func TestMPIInitializeErrors(t *testing.T) {
 	g, _ := graphs.NewReduction(4, 2)
-	mc := New(Options{})
+	mc := New()
 	if err := mc.Initialize(nil, core.NewModuloMap(1, 1)); err == nil {
 		t.Error("nil graph should fail")
 	}
@@ -351,7 +351,7 @@ func TestMPIInitializeErrors(t *testing.T) {
 
 func TestMPIMissingCallback(t *testing.T) {
 	g, _ := graphs.NewReduction(4, 2)
-	mc := New(Options{})
+	mc := New()
 	mc.Initialize(g, core.NewModuloMap(2, g.Size()))
 	mc.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
 	if _, err := mc.Run(reductionInputs(g)); !errors.Is(err, core.ErrUnregisteredCallback) {
@@ -361,7 +361,7 @@ func TestMPIMissingCallback(t *testing.T) {
 
 func TestMPIWrongOutputArity(t *testing.T) {
 	g, _ := graphs.NewReduction(4, 2)
-	mc := New(Options{})
+	mc := New()
 	mc.Initialize(g, core.NewModuloMap(2, g.Size()))
 	mc.RegisterCallback(graphs.ReduceLeafCB, sumCB(2)) // leaves have 1 slot
 	mc.RegisterCallback(graphs.ReduceMidCB, sumCB(1))
@@ -373,7 +373,7 @@ func TestMPIWrongOutputArity(t *testing.T) {
 
 func TestMPIRecoversCallbackPanic(t *testing.T) {
 	g, _ := graphs.NewReduction(8, 2)
-	mc := New(Options{})
+	mc := New()
 	mc.Initialize(g, core.NewModuloMap(4, g.Size()))
 	mc.RegisterCallback(graphs.ReduceLeafCB, sumCB(1))
 	mc.RegisterCallback(graphs.ReduceMidCB, func(in []core.Payload, id core.TaskId) ([]core.Payload, error) {

@@ -9,11 +9,9 @@ import (
 	"github.com/babelflow/babelflow-go/internal/wire"
 )
 
-// Option configures a Controller at construction. Two kinds of values
-// implement it: the functional options below (WithWorkers, WithRetry, …)
-// which each set one knob, and the Options struct itself, which replaces
-// the whole configuration — keeping the legacy mpi.New(mpi.Options{...})
-// call form valid. Options are applied left to right.
+// Option configures a Controller at construction. Each functional option
+// below (WithWorkers, WithRetry, …) sets one knob; options are applied left
+// to right, so a later option overrides an earlier one for the same knob.
 type Option interface {
 	apply(*Options)
 }
@@ -54,6 +52,24 @@ func WithInline(inline bool) Option {
 // (see Options.FIFO).
 func WithFIFO(fifo bool) Option {
 	return optionFunc(func(o *Options) { o.FIFO = fifo })
+}
+
+// WithBlocking switches the fabric to rendezvous sends, modeling blocking
+// MPI communication (see Options.Blocking).
+func WithBlocking(blocking bool) Option {
+	return optionFunc(func(o *Options) { o.Blocking = blocking })
+}
+
+// WithNoSteal disables work stealing between ranks (see Options.NoSteal).
+func WithNoSteal(noSteal bool) Option {
+	return optionFunc(func(o *Options) { o.NoSteal = noSteal })
+}
+
+// WithAlwaysSerialize forces every payload through its wire form even for
+// rank-local deliveries (see Options.AlwaysSerialize) — the configuration
+// conformance tests use to prove serialization round-trips are lossless.
+func WithAlwaysSerialize(always bool) Option {
+	return optionFunc(func(o *Options) { o.AlwaysSerialize = always })
 }
 
 // WithJournal persists every rank's lineage ledger under dir (rank r under

@@ -69,7 +69,7 @@ func runChainVsLeaves(t *testing.T, fifo bool) int {
 	g, leaves, chain := chainVsLeaves(width, depth)
 
 	log := core.NewExecutionLog()
-	ctrl := New(Options{Workers: 1, FIFO: fifo, Observer: log})
+	ctrl := New(WithWorkers(1), WithFIFO(fifo), WithObserver(log))
 	if err := ctrl.Initialize(g, core.NewModuloMap(1, g.Size())); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func (o *timingObs) TaskQueued(id core.TaskId, enqueued, started time.Time) {
 func TestSchedObserverTiming(t *testing.T) {
 	g, leaves, chain := chainVsLeaves(8, 4)
 	obs := &timingObs{seen: make(map[core.TaskId]int)}
-	ctrl := New(Options{Workers: 2, Observer: obs})
+	ctrl := New(WithWorkers(2), WithObserver(obs))
 	if err := ctrl.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
 		t.Fatal(err)
 	}

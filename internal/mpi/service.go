@@ -186,7 +186,7 @@ func (s *Service) Submit(ctx context.Context, sub Submission) (map[core.TaskId][
 	if opt.Journal != "" {
 		opt.Journal = filepath.Join(opt.Journal, fmt.Sprintf("run-%d", id))
 	}
-	ctrl := New(opt)
+	ctrl := newFromOptions(opt)
 	if err := ctrl.Initialize(sub.Graph, tmap); err != nil {
 		return nil, JournalStats{}, err
 	}

@@ -295,7 +295,7 @@ func TestServiceRejectsBadOptions(t *testing.T) {
 	if _, err := NewService(0); err == nil {
 		t.Error("zero ranks accepted")
 	}
-	if _, err := NewService(2, Options{Blocking: true}); err == nil {
+	if _, err := NewService(2, WithBlocking(true)); err == nil {
 		t.Error("blocking service accepted")
 	}
 }

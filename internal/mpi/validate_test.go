@@ -67,13 +67,13 @@ func TestOptionValidationCommitWindow(t *testing.T) {
 func TestOptionValidationStructForm(t *testing.T) {
 	// The struct form keeps zero-means-default semantics (legacy callers),
 	// but negative windows are still rejected.
-	if err := initErr(t, Options{JournalSync: journal.SyncGroupCommit}); err != nil {
+	if err := initErr(t, WithJournalSync(journal.SyncGroupCommit)); err != nil {
 		t.Fatalf("struct form with zero windows rejected: %v", err)
 	}
-	if err := initErr(t, Options{JournalCommitInterval: -time.Second}); err == nil {
+	if err := initErr(t, WithJournalGroupCommit(-time.Second, 8)); err == nil {
 		t.Error("struct form negative interval accepted")
 	}
-	if err := initErr(t, Options{JournalCommitRecords: -4}); err == nil {
+	if err := initErr(t, WithJournalGroupCommit(time.Millisecond, -4)); err == nil {
 		t.Error("struct form negative record bound accepted")
 	}
 }

@@ -1,0 +1,138 @@
+package register
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/babelflow/babelflow-go/internal/core"
+	"github.com/babelflow/babelflow-go/internal/data"
+	"github.com/babelflow/babelflow-go/internal/mpi"
+)
+
+func iterSetup(t *testing.T) (Config, []data.BrainTile, *core.IterativeGraph) {
+	t.Helper()
+	cfg := Config{GridW: 3, GridH: 2, Tile: 16, Overlap: 0.25, Jitter: 1}
+	tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 20260707)
+	ig, err := cfg.Iterative(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, tiles, ig
+}
+
+func runIterRegistration(t *testing.T, c core.Controller, cfg Config, ig *core.IterativeGraph, tiles []data.BrainTile) (int, []Estimate, []byte) {
+	t.Helper()
+	if err := cfg.RegisterIter(c, ig); err != nil {
+		t.Fatal(err)
+	}
+	initial, err := cfg.IterInitial(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, sinks, err := ig.Final(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := cfg.IterEstimates(sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iter, ests, sinks[cfg.IterRootId()][0].Data
+}
+
+// TestIterativeRegistrationConverges runs the refinement loop serially: it
+// must converge before the bound, recover the ground-truth offsets, and
+// solve to the true tile positions — the same answer the static
+// single-pass pipeline gives.
+func TestIterativeRegistrationConverges(t *testing.T) {
+	cfg, tiles, ig := iterSetup(t)
+	s := core.NewSerial()
+	if err := s.Initialize(ig, nil); err != nil {
+		t.Fatal(err)
+	}
+	iter, ests, _ := runIterRegistration(t, s, cfg, ig, tiles)
+	if iter <= 0 || iter >= ig.MaxIter()-1 {
+		t.Fatalf("converged at iteration %d, want inside (0, %d)", iter, ig.MaxIter()-1)
+	}
+
+	tileAt := func(x, y int) data.BrainTile { return tiles[y*cfg.GridW+x] }
+	for _, e := range ests {
+		if e.HasEast {
+			n, o := tileAt(e.X+1, e.Y), tileAt(e.X, e.Y)
+			if wantDx, wantDy := n.TrueX-o.TrueX, n.TrueY-o.TrueY; e.EastDx != wantDx || e.EastDy != wantDy {
+				t.Errorf("cell (%d,%d) East estimate (%d,%d), truth (%d,%d)", e.X, e.Y, e.EastDx, e.EastDy, wantDx, wantDy)
+			}
+		}
+		if e.HasSouth {
+			n, o := tileAt(e.X, e.Y+1), tileAt(e.X, e.Y)
+			if wantDx, wantDy := n.TrueX-o.TrueX, n.TrueY-o.TrueY; e.SouthDx != wantDx || e.SouthDy != wantDy {
+				t.Errorf("cell (%d,%d) South estimate (%d,%d), truth (%d,%d)", e.X, e.Y, e.SouthDx, e.SouthDy, wantDx, wantDy)
+			}
+		}
+	}
+
+	pos, err := Solve(cfg.GridW, cfg.GridH, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			want := Position{
+				X: tileAt(x, y).TrueX - tileAt(0, 0).TrueX,
+				Y: tileAt(x, y).TrueY - tileAt(0, 0).TrueY,
+			}
+			if pos[y][x] != want {
+				t.Errorf("tile (%d,%d) solved at %+v, truth %+v", x, y, pos[y][x], want)
+			}
+		}
+	}
+}
+
+// TestIterativeRegistrationIdenticalAcrossControllers: the converged root
+// blob is byte-identical between the serial reference and a sharded MPI
+// run over the iteration-stable map.
+func TestIterativeRegistrationIdenticalAcrossControllers(t *testing.T) {
+	cfg, tiles, ig := iterSetup(t)
+	s := core.NewSerial()
+	if err := s.Initialize(ig, nil); err != nil {
+		t.Fatal(err)
+	}
+	refIter, _, refBlob := runIterRegistration(t, s, cfg, ig, tiles)
+
+	mc := mpi.New(mpi.WithWorkers(4), mpi.WithAlwaysSerialize(true))
+	if err := mc.Initialize(ig, core.NewIterativeMap(4, ig)); err != nil {
+		t.Fatal(err)
+	}
+	mcIter, _, mcBlob := runIterRegistration(t, mc, cfg, ig,
+		data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 20260707))
+	if mcIter != refIter {
+		t.Fatalf("mpi converged at iteration %d, serial at %d", mcIter, refIter)
+	}
+	if !bytes.Equal(refBlob, mcBlob) {
+		t.Fatal("mpi converged blob differs from serial")
+	}
+}
+
+// TestIterInitialErrors covers the seeding and decoding error paths.
+func TestIterInitialErrors(t *testing.T) {
+	cfg := Config{GridW: 2, GridH: 2, Tile: 8, Overlap: 0.25, Jitter: 1}
+	if _, err := cfg.IterInitial(nil); err == nil {
+		t.Fatal("IterInitial accepted a tile shortfall")
+	}
+	if _, err := cfg.IterEstimates(map[core.TaskId][]core.Payload{}); err == nil {
+		t.Fatal("IterEstimates accepted missing root sinks")
+	}
+	if _, err := cfg.blobEstimate([]byte{1, 2, 3}, 0); err == nil {
+		t.Fatal("blobEstimate accepted a short blob")
+	}
+	if _, err := (Config{GridW: 0, GridH: 1, Tile: 8}).Iterative(4); err == nil {
+		t.Fatal("Iterative accepted an empty grid")
+	}
+	if _, err := (Config{GridW: 2, GridH: 2, Tile: 1}).Iterative(4); err == nil {
+		t.Fatal("Iterative accepted a degenerate tile")
+	}
+}

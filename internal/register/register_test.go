@@ -61,7 +61,7 @@ func runRegistration(t *testing.T, c core.Controller, cfg Config, g *graphs.Neig
 // the true tile positions.
 func TestRegistrationRecoversGroundTruth(t *testing.T) {
 	cfg, tiles, g := testSetup(t)
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, core.NewModuloMap(3, g.Size()))
 	ests := runRegistration(t, mc, cfg, g, tiles)
 
@@ -118,7 +118,7 @@ func TestRegistrationIdenticalAcrossRuntimes(t *testing.T) {
 			c.Initialize(g, nil)
 			return c
 		case "mpi":
-			c := mpi.New(mpi.Options{})
+			c := mpi.New()
 			c.Initialize(g, m)
 			return c
 		case "charm":
@@ -267,7 +267,7 @@ func TestRegisterValidation(t *testing.T) {
 // solver tests.
 func newTestController(t *testing.T, g *graphs.Neighbor2D, shards int) core.Controller {
 	t.Helper()
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	if err := mc.Initialize(g, core.NewModuloMap(shards, g.Size())); err != nil {
 		t.Fatal(err)
 	}

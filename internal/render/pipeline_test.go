@@ -106,7 +106,7 @@ func TestReductionDataflowMatchesIceT(t *testing.T) {
 
 	m := core.NewModuloMap(4, g.Size())
 	cs := map[string]core.Controller{}
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, m)
 	cs["mpi"] = mc
 	cc := charm.New(charm.Options{PEs: 4, LBPeriod: 2})
@@ -166,7 +166,7 @@ func TestBinarySwapDataflowMatchesBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mc := mpi.New(mpi.Options{})
+	mc := mpi.New()
 	mc.Initialize(g, core.NewModuloMap(3, g.Size()))
 	if err := cfg.RegisterBinarySwap(mc, g); err != nil {
 		t.Fatal(err)

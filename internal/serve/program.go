@@ -6,8 +6,9 @@
 // Two families ship by default: synthetic prototypes over the figure
 // graphs (reduction, broadcast, k-way merge, binary swap) with a
 // deterministic hash-mix callback, sized by parameters — the service
-// benchmark and smoke currency; and the paper's three use cases
-// (mergetree, render, register) wired exactly as cmd/bfrun wires them.
+// benchmark and smoke currency; and the paper's use cases (mergetree,
+// render, register, plus the iterative register-iter refinement loop)
+// wired exactly as cmd/bfrun wires them.
 package serve
 
 import (
@@ -236,6 +237,33 @@ func DefaultRegistry() *Registry {
 			return mpi.Submission{
 				Graph:    graph,
 				Register: func(c core.CallbackRegistrar) error { return cfg.Register(c, graph) },
+				Initial:  initial,
+			}, nil
+		},
+	})
+	r.Add(Program{
+		Name:  "register-iter",
+		About: "iterative registration refinement loop under core.Iterate (grid, tile, maxiter)",
+		Build: func(p Params) (mpi.Submission, error) {
+			cfg := register.Config{
+				GridW:   p.get("grid", 3),
+				GridH:   p.get("grid", 3),
+				Tile:    p.get("tile", 24),
+				Overlap: 0.2,
+				Jitter:  2,
+			}
+			tiles := data.BrainSpecimen(cfg.GridW, cfg.GridH, cfg.Tile, cfg.Overlap, cfg.Jitter, 5)
+			ig, err := cfg.Iterative(p.get("maxiter", 8))
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			initial, err := cfg.IterInitial(tiles)
+			if err != nil {
+				return mpi.Submission{}, err
+			}
+			return mpi.Submission{
+				Graph:    ig,
+				Register: func(c core.CallbackRegistrar) error { return cfg.RegisterIter(c, ig) },
 				Initial:  initial,
 			}, nil
 		},

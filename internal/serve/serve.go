@@ -224,7 +224,7 @@ type Server struct {
 // NewServer builds the service and starts its dispatcher.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	svc, err := mpi.NewService(cfg.Ranks, mpi.Options{Workers: cfg.Workers, Journal: cfg.Journal})
+	svc, err := mpi.NewService(cfg.Ranks, mpi.WithWorkers(cfg.Workers), mpi.WithJournal(cfg.Journal))
 	if err != nil {
 		return nil, err
 	}

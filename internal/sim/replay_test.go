@@ -15,7 +15,7 @@ func recordedRun(t *testing.T) (*graphs.Reduction, []trace.Span) {
 	t.Helper()
 	g, _ := graphs.NewReduction(8, 2)
 	rec := trace.NewRecorder()
-	c := mpi.New(mpi.Options{Observer: rec})
+	c := mpi.New(mpi.WithObserver(rec))
 	if err := c.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
 		t.Fatal(err)
 	}

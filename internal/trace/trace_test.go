@@ -15,7 +15,7 @@ func tracedRun(t *testing.T, shards int) (*graphs.Reduction, *Recorder) {
 	t.Helper()
 	g, _ := graphs.NewReduction(16, 2)
 	rec := NewRecorder()
-	c := mpi.New(mpi.Options{Observer: rec})
+	c := mpi.New(mpi.WithObserver(rec))
 	if err := c.Initialize(g, core.NewModuloMap(shards, g.Size())); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestWriteCSV(t *testing.T) {
 func TestQueueWaitRecorded(t *testing.T) {
 	g, _ := graphs.NewReduction(8, 2)
 	rec := NewRecorder()
-	c := mpi.New(mpi.Options{Observer: rec, Workers: 1})
+	c := mpi.New(mpi.WithObserver(rec), mpi.WithWorkers(1))
 	if err := c.Initialize(g, core.NewModuloMap(2, g.Size())); err != nil {
 		t.Fatal(err)
 	}
