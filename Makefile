@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race deprecations bench-fastpath bench-wire bench-sched bench-faults bench-journal bench-serve bench-iterate figures smoke-wire smoke-faults smoke-resume smoke-serve smoke-iterate fuzz-wire perf-smoke
+.PHONY: check build vet test race deprecations bench-fastpath bench-wire bench-sched bench-faults bench-journal bench-serve bench-iterate figures smoke-wire smoke-faults smoke-resume smoke-serve smoke-iterate smoke-elastic fuzz-wire perf-smoke
 
 ## check: the CI gate — vet, the deprecation sweep, build, the full test
 ## suite under the race detector, the fault-injection smoke (kill one
@@ -9,8 +9,10 @@ GO ?= go
 ## serial), the service smoke (bfserve on a loopback port, the use cases
 ## submitted over HTTP, digests verified, drained) and the iterative-loop
 ## smoke (register-iter over 4 real processes on the shm tier, plus a
-## kill-all/resume cycle mid-iteration).
-check: vet deprecations build race smoke-faults smoke-resume smoke-serve smoke-iterate
+## kill-all/resume cycle mid-iteration) and the elastic smoke (2 real
+## processes, 2 more joining mid-run, 1 gracefully drained, digests
+## verified against serial).
+check: vet deprecations build race smoke-faults smoke-resume smoke-serve smoke-iterate smoke-elastic
 
 ## deprecations: the API-freshness gate — after the functional-options
 ## migration no deprecated symbol may remain (or be newly introduced).
@@ -123,6 +125,18 @@ smoke-iterate:
 ## into a static DAG (BENCH_iterate.json; baseline_seed preserved).
 bench-iterate:
 	$(GO) run ./cmd/bfbench -iterate
+
+## smoke-elastic: live membership over real processes — start the merge
+## tree on 2 workers, fork 2 joiners mid-run, gracefully drain one member
+## (its journaled lineage is adopted and replayed by the survivors), and
+## verify the final sink digests byte-for-byte against the serial
+## reference.
+smoke-elastic:
+	$(GO) build -o bin/bfrun ./cmd/bfrun
+	@set -e; dir=$$(mktemp -d); \
+	./bin/bfrun -case mergetree -elastic -ranks 2 -join 2 -join-after 150ms \
+		-drain 1 -drain-after 400ms -journal $$dir -wire-tier tcp; \
+	rm -rf $$dir
 
 ## fuzz-wire: short fuzz smoke of the wire frame decoder (longer runs:
 ## go test -fuzz=FuzzFrameDecode ./internal/wire).

@@ -49,11 +49,26 @@ func main() {
 		wireKill  = flag.Int("wire-kill-after", -1, "internal: worker kills its own transport after this many inter-rank sends")
 		wireJnl   = flag.String("wire-journal", "", "internal: worker journal directory")
 		wireTier  = flag.String("wire-tier", "auto", "with -transport tcp: transport between co-located ranks (auto | tcp | unix | shm)")
+		elastic   = flag.Bool("elastic", false, "run with elastic membership: fork -ranks workers, join -join more mid-run, drain member -drain, verify digests against serial")
+		joinN     = flag.Int("join", 0, "with -elastic: workers to join mid-run")
+		joinAfter = flag.Duration("join-after", 150*time.Millisecond, "with -elastic: when the joiners are forked")
+		drainM    = flag.Int("drain", -1, "with -elastic: member to gracefully drain mid-run (-1 none)")
+		drainAft  = flag.Duration("drain-after", 400*time.Millisecond, "with -elastic: when the drain request is sent")
+		pace      = flag.Duration("elastic-pace", 20*time.Millisecond, "with -elastic: per-task delay so membership events land mid-run")
+		wireGate  = flag.String("wire-gate", "", "internal: run as elastic worker against this membership gate")
 	)
 	flag.Parse()
 	traceCSV = *traceTo
 	whatIfCores = *whatIfC
 
+	if *wireGate != "" {
+		runElasticWorker(*useCase, *wireGate, *wireTier, *ranks, *n, *blocks, *wireJnl, *pace)
+		return
+	}
+	if *elastic {
+		runElasticParent(*useCase, *ranks, *joinN, *joinAfter, *drainM, *drainAft, *n, *blocks, *wireTier, *journal, *pace)
+		return
+	}
 	if *wireRank >= 0 {
 		runWireWorker(*useCase, *wireRank, *ranks, *wireAddr, *wireTier, *n, *blocks, *wireJnl, *wireKill)
 		return

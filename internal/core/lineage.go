@@ -210,32 +210,39 @@ func (l *Ledger) StoreErrors() int {
 	return l.storeErrs
 }
 
+// Adopt copies the donor ledger's recorded outputs for id into l, making l
+// the task's new owner of record. When l is store-backed the adopted record
+// is journaled like any other, so a hand-off (drain, rebalance) is durable
+// before the donor's journal is retired. Returns false when the donor has
+// nothing recorded for id — the task simply re-executes on the new owner,
+// which is always correct. Buffers are deep-copied: the two ledgers share
+// no memory afterwards.
+func (l *Ledger) Adopt(donor *Ledger, id TaskId) bool {
+	if donor == nil || donor == l {
+		return false
+	}
+	outs, ok := donor.Outputs(id)
+	if !ok {
+		return false
+	}
+	cp := make([][]byte, len(outs))
+	for i, b := range outs {
+		cp[i] = append([]byte(nil), b...)
+	}
+	l.Record(id, cp)
+	return true
+}
+
 // ReassignShards builds the task map of a recovery epoch. alive lists the
 // surviving shards of the original map in ascending order; survivors are
 // renumbered to logical shards 0..len(alive)-1 (keeping their own tasks,
 // so their ledgers stay valid), and every task of a lost shard is
-// redistributed round-robin over the survivors.
+// redistributed round-robin over the survivors. It is the loss-only special
+// case of RebalanceShards: with no joiners in the member set the two are
+// identical.
 func ReassignShards(g TaskGraph, m TaskMap, alive []ShardId) (TaskMap, error) {
 	if len(alive) == 0 {
 		return nil, errors.New("core: reassign: no surviving shards")
 	}
-	logical := make(map[ShardId]ShardId, len(alive))
-	for i, s := range alive {
-		if _, dup := logical[s]; dup {
-			return nil, errors.New("core: reassign: duplicate surviving shard")
-		}
-		logical[s] = ShardId(i)
-	}
-	ids := g.TaskIds()
-	dest := make(map[TaskId]ShardId, len(ids))
-	rr := 0
-	for _, id := range ids {
-		if l, ok := logical[m.Shard(id)]; ok {
-			dest[id] = l
-		} else {
-			dest[id] = ShardId(rr % len(alive))
-			rr++
-		}
-	}
-	return NewFuncMap(len(alive), ids, func(id TaskId) ShardId { return dest[id] }), nil
+	return RebalanceShards(g, m, alive)
 }

@@ -1,0 +1,93 @@
+package core
+
+import "errors"
+
+// Shard rebalancing for elastic membership. Where ReassignShards only ever
+// shrinks a task map around dead shards, RebalanceShards builds the map of
+// an arbitrary membership epoch: members may drop out (drained or dead) AND
+// new members may join, with work actively moved onto the joiners.
+//
+// Member identity convention: members[l] is the physical identity of the
+// epoch's logical rank l. An identity in [0, m.ShardCount()) denotes that
+// base shard — a survivor, which keeps its own tasks so its lineage ledger
+// stays valid. An identity >= m.ShardCount() is a joiner: it owns no tasks
+// under the base map and receives work from the rebalance. Identities are
+// stable across epochs, so per-member journals and ledgers follow the
+// member, not the logical rank.
+
+// RebalanceShards builds the task map of a membership epoch over members.
+// Three deterministic steps:
+//
+//  1. Survivors keep their own tasks (renumbered to their logical rank).
+//  2. Orphaned tasks — whose base shard is not a member (dead or drained) —
+//     are redistributed round-robin over all logical ranks.
+//  3. When the member set includes joiners, tasks are moved from the most
+//     loaded ranks onto the least loaded joiners until no joiner trails any
+//     rank by more than one task, so new capacity takes a fair share
+//     instead of only inheriting orphans.
+//
+// Tasks that change owners lose ledger locality; the elastic coordinator
+// repairs that by adopting their recorded lineage into the new owner's
+// ledger (Ledger.Adopt) before the epoch runs.
+func RebalanceShards(g TaskGraph, m TaskMap, members []ShardId) (TaskMap, error) {
+	if len(members) == 0 {
+		return nil, errors.New("core: rebalance: no members")
+	}
+	base := ShardId(m.ShardCount())
+	logical := make(map[ShardId]ShardId, len(members))
+	for i, s := range members {
+		if s < 0 {
+			return nil, errors.New("core: rebalance: negative member identity")
+		}
+		if _, dup := logical[s]; dup {
+			return nil, errors.New("core: rebalance: duplicate member")
+		}
+		logical[s] = ShardId(i)
+	}
+
+	ids := g.TaskIds()
+	dest := make(map[TaskId]ShardId, len(ids))
+	owned := make([][]TaskId, len(members))
+	rr := 0
+	for _, id := range ids {
+		l, ok := logical[m.Shard(id)]
+		if !ok {
+			l = ShardId(rr % len(members))
+			rr++
+		}
+		dest[id] = l
+		owned[l] = append(owned[l], id)
+	}
+
+	var joiners []int
+	for i, s := range members {
+		if s >= base {
+			joiners = append(joiners, i)
+		}
+	}
+	for len(joiners) > 0 {
+		src, dst := 0, joiners[0]
+		for i := range owned {
+			if len(owned[i]) > len(owned[src]) {
+				src = i
+			}
+		}
+		for _, j := range joiners {
+			if len(owned[j]) < len(owned[dst]) {
+				dst = j
+			}
+		}
+		if src == dst || len(owned[src])-len(owned[dst]) <= 1 {
+			break
+		}
+		// Donate the donor's highest task id: deterministic, and it peels
+		// from the tail so the survivor's low ids (typically the graph's
+		// leaves it already recorded) stay put.
+		t := owned[src][len(owned[src])-1]
+		owned[src] = owned[src][:len(owned[src])-1]
+		owned[dst] = append(owned[dst], t)
+		dest[t] = ShardId(dst)
+	}
+
+	return NewFuncMap(len(members), ids, func(id TaskId) ShardId { return dest[id] }), nil
+}

@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Network-partition and slow-peer injection: net.Conn wrappers plugged into
+// wire.Options.WrapConn that model the failure modes a membership protocol
+// must not misread — a link that drops traffic in ONE direction (asymmetric
+// partition), a link that flaps (partitioned, then healed), and a peer that
+// is alive but slow. None of these are process death; recovery that treats
+// them as death turns one bad link into an epoch storm.
+
+// PartitionLink returns a WrapConn-shaped hook that blackholes every write
+// from rank src to rank dst, forever, while leaving the reverse direction
+// intact — an asymmetric partition. src still believes its writes land
+// (the syscall "succeeds"), so only dst's heartbeat timeout can notice.
+func PartitionLink(src, dst int) func(localRank, peerRank int, c net.Conn) net.Conn {
+	return FlappingLink(src, dst, 0)
+}
+
+// FlappingLink returns a WrapConn-shaped hook for a link that heals: writes
+// from src to dst are blackholed until healAfter has elapsed since the
+// connection was wrapped, then pass through untouched. healAfter <= 0 never
+// heals (a permanent asymmetric partition). A heal interval longer than the
+// heartbeat timeout exercises the "partitioned but alive" classification: a
+// correct recovery bumps the epoch at most once for the flap instead of
+// evicting the silent rank on every beat.
+func FlappingLink(src, dst int, healAfter time.Duration) func(localRank, peerRank int, c net.Conn) net.Conn {
+	return func(localRank, peerRank int, c net.Conn) net.Conn {
+		if localRank != src || peerRank != dst {
+			return c
+		}
+		pc := &partitionConn{Conn: c}
+		if healAfter > 0 {
+			pc.healAt = time.Now().Add(healAfter)
+		}
+		return pc
+	}
+}
+
+// partitionConn drops writes until healAt (never, when zero).
+type partitionConn struct {
+	net.Conn
+	healAt time.Time
+}
+
+func (c *partitionConn) Write(b []byte) (int, error) {
+	if c.healAt.IsZero() || time.Now().Before(c.healAt) {
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// SlowPlan describes a slow-peer delay distribution: every write from the
+// afflicted rank sleeps Base plus a deterministic pseudo-random extra in
+// [0, Spread), seeded by Seed — the same plan replays the same delays.
+type SlowPlan struct {
+	Rank   int           // rank whose egress is slowed (-1 disables)
+	Base   time.Duration // fixed per-write delay
+	Spread time.Duration // width of the added pseudo-random delay
+	Seed   uint64        // distribution seed (0 is a valid seed)
+}
+
+// SlowLink returns a WrapConn-shaped hook applying plan to every connection
+// whose local side is plan.Rank: the peer stays alive and correct, just
+// late. With Base+Spread below the heartbeat timeout this models jitter the
+// runtime must absorb; above it, a peer that is indistinguishable from dead
+// by any failure detector.
+func SlowLink(plan SlowPlan) func(localRank, peerRank int, c net.Conn) net.Conn {
+	return func(localRank, peerRank int, c net.Conn) net.Conn {
+		if localRank != plan.Rank {
+			return c
+		}
+		// Decorrelate the pair's stream from the plan seed so every
+		// connection of the rank sees a distinct but reproducible sequence.
+		seed := plan.Seed ^ uint64(localRank+1)<<32 ^ uint64(peerRank+1)
+		return &slowConn{Conn: c, base: plan.Base, spread: plan.Spread, state: seed}
+	}
+}
+
+// slowConn delays each write by base + lcg(state) mod spread.
+type slowConn struct {
+	net.Conn
+	mu     sync.Mutex
+	base   time.Duration
+	spread time.Duration
+	state  uint64
+}
+
+func (c *slowConn) Write(b []byte) (int, error) {
+	d := c.base
+	if c.spread > 0 {
+		c.mu.Lock()
+		// Same multiplicative congruential generator the transport plan's
+		// Delay jitter would use: cheap, deterministic, full period.
+		c.state = c.state*6364136223846793005 + 1442695040888963407
+		d += time.Duration(c.state % uint64(c.spread))
+		c.mu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(b)
+}

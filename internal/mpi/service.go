@@ -2,9 +2,11 @@ package mpi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,12 @@ import (
 	"github.com/babelflow/babelflow-go/internal/core"
 	"github.com/babelflow/babelflow-go/internal/fabric"
 )
+
+// ErrDraining marks a submission that cannot be placed because it pins
+// tasks to a rank that is draining (or because every rank is draining).
+// The admission layer maps it to HTTP 429 with a Retry-After: the caller
+// should resubmit without the pin, or after the drain completes.
+var ErrDraining = errors.New("mpi: rank is draining")
 
 // Submission is one graph instance handed to a resident Service: the graph,
 // an optional task map (nil places tasks contiguously with
@@ -51,8 +59,18 @@ type Service struct {
 	next   atomic.Uint64 // run id allocator; ids start at 1 (0 = unmultiplexed)
 	active sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	// Drain lifecycle: a draining rank stops receiving tasks from new
+	// submissions (their shards are remapped — handed off — onto the
+	// remaining ranks) and is considered drained once no in-flight run owns
+	// tasks on it. rankRuns counts, per rank, the active runs with at least
+	// one task placed there.
+	rankRuns     []atomic.Int64
+	handoffRuns  atomic.Uint64 // submissions remapped off draining ranks
+	handoffTasks atomic.Uint64 // tasks moved by those remappings
+
+	mu       sync.Mutex
+	closed   bool
+	draining map[int]bool
 }
 
 // NewService builds a resident execution session over ranks logical ranks.
@@ -92,10 +110,12 @@ func NewService(ranks int, opts ...Option) (*Service, error) {
 		local[i] = i
 	}
 	s := &Service{
-		opt:   opt,
-		ranks: ranks,
-		base:  base,
-		demux: fabric.NewDemux(base, local...),
+		opt:      opt,
+		ranks:    ranks,
+		base:     base,
+		demux:    fabric.NewDemux(base, local...),
+		rankRuns: make([]atomic.Int64, ranks),
+		draining: make(map[int]bool),
 	}
 	if !opt.Inline {
 		n := opt.Workers
@@ -150,6 +170,104 @@ func (s *Service) WireTiers() map[string]string {
 	return out
 }
 
+// Drain marks a rank draining: new submissions stop placing tasks on it
+// (default-mapped submissions are transparently remapped — the hand-off —
+// while submissions pinning tasks there are refused with ErrDraining), and
+// the rank counts as drained once every in-flight run that owns tasks on
+// it completes. Idempotent; draining the last undrained rank is refused.
+func (s *Service) Drain(rank int) error {
+	if rank < 0 || rank >= s.ranks {
+		return fmt.Errorf("mpi: drain: rank %d out of range [0,%d)", rank, s.ranks)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining[rank] {
+		return nil
+	}
+	if len(s.draining) == s.ranks-1 {
+		return fmt.Errorf("mpi: drain: rank %d is the last undrained rank: %w", rank, ErrDraining)
+	}
+	s.draining[rank] = true
+	return nil
+}
+
+// Undrain returns a draining rank to service.
+func (s *Service) Undrain(rank int) error {
+	if rank < 0 || rank >= s.ranks {
+		return fmt.Errorf("mpi: undrain: rank %d out of range [0,%d)", rank, s.ranks)
+	}
+	s.mu.Lock()
+	delete(s.draining, rank)
+	s.mu.Unlock()
+	return nil
+}
+
+// Draining returns the ranks currently draining, ascending.
+func (s *Service) Draining() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.draining))
+	for r := range s.draining {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RankActive returns how many in-flight runs own at least one task on the
+// rank — zero on a draining rank means the drain is complete.
+func (s *Service) RankActive(rank int) int {
+	if rank < 0 || rank >= s.ranks {
+		return 0
+	}
+	return int(s.rankRuns[rank].Load())
+}
+
+// HandoffCounts reports the drain hand-off totals: submissions remapped
+// off draining ranks, and tasks those remappings moved.
+func (s *Service) HandoffCounts() (runs, tasks uint64) {
+	return s.handoffRuns.Load(), s.handoffTasks.Load()
+}
+
+// drainingSnapshot returns the current draining set, nil when empty.
+func (s *Service) drainingSnapshot() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.draining) == 0 {
+		return nil
+	}
+	cp := make(map[int]bool, len(s.draining))
+	for r := range s.draining {
+		cp[r] = true
+	}
+	return cp
+}
+
+// avoidDraining rebuilds tmap with every task on a draining rank moved
+// round-robin onto the undrained ranks. The shard count is unchanged (the
+// fabric still spans all ranks; draining ranks just own no tasks).
+func avoidDraining(g core.TaskGraph, tmap core.TaskMap, ranks int, draining map[int]bool) (core.TaskMap, int) {
+	var healthy []core.ShardId
+	for r := 0; r < ranks; r++ {
+		if !draining[r] {
+			healthy = append(healthy, core.ShardId(r))
+		}
+	}
+	ids := g.TaskIds()
+	dest := make(map[core.TaskId]core.ShardId, len(ids))
+	moved, rr := 0, 0
+	for _, id := range ids {
+		sh := tmap.Shard(id)
+		if draining[int(sh)] {
+			sh = healthy[rr%len(healthy)]
+			rr++
+			moved++
+		}
+		dest[id] = sh
+	}
+	return core.NewFuncMap(ranks, ids, func(id core.TaskId) core.ShardId { return dest[id] }), moved
+}
+
 // Submit executes one graph instance over the warm fabric and pool,
 // returning its sink outputs and (for journaled services) the run's journal
 // counters. Safe for concurrent use: each call gets a private run id, a
@@ -176,6 +294,41 @@ func (s *Service) Submit(ctx context.Context, sub Submission) (map[core.TaskId][
 	if got := tmap.ShardCount(); got != s.ranks {
 		return nil, JournalStats{}, fmt.Errorf("mpi: submission map shards over %d ranks, service has %d", got, s.ranks)
 	}
+	if draining := s.drainingSnapshot(); draining != nil {
+		if sub.Map != nil {
+			// An explicit map is a placement contract: refuse rather than
+			// silently violate it when it pins tasks to a draining rank.
+			for _, id := range sub.Graph.TaskIds() {
+				if draining[int(tmap.Shard(id))] {
+					return nil, JournalStats{}, fmt.Errorf("mpi: submission places task %d on draining rank %d: %w", id, tmap.Shard(id), ErrDraining)
+				}
+			}
+		} else {
+			// Default placement: hand the draining ranks' shards off to the
+			// remaining ranks transparently.
+			var moved int
+			tmap, moved = avoidDraining(sub.Graph, tmap, s.ranks, draining)
+			if moved > 0 {
+				s.handoffRuns.Add(1)
+				s.handoffTasks.Add(uint64(moved))
+			}
+		}
+	}
+
+	// Per-rank activity accounting (drain completion watches it): a rank is
+	// busy while a run owning tasks on it is in flight.
+	used := make(map[core.ShardId]bool)
+	for _, tid := range sub.Graph.TaskIds() {
+		used[tmap.Shard(tid)] = true
+	}
+	for r := range used {
+		s.rankRuns[r].Add(1)
+	}
+	defer func() {
+		for r := range used {
+			s.rankRuns[r].Add(-1)
+		}
+	}()
 
 	id := s.next.Add(1)
 	// Per-run controller: construction is cheap (critical paths are cached

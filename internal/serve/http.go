@@ -28,12 +28,42 @@ type SubmitRequest struct {
 //	GET  /runs              recent runs, newest first
 //	GET  /runs/{id}         one run's status
 //	POST /runs/{id}/cancel  abort a queued or running run
+//	POST /drain/{rank}      gracefully retire a rank (hand off its work)
+//	POST /undrain/{rank}    return a drained rank to service
 //	GET  /programs          the registered program set
 //	GET  /metrics           aggregate counters and latency percentiles
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness ("degraded" while a drain fence is
+//	                        in flight)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("POST /drain/{rank}", func(w http.ResponseWriter, r *http.Request) {
+		rank, err := strconv.Atoi(r.PathValue("rank"))
+		if err != nil {
+			http.Error(w, "serve: bad rank", http.StatusBadRequest)
+			return
+		}
+		if err := s.Drain(rank); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"draining": s.Draining(),
+			"fencing":  s.Fencing(),
+		})
+	})
+	mux.HandleFunc("POST /undrain/{rank}", func(w http.ResponseWriter, r *http.Request) {
+		rank, err := strconv.Atoi(r.PathValue("rank"))
+		if err != nil {
+			http.Error(w, "serve: bad rank", http.StatusBadRequest)
+			return
+		}
+		if err := s.Undrain(rank); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"draining": s.Draining()})
+	})
 	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Runs())
 	})
@@ -77,9 +107,16 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Degraded, not dead: an epoch fence in flight means the service is
+		// still accepting work but a rank hand-off has yet to quiesce.
+		status := "ok"
+		if s.Fencing() {
+			status = "degraded"
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":    "ok",
+			"status":    status,
 			"ranks":     s.Ranks(),
+			"draining":  s.Draining(),
 			"uptime_ms": float64(s.Uptime()) / float64(time.Millisecond),
 		})
 	})
@@ -124,7 +161,7 @@ func runID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownRun):

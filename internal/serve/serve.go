@@ -36,6 +36,12 @@ var ErrUnknownProgram = errors.New("serve: unknown program")
 // server still remembers.
 var ErrUnknownRun = errors.New("serve: unknown run")
 
+// ErrDraining is the service-layer drain error (mapped to HTTP 429 with
+// Retry-After): a submission pinned to a rank that is being retired, or a
+// drain request that would empty the fabric. Aliased so HTTP handlers and
+// embedders can errors.Is against the serve package alone.
+var ErrDraining = mpi.ErrDraining
+
 // State is a run's lifecycle phase.
 type State string
 
@@ -151,6 +157,21 @@ type Metrics struct {
 	// they addressed an unknown or released run — late arrivals racing a
 	// cancel. A steadily climbing value under normal load is a bug signal.
 	StrayFrames uint64 `json:"stray_frames"`
+	// DrainingRanks lists ranks currently marked draining (sorted).
+	DrainingRanks []int `json:"draining_ranks"`
+	// DrainFences is the number of drain fences still in flight: drains
+	// whose rank has not yet quiesced. Healthz reports "degraded" while
+	// this is non-zero.
+	DrainFences int `json:"drain_fences_inflight"`
+	// Drains counts completed drain fences since startup.
+	Drains uint64 `json:"drains"`
+	// DrainLatencyMs is the most recent drain's fence latency: Drain()
+	// accepted to last in-flight run off the rank.
+	DrainLatencyMs float64 `json:"drain_latency_ms"`
+	// HandoffRuns/HandoffTasks count submissions (and the tasks inside
+	// them) the placement layer moved off draining ranks at admission.
+	HandoffRuns  uint64 `json:"handoff_runs"`
+	HandoffTasks uint64 `json:"handoff_tasks"`
 }
 
 // run is the mutable server-side record.
@@ -204,6 +225,7 @@ type Server struct {
 
 	next    atomic.Uint64
 	started time.Time
+	fences  atomic.Int32 // drain fences in flight (rank marked, not yet idle)
 
 	dispatchWG sync.WaitGroup
 	execWG     sync.WaitGroup
@@ -217,6 +239,8 @@ type Server struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+	drains    uint64
+	drainMs   float64
 	queueWait sampleRing
 	makespan  sampleRing
 }
@@ -253,12 +277,60 @@ func (s *Server) Ranks() int { return s.svc.Ranks() }
 // Uptime is the time since the server started.
 func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
 
+// Drain marks a rank for graceful retirement. New submissions avoid it
+// immediately (pinned submissions are shed with ErrDraining, unpinned ones
+// are remapped onto the healthy ranks); runs already holding tasks on the
+// rank finish normally. The drain fence stays in flight — and /healthz
+// reports "degraded" — until the rank's last in-flight run completes, at
+// which point the fence latency lands in Metrics.DrainLatencyMs.
+func (s *Server) Drain(rank int) error {
+	if err := s.svc.Drain(rank); err != nil {
+		return err
+	}
+	start := time.Now()
+	s.fences.Add(1)
+	go func() {
+		defer s.fences.Add(-1)
+		for s.svc.RankActive(rank) > 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		s.mu.Lock()
+		s.drains++
+		s.drainMs = float64(time.Since(start)) / float64(time.Millisecond)
+		s.mu.Unlock()
+	}()
+	return nil
+}
+
+// Undrain returns a previously drained rank to service.
+func (s *Server) Undrain(rank int) error { return s.svc.Undrain(rank) }
+
+// Fencing reports whether any drain fence is still in flight — a drained
+// rank that has not yet quiesced.
+func (s *Server) Fencing() bool { return s.fences.Load() > 0 }
+
+// Draining lists the ranks currently marked draining.
+func (s *Server) Draining() []int { return s.svc.Draining() }
+
 // Submit admits one run of the named program. It never blocks on execution:
 // the run is queued (its returned status is StateQueued) or shed with
-// ErrOverloaded when the admission queue is full.
+// ErrOverloaded when the admission queue is full. A "pin" param places
+// every task of the run on that rank; pinning to a draining rank is shed
+// with ErrDraining (HTTP 429 + Retry-After) instead of queueing work the
+// fence would strand.
 func (s *Server) Submit(program string, p Params) (RunStatus, error) {
 	if _, ok := s.reg.Lookup(program); !ok {
 		return RunStatus{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownProgram, program, s.reg.Names())
+	}
+	if pin, ok := p["pin"]; ok {
+		if pin < 0 || pin >= s.svc.Ranks() {
+			return RunStatus{}, fmt.Errorf("serve: pin rank %d outside fabric [0,%d)", pin, s.svc.Ranks())
+		}
+		for _, d := range s.svc.Draining() {
+			if d == pin {
+				return RunStatus{}, fmt.Errorf("serve: submission pinned to rank %d: %w", pin, ErrDraining)
+			}
+		}
 	}
 	r := &run{
 		id:        s.next.Add(1),
@@ -384,6 +456,15 @@ func (s *Server) execute(r *run) {
 		s.finish(r, "", mpi.JournalStats{}, err)
 		return
 	}
+	if pin, ok := r.params["pin"]; ok && sub.Map == nil {
+		// Explicit placement: every task on the pinned rank. A rank that
+		// started draining between admission and here fails the run with
+		// ErrDraining — the submission raced the fence and lost.
+		ids := sub.Graph.TaskIds()
+		sub.Map = core.NewFuncMap(s.svc.Ranks(), ids, func(core.TaskId) core.ShardId {
+			return core.ShardId(pin)
+		})
+	}
 	out, js, err := s.svc.Submit(r.ctx, sub)
 	if err != nil {
 		s.finish(r, "", js, err)
@@ -504,6 +585,7 @@ func (s *Server) Runs() []RunStatus {
 
 // Metrics snapshots the aggregate counters and latency percentiles.
 func (s *Server) Metrics() Metrics {
+	hr, ht := s.svc.HandoffCounts()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -521,6 +603,12 @@ func (s *Server) Metrics() Metrics {
 		MakespanP99Ms:  ms(s.makespan.percentile(0.99)),
 		WireTiers:      s.svc.WireTiers(),
 		StrayFrames:    s.svc.Stray(),
+		DrainingRanks:  s.svc.Draining(),
+		DrainFences:    int(s.fences.Load()),
+		Drains:         s.drains,
+		DrainLatencyMs: s.drainMs,
+		HandoffRuns:    hr,
+		HandoffTasks:   ht,
 	}
 }
 

@@ -613,6 +613,9 @@ func vetHello(opt Options, h hello, minRank int, conns []net.Conn) string {
 // vetCommon checks the handshake fields every connection must agree on:
 // rank count, recovery epoch, transport tier and graph fingerprint.
 func vetCommon(opt Options, h hello) string {
+	if h.Kind != KindWorker {
+		return fmt.Sprintf("%v hello on the data plane: membership changes go through the gate", h.Kind)
+	}
 	if h.Ranks != opt.Ranks {
 		return fmt.Sprintf("rank count mismatch: peer says %d, local says %d", h.Ranks, opt.Ranks)
 	}

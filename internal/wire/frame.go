@@ -26,10 +26,13 @@ import (
 //	frameHeartbeat: empty
 //	frameGoodbye:   empty — the peer has flushed everything it will ever
 //	                send; a subsequent EOF on the connection is clean
-//	frameHello:     u32 rank | u32 ranks | u32 epoch | u8 tier |
+//	frameHello:     u32 rank | u32 ranks | u32 epoch | u8 tier | u8 kind |
 //	                32-byte fingerprint | u16+tcp data address |
 //	                u16+unix data address | u16+host id |
-//	                u16+shm dir | u64 shm generation
+//	                u16+shm dir | u64 shm generation; kind distinguishes a
+//	                data-plane worker (KindWorker) from a membership-gate
+//	                dial (KindJoin / KindDrain) — the data-plane rendezvous
+//	                rejects the latter
 //	frameWelcome:   u32 n | n × (u16+tcp addr | u16+unix addr | u16+host
 //	                id | u16+shm dir | u64 shm gen), the endpoint table
 //	                indexed by rank (rendezvous reply); co-located ranks
@@ -62,7 +65,32 @@ const (
 	frameDoorbell
 	frameShmOffer
 	frameShmAck
+	frameTicket
+	frameStatus
 )
+
+// HelloKind tags what a dialing process wants from rank 0: to bootstrap the
+// data plane of the current epoch (worker), to join the membership at the
+// next epoch boundary, or to request a graceful drain.
+type HelloKind byte
+
+const (
+	KindWorker HelloKind = iota
+	KindJoin
+	KindDrain
+)
+
+func (k HelloKind) String() string {
+	switch k {
+	case KindWorker:
+		return "worker"
+	case KindJoin:
+		return "join"
+	case KindDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
 
 const (
 	frameHeaderSize = 9         // u32 length + u8 type + u32 crc32c(body)
@@ -231,6 +259,7 @@ type hello struct {
 	Ranks       int
 	Epoch       int
 	Tier        Tier
+	Kind        HelloKind // zero (KindWorker) on all data-plane handshakes
 	Fingerprint core.Fingerprint
 	Endpoint    endpoint // advertised data endpoints (zero on peer dials)
 }
@@ -255,12 +284,13 @@ func takeString(body []byte, off int) (string, int) {
 }
 
 func encodeHello(h hello) []byte {
-	body := 4 + 4 + 4 + 1 + fingerprintSize + endpointWireSize(h.Endpoint)
+	body := 4 + 4 + 4 + 2 + fingerprintSize + endpointWireSize(h.Endpoint)
 	b := make([]byte, frameHeaderSize, frameHeaderSize+body)
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Rank))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Ranks))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.Epoch))
 	b = append(b, byte(h.Tier))
+	b = append(b, byte(h.Kind))
 	b = append(b, h.Fingerprint[:]...)
 	b = appendEndpoint(b, h.Endpoint)
 	return finishFrame(b, frameHello)
@@ -268,16 +298,17 @@ func encodeHello(h hello) []byte {
 
 func decodeHello(body []byte) (hello, error) {
 	var h hello
-	if len(body) < 4+4+4+1+fingerprintSize+16 {
+	if len(body) < 4+4+4+2+fingerprintSize+16 {
 		return h, fmt.Errorf("wire: hello frame truncated (%d bytes)", len(body))
 	}
 	h.Rank = int(binary.LittleEndian.Uint32(body))
 	h.Ranks = int(binary.LittleEndian.Uint32(body[4:]))
 	h.Epoch = int(binary.LittleEndian.Uint32(body[8:]))
 	h.Tier = Tier(body[12])
-	copy(h.Fingerprint[:], body[13:13+fingerprintSize])
+	h.Kind = HelloKind(body[13])
+	copy(h.Fingerprint[:], body[14:14+fingerprintSize])
 	var off int
-	h.Endpoint, off = takeEndpoint(body, 13+fingerprintSize)
+	h.Endpoint, off = takeEndpoint(body, 14+fingerprintSize)
 	if off != len(body) {
 		return h, fmt.Errorf("wire: hello frame length mismatch")
 	}
@@ -349,6 +380,134 @@ func decodeShmOffer(body []byte) (path string, gen, ringBytes uint64, err error)
 		return "", 0, 0, fmt.Errorf("wire: shm offer length mismatch")
 	}
 	return path, gen, ringBytes, nil
+}
+
+// TicketAction tells a gate session what to do with the epoch described by
+// a Ticket.
+type TicketAction byte
+
+const (
+	// ActionRun: connect to the epoch's rendezvous as the given rank and
+	// execute.
+	ActionRun TicketAction = iota
+	// ActionDrain: do not connect; flush local state and report, then wait
+	// for the exit ticket.
+	ActionDrain
+	// ActionExit: the session is released; close and terminate.
+	ActionExit
+	// ActionAdmit: the gate's immediate reply to a join hello, carrying the
+	// member identity assigned to the session; epoch tickets follow.
+	ActionAdmit
+)
+
+// Ticket is the coordinator's per-epoch instruction to a gate session: the
+// epoch number, the member's logical rank (when running), the epoch's total
+// rank count and rendezvous address, and the full member identity table
+// (Members[l] = physical member id of logical rank l) so every process can
+// derive the epoch's task map deterministically.
+type Ticket struct {
+	Action  TicketAction
+	Member  int
+	Epoch   int
+	Rank    int
+	Ranks   int
+	Addr    string
+	Members []int
+	// Retired lists members drained since the previous epoch whose journals
+	// are closed and safe to adopt handed-off lineage from.
+	Retired []int
+}
+
+func encodeTicket(t Ticket) []byte {
+	b := make([]byte, frameHeaderSize, frameHeaderSize+27+len(t.Addr)+4*(len(t.Members)+len(t.Retired)))
+	b = append(b, byte(t.Action))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Member))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Epoch))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Rank))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Ranks))
+	b = appendString(b, t.Addr)
+	for _, table := range [][]int{t.Members, t.Retired} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(table)))
+		for _, m := range table {
+			b = binary.LittleEndian.AppendUint32(b, uint32(m))
+		}
+	}
+	return finishFrame(b, frameTicket)
+}
+
+func decodeTicket(body []byte) (Ticket, error) {
+	var t Ticket
+	if len(body) < 17 {
+		return t, fmt.Errorf("wire: ticket frame truncated (%d bytes)", len(body))
+	}
+	t.Action = TicketAction(body[0])
+	t.Member = int(binary.LittleEndian.Uint32(body[1:]))
+	t.Epoch = int(binary.LittleEndian.Uint32(body[5:]))
+	t.Rank = int(binary.LittleEndian.Uint32(body[9:]))
+	t.Ranks = int(binary.LittleEndian.Uint32(body[13:]))
+	addr, off := takeString(body, 17)
+	if off < 0 {
+		return t, fmt.Errorf("wire: ticket frame truncated")
+	}
+	t.Addr = addr
+	for _, table := range []*[]int{&t.Members, &t.Retired} {
+		if len(body) < off+4 {
+			return t, fmt.Errorf("wire: ticket frame truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if n > 1<<20 || len(body) < off+4*n {
+			return t, fmt.Errorf("wire: ticket member table length mismatch")
+		}
+		*table = make([]int, n)
+		for i := range *table {
+			(*table)[i] = int(binary.LittleEndian.Uint32(body[off+4*i:]))
+		}
+		off += 4 * n
+	}
+	if off != len(body) {
+		return t, fmt.Errorf("wire: ticket frame length mismatch")
+	}
+	return t, nil
+}
+
+// Status is a gate session's report back to the coordinator after acting on
+// a ticket: which epoch it finished, whether it succeeded, and a short
+// detail string (an error summary, or counters like "replayed=3").
+type Status struct {
+	Member int
+	Epoch  int
+	OK     bool
+	Detail string
+}
+
+func encodeStatus(s Status) []byte {
+	b := make([]byte, frameHeaderSize, frameHeaderSize+11+len(s.Detail))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Member))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Epoch))
+	if s.OK {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendString(b, s.Detail)
+	return finishFrame(b, frameStatus)
+}
+
+func decodeStatus(body []byte) (Status, error) {
+	var s Status
+	if len(body) < 11 {
+		return s, fmt.Errorf("wire: status frame truncated (%d bytes)", len(body))
+	}
+	s.Member = int(binary.LittleEndian.Uint32(body))
+	s.Epoch = int(binary.LittleEndian.Uint32(body[4:]))
+	s.OK = body[8] == 1
+	detail, off := takeString(body, 9)
+	if off != len(body) {
+		return s, fmt.Errorf("wire: status frame length mismatch")
+	}
+	s.Detail = detail
+	return s, nil
 }
 
 func encodeShmAck(ok bool) []byte {

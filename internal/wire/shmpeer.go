@@ -518,6 +518,11 @@ func (f *Fabric) shmReadLoop(p *peer) {
 			if f.cancelled.Load() || p.departed.Load() {
 				return
 			}
+			if f.fenced.Load() && isTimeout(err) {
+				// Epoch fence open: a silent control socket (the peer is
+				// frozen flushing for a membership change) is not death.
+				continue
+			}
 			f.failPeer(p.rank, fmt.Errorf("wire: rank %d: peer %d: %w (%w)", f.opt.Rank, p.rank, ErrPeerLost, err))
 			return
 		}

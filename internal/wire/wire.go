@@ -284,6 +284,7 @@ type Fabric struct {
 	firstErr  error
 	lost      map[int]bool // ranks observed dead before cancellation
 	cancelled atomic.Bool
+	fenced    atomic.Bool // epoch fence open: liveness timeouts suspended
 	done      chan struct{} // closed on Cancel/Shutdown/Kill: stops heartbeats
 	doneOnce  sync.Once
 
@@ -598,6 +599,24 @@ func (f *Fabric) Cancel() {
 	}
 }
 
+// Fence opens (on=true) or closes (on=false) the epoch fence: while open,
+// read-deadline expiries are NOT treated as peer loss. A membership change
+// freezes every rank at a journal-consistent point before the epoch is torn
+// down, and that freeze can outlast the heartbeat timeout — without the
+// fence a slow flush reads as peer death and one join would cascade into an
+// epoch storm. Connection closures, resets and corrupt frames still fail
+// the peer: the fence suspends liveness timers, not failure detection.
+func (f *Fabric) Fence(on bool) {
+	f.fenced.Store(on)
+}
+
+// isTimeout reports whether err is a network timeout (an expired read or
+// write deadline) rather than a closed or broken connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Err implements fabric.Transport: the first transport-level failure (a
 // typed error wrapping ErrPeerLost for lost peers), nil for clean runs and
 // controller-initiated cancellation.
@@ -877,6 +896,14 @@ func (f *Fabric) readLoop(p *peer) {
 			if f.cancelled.Load() || p.departed.Load() {
 				return
 			}
+			if f.fenced.Load() && isTimeout(err) {
+				// An epoch fence is open: the peer may be stalled flushing
+				// journals for a membership change, so a quiet connection is
+				// not evidence of death. Re-arm and keep listening; closures
+				// and corrupt frames still fail below.
+				armed = time.Time{}
+				continue
+			}
 			// Both sentinels are wrapped: recovery classifies this as peer
 			// loss, while errors.Is(err, ErrCorruptFrame) still identifies
 			// an integrity failure.
@@ -1090,6 +1117,11 @@ func (f *Fabric) heartbeatLoop() {
 				}
 				p.wmu.Unlock()
 				if err != nil && !p.departed.Load() {
+					if f.fenced.Load() && isTimeout(err) {
+						// Fence open: a full send buffer behind a frozen
+						// peer is not death; retry next tick.
+						continue
+					}
 					f.failPeer(p.rank, fmt.Errorf("wire: rank %d: heartbeat to rank %d: %w (%v)", f.opt.Rank, p.rank, ErrPeerLost, err))
 					return
 				}
